@@ -1,0 +1,47 @@
+// Ablation — the split–merge flow-control window.
+//
+// The paper: "a feedback mechanism ensures that no more than a given number
+// of data objects is in circulation between a specific pair of split merge
+// constructs", protecting memory and the network without throttling the
+// pipeline. This ablation sweeps the window on the simulated matmul: tiny
+// windows serialize the pipeline (the Table 1 "no overlap" regime), large
+// windows saturate — the knee shows the minimum circulation DPS needs.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/matmul.hpp"
+
+using namespace dps;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int s = 8;
+  const int workers = 4;
+  const double rate = 220e6;
+
+  std::cout << "Ablation — flow-control window sweep (" << n << "x" << n
+            << " matmul, s=" << s << ", " << workers
+            << " simulated workers)\n\n";
+  std::cout << "window   virtual time [ms]   relative\n";
+  double base = -1;
+  for (uint32_t window : {1u, 2u, 4u, 8u, 16u, 64u, 1024u}) {
+    ClusterConfig cfg = ClusterConfig::simulated(workers + 1);
+    cfg.flow_window = window;
+    Cluster cluster(cfg);
+    Application app(cluster, "matmul");
+    auto graph = apps::build_matmul_graph(app, workers);
+    ActorScope scope(cluster.domain(), "main");
+    la::Matrix a(static_cast<size_t>(n), static_cast<size_t>(n));
+    la::Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+    const double t0 = cluster.domain().now();
+    (void)apps::run_matmul(*graph, a, b, s, rate);
+    const double dt = cluster.domain().now() - t0;
+    if (base < 0) base = dt;
+    std::printf("%-8u %-19.1f %.2fx\n", window, dt * 1e3, base / dt);
+  }
+  std::cout << "\nExpected shape: throughput rises with the window and "
+               "saturates once enough tokens circulate to cover the "
+               "communication latency; beyond that, a larger window only "
+               "costs memory.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 15 — Performance of the LU factorization: pipelined (stream
+// operations) vs non-pipelined (merge+split) flow graphs.
+//
+// Paper setup: a 4096x4096 matrix factorized on 1 to 8 nodes (no optimized
+// BLAS). The stream-based graph lets the next panel factorization and the
+// remaining triangular solves overlap the previous stage's trailing
+// updates; the merge+split baseline barriers between stages. The pipelined
+// variant is clearly faster at every node count.
+//
+// Reproduction: simulated GbE cluster, 32 block columns mapped round-robin
+// over the nodes, synthetic compute. (The paper does not state its block
+// size; the speedup it reports is only reachable when the critical path —
+// the chain of panel factorizations and own-column updates, which scales
+// with the block width — is short enough, i.e. >= ~32 columns for 8
+// nodes.) The default matrix is 2048^2 with the compute rate halved
+// (110 MFLOPS), preserving the paper's communication/computation balance
+// (comm ~ n^2, comp ~ n^3) at a laptop-friendly size; pass `4096 220` for
+// the paper's exact matrix.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/lu.hpp"
+
+using namespace dps;
+
+namespace {
+
+double run(int n, int blocks, int nodes, bool pipelined, double rate) {
+  Cluster cluster(ClusterConfig::simulated(nodes));
+  apps::LuApp lu(cluster, blocks);
+  ActorScope scope(cluster.domain(), "main");
+  la::Matrix a(static_cast<size_t>(n), static_cast<size_t>(n));
+  lu.scatter(a, n / blocks);
+  const double t0 = cluster.domain().now();
+  lu.factorize(pipelined, rate);
+  return cluster.domain().now() - t0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const double rate = (argc > 2 ? std::atof(argv[2]) : 110.0) * 1e6;
+  const int blocks = argc > 3 ? std::atoi(argv[3]) : 32;
+  const int max_nodes = 8;
+
+  std::cout << "Figure 15 — LU factorization speedup, pipelined vs "
+               "non-pipelined\n("
+            << n << "x" << n << " matrix, " << blocks
+            << " block columns, simulated GbE, " << rate / 1e6
+            << " MFLOPS per node)\n\n";
+
+  const double base = run(n, blocks, 1, false, rate);
+  std::printf("nodes   pipelined[speedup]   non-pipelined[speedup]\n");
+  for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+    const double piped = run(n, blocks, nodes, true, rate);
+    const double barrier = run(n, blocks, nodes, false, rate);
+    std::printf("%-7d %6.2f               %6.2f\n", nodes, base / piped,
+                base / barrier);
+  }
+  std::cout << "\nExpected shape (paper): the pipelined curve sits clearly "
+               "above the non-pipelined one at every node count; both are "
+               "sub-linear (communication and the sequential panel "
+               "factorizations bound the speedup).\n";
+  return 0;
+}

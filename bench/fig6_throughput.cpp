@@ -1,0 +1,132 @@
+// Figure 6 — Round-trip data transfer throughput: DPS vs raw sockets.
+//
+// Paper setup: "the first test transfers 100 MB of data along a ring of
+// 4 PCs. The individual machines forward the data as soon as they receive
+// it," comparing blocks sent (a) directly through a socket interface and
+// (b) embedded into DPS data objects, for single-transfer sizes from 1 kB
+// to 1 MB. DPS's per-token control structures only matter for small blocks;
+// both converge for large blocks (paper: ~35 MB/s on their GbE).
+//
+// Here both variants run over real TCP sockets on loopback (same wire, same
+// framing conditions), plus a simulated-GbE series that reproduces the
+// paper's absolute plateau. Loopback is much faster than year-2003 GbE, so
+// absolute MB/s differ; the *shape* — DPS overhead at small sizes, parity
+// at large sizes — is the reproduced result.
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "apps/ring.hpp"
+#include "net/socket.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace dps;
+
+namespace {
+
+constexpr int kHops = 4;
+
+/// Raw-socket baseline: kHops threads forward blocks around a TCP ring.
+double socket_ring_throughput(int64_t total_bytes, int block_size) {
+  const int blocks = static_cast<int>(total_bytes / block_size);
+  std::vector<TcpListener> listeners;
+  listeners.reserve(kHops);
+  for (int i = 0; i < kHops; ++i) listeners.push_back(TcpListener::bind(0));
+
+  // Node i reads from its listener and forwards to node (i+1) % kHops.
+  std::vector<std::thread> nodes;
+  for (int i = 1; i < kHops; ++i) {
+    nodes.emplace_back([&, i] {
+      TcpConn in = listeners[static_cast<size_t>(i)].accept();
+      TcpConn out =
+          TcpConn::connect("127.0.0.1", listeners[(i + 1) % kHops].port());
+      std::vector<char> buf(static_cast<size_t>(block_size));
+      for (int b = 0; b < blocks; ++b) {
+        if (!in.recv_all(buf.data(), buf.size())) return;
+        out.send_all(buf.data(), buf.size());
+      }
+    });
+  }
+  // Node 0: source and sink.
+  TcpConn out = TcpConn::connect("127.0.0.1", listeners[1].port());
+  TcpConn in;
+  std::thread sink_acceptor([&] { in = listeners[0].accept(); });
+  sink_acceptor.join();
+
+  std::vector<char> buf(static_cast<size_t>(block_size), 'x');
+  Stopwatch sw;
+  std::thread sink([&] {
+    std::vector<char> rbuf(static_cast<size_t>(block_size));
+    for (int b = 0; b < blocks; ++b) {
+      if (!in.recv_all(rbuf.data(), rbuf.size())) return;
+    }
+  });
+  for (int b = 0; b < blocks; ++b) out.send_all(buf.data(), buf.size());
+  sink.join();
+  const double dt = sw.seconds();
+  for (auto& t : nodes) t.join();
+  return static_cast<double>(total_bytes) / dt / 1e6;
+}
+
+/// DPS ring over the same real TCP sockets.
+double dps_ring_throughput(int64_t total_bytes, int block_size) {
+  const int blocks = static_cast<int>(total_bytes / block_size);
+  ClusterConfig cfg = ClusterConfig::tcp(kHops);
+  cfg.flow_window = 64;  // bounds memory at small block sizes
+  Cluster cluster(cfg);
+  Application app(cluster, "ring");
+  auto graph = apps::build_ring_graph(app, kHops);
+  ActorScope scope(cluster.domain(), "main");
+  // Warmup: establish the lazy connections outside the timed region.
+  (void)graph->call(new apps::RingStartToken(2, block_size));
+  Stopwatch sw;
+  auto done = token_cast<apps::RingDoneToken>(
+      graph->call(new apps::RingStartToken(blocks, block_size)));
+  const double dt = sw.seconds();
+  DPS_CHECK(done && done->blocks == blocks, "ring run failed");
+  return static_cast<double>(total_bytes) / dt / 1e6;
+}
+
+/// Simulated-GbE DPS ring (virtual time) — the paper's absolute scale.
+double sim_ring_throughput(int64_t total_bytes, int block_size) {
+  const int blocks = static_cast<int>(total_bytes / block_size);
+  ClusterConfig cfg = ClusterConfig::simulated(kHops);
+  cfg.flow_window = 64;
+  Cluster cluster(cfg);
+  Application app(cluster, "ring");
+  auto graph = apps::build_ring_graph(app, kHops);
+  ActorScope scope(cluster.domain(), "main");
+  const double t0 = cluster.domain().now();
+  auto done = token_cast<apps::RingDoneToken>(
+      graph->call(new apps::RingStartToken(blocks, block_size)));
+  const double dt = cluster.domain().now() - t0;
+  DPS_CHECK(done && done->blocks == blocks, "sim ring run failed");
+  return static_cast<double>(total_bytes) / dt / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default 16 MB per point keeps the whole figure under a minute on one
+  // core; pass a larger budget (MB) to approach the paper's 100 MB.
+  const int64_t budget_mb = argc > 1 ? std::atoll(argv[1]) : 16;
+  const int64_t total = budget_mb * 1000 * 1000;
+
+  std::cout << "Figure 6 — round-trip throughput on a " << kHops
+            << "-node ring (" << budget_mb << " MB per point)\n";
+  std::cout << "size[B]     sockets[MB/s]  DPS[MB/s]   DPS/sockets  "
+               "simGbE-DPS[MB/s]\n";
+  for (int size : {1000, 3000, 10000, 30000, 100000, 300000, 1000000}) {
+    const double raw = socket_ring_throughput(total, size);
+    const double dps_t = dps_ring_throughput(total, size);
+    const double sim = sim_ring_throughput(
+        std::min<int64_t>(total, 8 * 1000 * 1000), size);
+    std::printf("%-11d %-14.1f %-11.1f %-12.2f %-10.1f\n", size, raw, dps_t,
+                dps_t / raw, sim);
+  }
+  std::cout << "\nExpected shape (paper): DPS well below sockets at 1 kB, "
+               "converging within ~10% for large blocks; the simulated "
+               "series plateaus near the paper's ~35 MB/s.\n";
+  return 0;
+}

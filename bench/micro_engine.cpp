@@ -1,0 +1,149 @@
+// Micro-benchmarks of the DPS engine (google-benchmark): end-to-end graph
+// call latency and split–compute–merge token throughput on a single node
+// (pointer-passing path) and across in-process nodes (serialization path).
+#include <benchmark/benchmark.h>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+
+namespace {
+
+using namespace dps;
+
+class BNumToken : public SimpleToken {
+ public:
+  int64_t value;
+  int index;
+  BNumToken(int64_t v = 0, int i = 0) : value(v), index(i) {}
+  DPS_IDENTIFY(BNumToken);
+};
+
+class BRangeToken : public SimpleToken {
+ public:
+  int count;
+  BRangeToken(int c = 0) : count(c) {}
+  DPS_IDENTIFY(BRangeToken);
+};
+
+class BMainThread : public Thread {
+  DPS_IDENTIFY_THREAD(BMainThread);
+};
+class BWorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(BWorkThread);
+};
+
+DPS_ROUTE(BMainRoute, BMainThread, BRangeToken, 0);
+DPS_ROUTE(BMainNumRoute, BMainThread, BNumToken, 0);
+DPS_ROUTE(BWorkRoute, BWorkThread, BNumToken,
+          currentToken->index % threadCount());
+
+class BSplit : public SplitOperation<BMainThread, TV1(BRangeToken),
+                                     TV1(BNumToken)> {
+ public:
+  void execute(BRangeToken* in) override {
+    for (int i = 0; i < in->count; ++i) postToken(new BNumToken(i, i));
+  }
+  DPS_IDENTIFY_OPERATION(BSplit);
+};
+
+class BWork : public LeafOperation<BWorkThread, TV1(BNumToken),
+                                   TV1(BNumToken)> {
+ public:
+  void execute(BNumToken* in) override {
+    postToken(new BNumToken(in->value + 1, in->index));
+  }
+  DPS_IDENTIFY_OPERATION(BWork);
+};
+
+class BMerge : public MergeOperation<BMainThread, TV1(BNumToken),
+                                     TV1(BRangeToken)> {
+ public:
+  void execute(BNumToken* first) override {
+    (void)first;
+    int n = 1;
+    while (waitForNextToken()) ++n;
+    postToken(new BRangeToken(n));
+  }
+  DPS_IDENTIFY_OPERATION(BMerge);
+};
+
+struct Rig {
+  Cluster cluster;
+  Application app;
+  std::shared_ptr<Flowgraph> graph;
+
+  explicit Rig(int nodes)
+      : cluster(ClusterConfig::inproc(nodes)), app(cluster, "bench") {
+    auto mains = app.thread_collection<BMainThread>("main");
+    mains->map("node0");
+    auto collectors = app.thread_collection<BMainThread>("coll");
+    collectors->map("node0");
+    auto workers = app.thread_collection<BWorkThread>("work");
+    std::string mapping;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      if (i != 0) mapping += ' ';
+      mapping += cluster.node_name(static_cast<NodeId>(i));
+    }
+    workers->map(mapping);
+    graph = app.build_graph(
+        FlowgraphNode<BSplit, BMainRoute>(mains) >>
+            FlowgraphNode<BWork, BWorkRoute>(workers) >>
+            FlowgraphNode<BMerge, BMainNumRoute>(collectors),
+        "bench");
+  }
+};
+
+void BM_CallLatencySingleNode(benchmark::State& state) {
+  Rig rig(1);
+  ActorScope scope(rig.cluster.domain(), "bench");
+  for (auto _ : state) {
+    auto r = rig.graph->call(new BRangeToken(1));
+    benchmark::DoNotOptimize(r.get());
+  }
+}
+BENCHMARK(BM_CallLatencySingleNode);
+
+void BM_TokenThroughputLocal(benchmark::State& state) {
+  Rig rig(1);
+  ActorScope scope(rig.cluster.domain(), "bench");
+  const int tokens = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = rig.graph->call(new BRangeToken(tokens));
+    benchmark::DoNotOptimize(r.get());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_TokenThroughputLocal)->Arg(256)->Arg(4096);
+
+void BM_TokenThroughputSerialized(benchmark::State& state) {
+  // Two in-process nodes: every worker-bound token crosses the
+  // serialization boundary (the paper's multi-kernel debug mode).
+  Rig rig(2);
+  ActorScope scope(rig.cluster.domain(), "bench");
+  const int tokens = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = rig.graph->call(new BRangeToken(tokens));
+    benchmark::DoNotOptimize(r.get());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_TokenThroughputSerialized)->Arg(256)->Arg(4096);
+
+void BM_AsyncCallPipelining(benchmark::State& state) {
+  Rig rig(2);
+  ActorScope scope(rig.cluster.domain(), "bench");
+  for (auto _ : state) {
+    std::vector<CallHandle> handles;
+    handles.reserve(16);
+    for (int i = 0; i < 16; ++i) {
+      handles.push_back(rig.graph->call_async(new BRangeToken(32)));
+    }
+    for (auto& h : handles) benchmark::DoNotOptimize(h.wait().get());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 32);
+}
+BENCHMARK(BM_AsyncCallPipelining);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Micro-benchmarks of the serialization substrate (google-benchmark):
+// simple-token memcpy round trips, complex-token field-table traversal,
+// and payload scaling — the costs behind Figure 6's per-token overhead.
+#include <benchmark/benchmark.h>
+
+#include "serial/registry.hpp"
+
+namespace {
+
+using namespace dps;
+
+class BenchSimpleToken : public SimpleToken {
+ public:
+  int64_t a = 1;
+  int64_t b = 2;
+  double c = 3;
+  DPS_IDENTIFY(BenchSimpleToken);
+};
+
+class BenchComplexToken : public ComplexToken {
+ public:
+  CT<int64_t> id;
+  CT<std::string> name;
+  Buffer<uint8_t> payload;
+  DPS_IDENTIFY(BenchComplexToken);
+};
+
+void BM_SimpleTokenRoundTrip(benchmark::State& state) {
+  BenchSimpleToken token;
+  for (auto _ : state) {
+    Writer w;
+    serialize_token(token, w);
+    Reader r(w.bytes());
+    auto out = deserialize_token(r);
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimpleTokenRoundTrip);
+
+void BM_ComplexTokenRoundTrip(benchmark::State& state) {
+  BenchComplexToken token;
+  token.id = 42;
+  token.name = std::string("benchmark-token");
+  token.payload.resize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Writer w;
+    serialize_token(token, w);
+    Reader r(w.bytes());
+    auto out = deserialize_token(r);
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComplexTokenRoundTrip)->Range(64, 1 << 20);
+
+void BM_SerializeOnly(benchmark::State& state) {
+  BenchComplexToken token;
+  token.payload.resize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Writer w;
+    serialize_token(token, w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeOnly)->Range(1 << 10, 1 << 20);
+
+void BM_FieldTableLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&FieldTable::of<BenchComplexToken>());
+  }
+}
+BENCHMARK(BM_FieldTableLookup);
+
+void BM_TokenClone(benchmark::State& state) {
+  BenchComplexToken token;
+  token.payload.resize(4096);
+  for (auto _ : state) {
+    auto c = clone_token(token);
+    benchmark::DoNotOptimize(c.get());
+  }
+}
+BENCHMARK(BM_TokenClone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Table 1 — Reduction in execution time due to the overlapping of
+// communications and computations, with the corresponding ratio of
+// communication over computation time.
+//
+// Paper setup: two 1024x1024 matrices multiplied block-wise on 1 to 4
+// compute nodes, split factor s in {4, 8, 16, 32} (block sizes 256..32).
+// Varying s changes the communication volume n^2(2s+1) against the fixed
+// computation n^3, probing where DPS's implicit pipelining pays off.
+//
+// Reproduction: the simulated GbE cluster (35 MB/s, cut-through) with a
+// 220 MFLOPS per-worker compute model (calibrated from the paper's own
+// ratio at s=4, 1 node). "With overlap" is the normal pipelined DPS run;
+// the "without overlap" baseline is the strictly additive schedule
+// T = comm + comp the paper's potential-gain formula is derived from
+// (g = r/(r+1) for r<=1, 1/(1+r) for r>=1), with the communication time
+// taken from the measured traffic of the pipelined run. A second measured
+// column restricts the flow-control window to one task per worker —
+// DPS with its pipeline throttled — as an in-system sanity check.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/matmul.hpp"
+
+using namespace dps;
+
+namespace {
+
+struct RunResult {
+  double time;
+  double comm_bytes;
+  double comm_messages;
+};
+
+RunResult run(int n, int s, int workers, bool overlapped, double flops_rate) {
+  ClusterConfig cfg = ClusterConfig::simulated(workers + 1);
+  if (!overlapped) cfg.flow_window = static_cast<uint32_t>(workers);
+  Cluster cluster(cfg);
+  Application app(cluster, "matmul");
+  auto graph = apps::build_matmul_graph(app, workers);
+  ActorScope scope(cluster.domain(), "main");
+  la::Matrix a(static_cast<size_t>(n), static_cast<size_t>(n));
+  la::Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+  // Synthetic compute: contents are irrelevant, sizes are not.
+  const double t0 = cluster.domain().now();
+  (void)apps::run_matmul(*graph, a, b, s, flops_rate);
+  return RunResult{cluster.domain().now() - t0,
+                   static_cast<double>(cluster.fabric().bytes_sent()),
+                   static_cast<double>(cluster.fabric().messages_sent())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const double rate = 220e6;  // flops/s per worker (PIII 733 calibration)
+  const double bw = LinkModel::gigabit_ethernet().bandwidth_bytes_per_s;
+
+  const double per_msg =
+      LinkModel::gigabit_ethernet().per_message_s;
+
+  std::cout << "Table 1 — execution-time reduction due to overlapping, "
+            << n << "x" << n << " block matrix multiplication\n";
+  std::cout << "(simulated GbE " << bw / 1e6 << " MB/s, " << rate / 1e6
+            << " MFLOPS per worker; paper values in brackets)\n\n";
+  std::cout << "block    nodes   reduction        ratio         potential g"
+               "   throttled-DPS\n";
+
+  // Paper's Table 1 for cross-reference in the output.
+  const double paper_red[4][4] = {{6.7, 13.6, 15.8, 23.9},
+                                  {9.1, 19.8, 29.5, 35.6},
+                                  {17.6, 28.7, 32.1, 27.2},
+                                  {25.2, 24.9, 19.5, 15.6}};
+  const double paper_ratio[4][4] = {{0.22, 0.33, 0.44, 0.63},
+                                    {0.45, 0.66, 0.97, 1.36},
+                                    {0.94, 1.28, 1.92, 2.54},
+                                    {2.09, 2.76, 4.19, 5.54}};
+
+  int si = 0;
+  for (int s : {4, 8, 16, 32}) {
+    const int block = n / s;
+    for (int workers = 1; workers <= 4; ++workers) {
+      const RunResult piped = run(n, s, workers, true, rate);
+      const RunResult throttled = run(n, s, workers, false, rate);
+      // Communication over computation time, per the paper's accounting:
+      // all task/result bytes cross the master's link; computation is
+      // spread over the workers.
+      const double comm_time =
+          piped.comm_bytes / bw + piped.comm_messages * per_msg;
+      const double comp_time = 2.0 * double(n) * n * n / rate / workers;
+      const double ratio = comm_time / comp_time;
+      const double g = ratio <= 1 ? ratio / (ratio + 1) : 1 / (1 + ratio);
+      // Non-overlapped baseline: the strictly additive schedule underlying
+      // the paper's potential-gain formula.
+      const double additive = comm_time + comp_time;
+      const double reduction = (additive - piped.time) / additive * 100.0;
+      const double thr_reduction =
+          (throttled.time - piped.time) / throttled.time * 100.0;
+      std::printf(
+          "%-8d %-7d %5.1f%% [%4.1f%%]  %5.2f [%4.2f]  %5.1f%%        "
+          "%5.1f%%\n",
+          block, workers, reduction, paper_red[si][workers - 1], ratio,
+          paper_ratio[si][workers - 1], g * 100, thr_reduction);
+    }
+    ++si;
+  }
+  std::cout << "\nExpected shape (paper): reductions peak (25-35%) when the "
+               "ratio is between 0.9 and 2.5; low ratios leave little to "
+               "hide, high ratios leave processors idle.\n";
+  return 0;
+}

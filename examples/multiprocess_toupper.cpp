@@ -1,0 +1,146 @@
+// Multi-process deployment (paper, section 4).
+//
+// Runs the tutorial uppercase application across real OS processes: the
+// leader starts a name server, and the first token bound for each remote
+// node makes the kernel spawn a follower process there (lazy application
+// launch); TCP connections open lazily as in the paper. Every process runs
+// this same program (SPMD): followers build the identical collections and
+// graphs, then serve until the leader finishes.
+//
+// Usage: multiprocess_toupper [nodes] [text...]
+#include <cctype>
+#include <cstring>
+#include <iostream>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "kernel/kernel.hpp"
+#include "util/mapping.hpp"
+
+using namespace dps;
+
+namespace {
+
+constexpr int kMaxString = 256;
+
+class MpStringToken : public SimpleToken {
+ public:
+  char str[kMaxString];
+  int len;
+  MpStringToken(const char* s = "") : str{}, len(0) {
+    len = static_cast<int>(std::strlen(s));
+    if (len >= kMaxString) len = kMaxString - 1;
+    std::memcpy(str, s, static_cast<size_t>(len));
+  }
+  DPS_IDENTIFY(MpStringToken);
+};
+
+class MpCharToken : public SimpleToken {
+ public:
+  char chr;
+  int pos;
+  MpCharToken(char c = 0, int p = 0) : chr(c), pos(p) {}
+  DPS_IDENTIFY(MpCharToken);
+};
+
+class MpMainThread : public Thread {
+  DPS_IDENTIFY_THREAD(MpMainThread);
+};
+class MpComputeThread : public Thread {
+  DPS_IDENTIFY_THREAD(MpComputeThread);
+};
+
+DPS_ROUTE(MpMainRoute, MpMainThread, MpStringToken, 0);
+DPS_ROUTE(MpMainCharRoute, MpMainThread, MpCharToken, 0);
+DPS_ROUTE(MpRoundRobinRoute, MpComputeThread, MpCharToken,
+          currentToken->pos % threadCount());
+
+class MpSplitString
+    : public SplitOperation<MpMainThread, TV1(MpStringToken),
+                            TV1(MpCharToken)> {
+ public:
+  void execute(MpStringToken* in) override {
+    for (int i = 0; i < in->len; ++i) {
+      postToken(new MpCharToken(in->str[i], i));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(MpSplitString);
+};
+
+class MpToUpperCase
+    : public LeafOperation<MpComputeThread, TV1(MpCharToken),
+                           TV1(MpCharToken)> {
+ public:
+  void execute(MpCharToken* in) override {
+    postToken(new MpCharToken(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(in->chr))),
+        in->pos));
+  }
+  DPS_IDENTIFY_OPERATION(MpToUpperCase);
+};
+
+class MpMergeString
+    : public MergeOperation<MpMainThread, TV1(MpCharToken),
+                            TV1(MpStringToken)> {
+ public:
+  void execute(MpCharToken* first) override {
+    MpStringToken* out = new MpStringToken();
+    Ptr<Token> cur(first);
+    do {
+      auto c = token_cast<MpCharToken>(cur);
+      out->str[c->pos] = c->chr;
+      if (c->pos + 1 > out->len) out->len = c->pos + 1;
+    } while ((cur = waitForNextToken()));
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(MpMergeString);
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+  std::string text = "spmd across real processes";
+  if (argc > 2) {
+    text.clear();
+    for (int i = 2; i < argc; ++i) {
+      if (i > 2) text += ' ';
+      text += argv[i];
+    }
+  }
+
+  // Identical setup in every process (leader and spawned followers).
+  SpmdRuntime spmd(argc, argv, nodes);
+  Cluster& cluster = spmd.cluster();
+  Application app(cluster, "mp-toupper");
+  auto mains = app.thread_collection<MpMainThread>("main");
+  mains->map("node0");
+  auto compute = app.thread_collection<MpComputeThread>("proc");
+  std::vector<std::string> names;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    names.push_back(cluster.node_name(static_cast<NodeId>(i)));
+  }
+  compute->map(round_robin_mapping(names, nodes));
+  auto graph = app.build_graph(
+      FlowgraphNode<MpSplitString, MpMainRoute>(mains) >>
+          FlowgraphNode<MpToUpperCase, MpRoundRobinRoute>(compute) >>
+          FlowgraphNode<MpMergeString, MpMainCharRoute>(mains),
+      "mp-toupper");
+
+  if (!spmd.leader()) return spmd.serve();  // followers park here
+
+  ActorScope scope(cluster.domain(), "main");
+  auto result =
+      token_cast<MpStringToken>(graph->call(new MpStringToken(text.c_str())));
+  if (!result) {
+    std::cerr << "no result\n";
+    return 1;
+  }
+  std::cout << "input : " << text << "\n";
+  std::cout << "output: "
+            << std::string(result->str, static_cast<size_t>(result->len))
+            << "\n";
+  std::cout << "pid " << getpid() << " drove " << nodes
+            << " processes (spawned lazily)\n";
+  return 0;
+}

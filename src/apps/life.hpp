@@ -1,0 +1,978 @@
+// Parallel Game of Life (paper, section 5, Figures 7–10, Table 2).
+//
+// The world is distributed as horizontal bands, one band per worker thread
+// (paper: "each node holding a horizontal band of the world"). Four flow
+// graphs operate on the distributed state:
+//
+//  * scatter  — distribute a world into the worker threads;
+//  * simple   — Fig. 7: exchange borders, global synchronization, compute;
+//  * improved — Fig. 8: border exchange overlapped with interior compute;
+//  * gather   — collect the bands back into one world;
+//
+// plus the read-subset graph of Fig. 10, published as the parallel service
+// a visualization client calls while the simulation runs (Table 2).
+//
+// Iterations use parity double-buffering: iteration t reads buffer t%2 and
+// writes buffer (t+1)%2, so border rows served to neighbours during
+// iteration t are never racing the writes of iteration t (iterations are
+// separated by the graph-call barrier).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/application.hpp"
+#include "core/checkpoint.hpp"
+#include "core/controller.hpp"
+#include "life/world.hpp"
+#include "util/mapping.hpp"
+
+namespace dps::apps {
+
+class LifeWorkerThread;
+
+/// In-process registry through which the *reader* threads (Table 2's
+/// service side) reach the band state held by the worker threads on the
+/// same node. In the paper's runtime two DPS threads of one node share the
+/// process address space; reads proceed on the node's second CPU while the
+/// worker computes — this registry is that shared memory. Keys are
+/// (world instance, band index).
+class LifeBandRegistry {
+ public:
+  static LifeBandRegistry& instance() {
+    static LifeBandRegistry reg;
+    return reg;
+  }
+  void add(uint64_t world, int band, LifeWorkerThread* state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[{world, band}] = state;
+  }
+  void remove(uint64_t world, int band) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.erase({world, band});
+  }
+  LifeWorkerThread* find(uint64_t world, int band) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find({world, band});
+    return it == map_.end() ? nullptr : it->second;
+  }
+  static uint64_t next_world_id() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::pair<uint64_t, int>, LifeWorkerThread*> map_;
+};
+
+// --- Tokens ------------------------------------------------------------------
+
+class LifeWorldToken : public ComplexToken {
+ public:
+  CT<uint64_t> world;  ///< LifeBandRegistry key of this stored world
+  CT<int32_t> rows;
+  CT<int32_t> cols;
+  CT<int32_t> bands;
+  Buffer<uint8_t> cells;
+  DPS_IDENTIFY(LifeWorldToken);
+};
+
+class LifeBandToken : public ComplexToken {
+ public:
+  CT<uint64_t> world;
+  CT<int32_t> worker;       ///< destination band index
+  CT<int32_t> row0;         ///< global row of the band's first row
+  CT<int32_t> rows;
+  CT<int32_t> cols;
+  CT<int32_t> total_bands;
+  Buffer<uint8_t> cells;
+  DPS_IDENTIFY(LifeBandToken);
+};
+
+class LifeAckToken : public SimpleToken {
+ public:
+  int32_t worker;
+  LifeAckToken(int32_t w = 0) : worker(w) {}
+  DPS_IDENTIFY(LifeAckToken);
+};
+
+/// One iteration request. sim_cell_rate > 0 switches to synthetic compute:
+/// the per-cell cost is charged to the virtual clock and the band is copied
+/// unchanged (used by the Figure 9 / Table 2 benchmarks).
+class LifeIterToken : public SimpleToken {
+ public:
+  int32_t iter;
+  int32_t bands;
+  double sim_cell_rate;
+  LifeIterToken(int32_t i = 0, int32_t b = 0, double r = 0)
+      : iter(i), bands(b), sim_cell_rate(r) {}
+  DPS_IDENTIFY(LifeIterToken);
+};
+
+class LifeBorderPhaseToken : public SimpleToken {
+ public:
+  int32_t worker;
+  int32_t iter;
+  int32_t bands;
+  double sim_cell_rate;
+  LifeBorderPhaseToken(int32_t w = 0, int32_t i = 0, int32_t b = 0,
+                       double r = 0)
+      : worker(w), iter(i), bands(b), sim_cell_rate(r) {}
+  DPS_IDENTIFY(LifeBorderPhaseToken);
+};
+
+class LifeInteriorToken : public SimpleToken {
+ public:
+  int32_t worker;
+  int32_t iter;
+  double sim_cell_rate;
+  LifeInteriorToken(int32_t w = 0, int32_t i = 0, double r = 0)
+      : worker(w), iter(i), sim_cell_rate(r) {}
+  DPS_IDENTIFY(LifeInteriorToken);
+};
+
+class LifeBorderRequestToken : public SimpleToken {
+ public:
+  int32_t requester;
+  int32_t owner;  ///< routes the request; owner == requester is the
+                  ///< single-band dummy
+  int32_t iter;
+  LifeBorderRequestToken(int32_t r = 0, int32_t o = 0, int32_t i = 0)
+      : requester(r), owner(o), iter(i) {}
+  DPS_IDENTIFY(LifeBorderRequestToken);
+};
+
+class LifeBorderDataToken : public ComplexToken {
+ public:
+  CT<int32_t> requester;  ///< routes the reply
+  CT<int32_t> owner;
+  CT<int32_t> iter;
+  Buffer<uint8_t> row;
+  DPS_IDENTIFY(LifeBorderDataToken);
+};
+
+class LifeSyncToken : public SimpleToken {
+ public:
+  int32_t worker;
+  LifeSyncToken(int32_t w = 0) : worker(w) {}
+  DPS_IDENTIFY(LifeSyncToken);
+};
+
+class LifePhaseDoneToken : public SimpleToken {
+ public:
+  int32_t iter;
+  int32_t bands;
+  double sim_cell_rate;
+  LifePhaseDoneToken(int32_t i = 0, int32_t b = 0, double r = 0)
+      : iter(i), bands(b), sim_cell_rate(r) {}
+  DPS_IDENTIFY(LifePhaseDoneToken);
+};
+
+class LifeComputeToken : public SimpleToken {
+ public:
+  int32_t worker;
+  int32_t iter;
+  double sim_cell_rate;
+  LifeComputeToken(int32_t w = 0, int32_t i = 0, double r = 0)
+      : worker(w), iter(i), sim_cell_rate(r) {}
+  DPS_IDENTIFY(LifeComputeToken);
+};
+
+class LifePartDoneToken : public SimpleToken {
+ public:
+  int32_t worker;
+  LifePartDoneToken(int32_t w = 0) : worker(w) {}
+  DPS_IDENTIFY(LifePartDoneToken);
+};
+
+class LifeIterDoneToken : public SimpleToken {
+ public:
+  int32_t iter;
+  LifeIterDoneToken(int32_t i = 0) : iter(i) {}
+  DPS_IDENTIFY(LifeIterDoneToken);
+};
+
+class LifeGatherToken : public SimpleToken {
+ public:
+  int32_t bands;
+  LifeGatherToken(int32_t b = 0) : bands(b) {}
+  DPS_IDENTIFY(LifeGatherToken);
+};
+
+// Read service (Fig. 10 / Table 2).
+class LifeReadRequestToken : public SimpleToken {
+ public:
+  int32_t x, y, w, h;
+  int32_t rows, cols, bands;  ///< world geometry (the client knows it)
+  uint64_t world;             ///< which stored world to read (see LifeApp)
+  LifeReadRequestToken(int32_t x_ = 0, int32_t y_ = 0, int32_t w_ = 0,
+                       int32_t h_ = 0, int32_t rows_ = 0, int32_t cols_ = 0,
+                       int32_t bands_ = 0, uint64_t world_ = 0)
+      : x(x_), y(y_), w(w_), h(h_), rows(rows_), cols(cols_), bands(bands_),
+        world(world_) {}
+  DPS_IDENTIFY(LifeReadRequestToken);
+};
+
+class LifeReadPartToken : public SimpleToken {
+ public:
+  int32_t worker;
+  int32_t x, y, w, h;  ///< global sub-rectangle this band must provide
+  uint64_t world;
+  LifeReadPartToken(int32_t wk = 0, int32_t x_ = 0, int32_t y_ = 0,
+                    int32_t w_ = 0, int32_t h_ = 0, uint64_t world_ = 0)
+      : worker(wk), x(x_), y(y_), w(w_), h(h_), world(world_) {}
+  DPS_IDENTIFY(LifeReadPartToken);
+};
+
+class LifeReadPartDataToken : public ComplexToken {
+ public:
+  CT<int32_t> x, y, w, h;
+  Buffer<uint8_t> cells;
+  DPS_IDENTIFY(LifeReadPartDataToken);
+};
+
+class LifeSubsetToken : public ComplexToken {
+ public:
+  CT<int32_t> x, y, w, h;
+  Buffer<uint8_t> cells;
+  DPS_IDENTIFY(LifeSubsetToken);
+};
+
+// --- Threads -----------------------------------------------------------------
+
+class LifeMasterThread : public Thread {
+ public:
+  // Current-iteration parameters, written by the iteration split and read
+  // by the global-sync merge and compute split (all three execute on this
+  // one master thread).
+  int32_t iter = 0;
+  int32_t bands = 0;
+  double sim_cell_rate = 0;
+  DPS_IDENTIFY_THREAD(LifeMasterThread);
+};
+
+class LifeWorkerThread : public Thread, public Checkpointable {
+ public:
+  life::Band buf[2];          ///< parity double buffer
+  std::atomic<int> active{0}; ///< buffer readers should use (release/acquire:
+                              ///< publishing a flip makes the writes to the
+                              ///< new buffer visible to reader threads)
+  int row0 = 0;               ///< global row of this band's first row
+  int band_index = 0;
+  int total_bands = 1;
+  uint64_t world_id = 0;      ///< registry key of the stored world
+  double sim_rate = 0;        ///< current iteration's synthetic rate
+  std::vector<uint8_t> border_above, border_below;  ///< current iteration
+  int parts_done = 0;         ///< improved graph: interior + borders
+  /// Guards structural changes (re-scatter) against concurrent readers.
+  std::shared_mutex struct_mu;
+  DPS_IDENTIFY_THREAD(LifeWorkerThread);
+
+ public:
+  ~LifeWorkerThread() override {
+    if (world_id != 0) LifeBandRegistry::instance().remove(world_id, band_index);
+  }
+
+  /// Called by both halves of the improved iteration once they finish; the
+  /// second one publishes the new buffer.
+  void part_finished(int iter) {
+    if (++parts_done == 2) {
+      parts_done = 0;
+      active.store((iter + 1) % 2, std::memory_order_release);
+    }
+  }
+
+  // --- Checkpointable (paper §6 future work: graceful degradation) ---------
+  void checkpoint(Writer& w) const override {
+    const life::Band& b = buf[active.load(std::memory_order_acquire)];
+    w.put<int32_t>(b.rows());
+    w.put<int32_t>(b.cols());
+    w.put_bytes(b.cells().data(), b.cells().size());
+    w.put<int32_t>(row0);
+    w.put<int32_t>(band_index);
+    w.put<int32_t>(total_bands);
+    w.put<uint64_t>(world_id);
+  }
+
+  void restore(Reader& r) override {
+    std::unique_lock<std::shared_mutex> lock(struct_mu);
+    if (world_id != 0) {
+      LifeBandRegistry::instance().remove(world_id, band_index);
+    }
+    const int32_t rows = r.get<int32_t>();
+    const int32_t cols = r.get<int32_t>();
+    buf[0] = life::Band(rows, cols);
+    uint32_t len = 0;
+    const std::byte* cells = r.get_bytes(&len);
+    DPS_CHECK(len == buf[0].cells().size(), "checkpoint band size mismatch");
+    std::memcpy(buf[0].cells().data(), cells, len);
+    buf[1] = buf[0];
+    active.store(0, std::memory_order_release);
+    row0 = r.get<int32_t>();
+    band_index = r.get<int32_t>();
+    total_bands = r.get<int32_t>();
+    world_id = r.get<uint64_t>();
+    parts_done = 0;
+    lock.unlock();
+    if (world_id != 0) {
+      LifeBandRegistry::instance().add(world_id, band_index, this);
+    }
+  }
+};
+
+/// Threads of the read service, co-located with the workers; they reach
+/// the band state through LifeBandRegistry so service calls overlap the
+/// workers' compute (the node's second processor, in the paper's terms).
+class LifeReaderThread : public Thread {
+  DPS_IDENTIFY_THREAD(LifeReaderThread);
+};
+
+// --- Routes ------------------------------------------------------------------
+
+DPS_ROUTE(LifeMasterWorldRoute, LifeMasterThread, LifeWorldToken, 0);
+DPS_ROUTE(LifeMasterAckRoute, LifeMasterThread, LifeAckToken, 0);
+DPS_ROUTE(LifeMasterIterRoute, LifeMasterThread, LifeIterToken, 0);
+DPS_ROUTE(LifeMasterSyncRoute, LifeMasterThread, LifeSyncToken, 0);
+DPS_ROUTE(LifeMasterPhaseRoute, LifeMasterThread, LifePhaseDoneToken, 0);
+DPS_ROUTE(LifeMasterPartRoute, LifeMasterThread, LifePartDoneToken, 0);
+DPS_ROUTE(LifeMasterGatherRoute, LifeMasterThread, LifeGatherToken, 0);
+DPS_ROUTE(LifeMasterBandRoute, LifeMasterThread, LifeBandToken, 0);
+DPS_ROUTE(LifeMasterReadRoute, LifeMasterThread, LifeReadRequestToken, 0);
+DPS_ROUTE(LifeMasterReadDataRoute, LifeMasterThread, LifeReadPartDataToken, 0);
+
+DPS_ROUTE(LifeWorkerBandRoute, LifeWorkerThread, LifeBandToken,
+          currentToken->worker.get() % threadCount());
+DPS_ROUTE(LifeWorkerPhaseRoute, LifeWorkerThread, LifeBorderPhaseToken,
+          currentToken->worker % threadCount());
+DPS_ROUTE(LifeWorkerInteriorRoute, LifeWorkerThread, LifeInteriorToken,
+          currentToken->worker % threadCount());
+DPS_ROUTE(LifeWorkerRequestRoute, LifeWorkerThread, LifeBorderRequestToken,
+          currentToken->owner % threadCount());
+DPS_ROUTE(LifeWorkerDataRoute, LifeWorkerThread, LifeBorderDataToken,
+          currentToken->requester.get() % threadCount());
+DPS_ROUTE(LifeWorkerComputeRoute, LifeWorkerThread, LifeComputeToken,
+          currentToken->worker % threadCount());
+DPS_ROUTE(LifeWorkerGatherRoute, LifeWorkerThread, LifeAckToken,
+          currentToken->worker % threadCount());
+DPS_ROUTE(LifeReaderPartRoute, LifeReaderThread, LifeReadPartToken,
+          currentToken->worker % threadCount());
+
+// --- Scatter graph -----------------------------------------------------------
+
+class LifeScatterSplit
+    : public SplitOperation<LifeMasterThread, TV1(LifeWorldToken),
+                            TV1(LifeBandToken)> {
+ public:
+  void execute(LifeWorldToken* in) override {
+    life::Band world(in->rows.get(), in->cols.get());
+    world.cells().assign(in->cells.begin(), in->cells.end());
+    auto parts = life::split_world(world, in->bands.get());
+    int row0 = 0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      auto* t = new LifeBandToken();
+      t->world = in->world.get();
+      t->worker = static_cast<int32_t>(i);
+      t->row0 = row0;
+      t->rows = parts[i].rows();
+      t->cols = parts[i].cols();
+      t->total_bands = in->bands.get();
+      t->cells.assign(parts[i].cells().data(),
+                      parts[i].cells().data() + parts[i].cells().size());
+      row0 += parts[i].rows();
+      postToken(t);
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeScatterSplit);
+};
+
+class LifeStoreBand
+    : public LeafOperation<LifeWorkerThread, TV1(LifeBandToken),
+                           TV1(LifeAckToken)> {
+ public:
+  void execute(LifeBandToken* in) override {
+    LifeWorkerThread* st = thread();
+    {
+      std::unique_lock<std::shared_mutex> lock(st->struct_mu);
+      if (st->world_id != 0) {
+        LifeBandRegistry::instance().remove(st->world_id, st->band_index);
+      }
+      st->buf[0] = life::Band(in->rows.get(), in->cols.get());
+      st->buf[0].cells().assign(in->cells.begin(), in->cells.end());
+      st->buf[1] = st->buf[0];
+      st->active.store(0, std::memory_order_release);
+      st->row0 = in->row0.get();
+      st->band_index = in->worker.get();
+      st->total_bands = in->total_bands.get();
+      st->parts_done = 0;
+      st->world_id = in->world.get();
+    }
+    LifeBandRegistry::instance().add(in->world.get(), in->worker.get(), st);
+    postToken(new LifeAckToken(in->worker.get()));
+  }
+  DPS_IDENTIFY_OPERATION(LifeStoreBand);
+};
+
+class LifeScatterMerge
+    : public MergeOperation<LifeMasterThread, TV1(LifeAckToken),
+                            TV1(LifeAckToken)> {
+ public:
+  void execute(LifeAckToken* first) override {
+    int n = 1;
+    (void)first;
+    while (waitForNextToken()) ++n;
+    postToken(new LifeAckToken(n));
+  }
+  DPS_IDENTIFY_OPERATION(LifeScatterMerge);
+};
+
+// --- Border exchange (shared by both iteration graphs) ------------------------
+
+class LifeBorderSplit
+    : public SplitOperation<LifeWorkerThread, TV1(LifeBorderPhaseToken),
+                            TV1(LifeBorderRequestToken)> {
+ public:
+  void execute(LifeBorderPhaseToken* in) override {
+    const int w = in->worker;
+    const int bands = in->bands;
+    // Record the iteration's compute mode for the border-collection merge,
+    // which runs strictly after this split on the same worker thread.
+    thread()->sim_rate = in->sim_cell_rate;
+    if (bands == 1) {
+      // Single band: a self-request keeps the construct non-empty; the
+      // reply carries an empty row (dead world edge).
+      postToken(new LifeBorderRequestToken(w, w, in->iter));
+      return;
+    }
+    if (w > 0) postToken(new LifeBorderRequestToken(w, w - 1, in->iter));
+    if (w < bands - 1) {
+      postToken(new LifeBorderRequestToken(w, w + 1, in->iter));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeBorderSplit);
+};
+
+class LifeServeBorder
+    : public LeafOperation<LifeWorkerThread, TV1(LifeBorderRequestToken),
+                           TV1(LifeBorderDataToken)> {
+ public:
+  void execute(LifeBorderRequestToken* in) override {
+    LifeWorkerThread* st = thread();
+    auto* out = new LifeBorderDataToken();
+    out->requester = in->requester;
+    out->owner = in->owner;
+    out->iter = in->iter;
+    const life::Band& cur = st->buf[in->iter % 2];  // stable during iteration t
+    if (in->owner < in->requester) {
+      const auto row = cur.row(cur.rows() - 1);  // we are above: last row
+      out->row.assign(row.data(), row.data() + row.size());
+    } else if (in->owner > in->requester) {
+      const auto row = cur.row(0);  // we are below: first row
+      out->row.assign(row.data(), row.data() + row.size());
+    }
+    // owner == requester: dummy, empty row.
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(LifeServeBorder);
+};
+
+// --- Simple iteration graph (Fig. 7) ------------------------------------------
+
+class LifeIterSplit
+    : public SplitOperation<LifeMasterThread, TV1(LifeIterToken),
+                            TV1(LifeBorderPhaseToken)> {
+ public:
+  void execute(LifeIterToken* in) override {
+    // Park the iteration parameters in the master thread's state for the
+    // global-sync stage (same single-instance master thread).
+    thread()->iter = in->iter;
+    thread()->bands = in->bands;
+    thread()->sim_cell_rate = in->sim_cell_rate;
+    for (int w = 0; w < in->bands; ++w) {
+      postToken(
+          new LifeBorderPhaseToken(w, in->iter, in->bands, in->sim_cell_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeIterSplit);
+};
+
+/// Fig. 7 step (4): collect this worker's borders, then signal the global
+/// synchronization.
+class LifeCollectBordersSync
+    : public MergeOperation<LifeWorkerThread, TV1(LifeBorderDataToken),
+                            TV1(LifeSyncToken)> {
+ public:
+  void execute(LifeBorderDataToken* first) override {
+    LifeWorkerThread* st = thread();
+    st->border_above.clear();
+    st->border_below.clear();
+    Ptr<LifeBorderDataToken> cur(first);
+    for (;;) {
+      if (cur->owner.get() < cur->requester.get()) {
+        st->border_above.assign(cur->row.begin(), cur->row.end());
+      } else if (cur->owner.get() > cur->requester.get()) {
+        st->border_below.assign(cur->row.begin(), cur->row.end());
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<LifeBorderDataToken>(t);
+    }
+    postToken(new LifeSyncToken(st->band_index));
+  }
+  DPS_IDENTIFY_OPERATION(LifeCollectBordersSync);
+};
+
+/// Fig. 7 step (5): global synchronization — all borders exchanged.
+class LifeGlobalSync
+    : public MergeOperation<LifeMasterThread, TV1(LifeSyncToken),
+                            TV1(LifePhaseDoneToken)> {
+ public:
+  void execute(LifeSyncToken* first) override {
+    (void)first;
+    while (waitForNextToken()) {
+    }
+    // Iteration parameters were parked in the master thread's state by
+    // LifeIterSplit, which ran earlier on this same thread.
+    LifeMasterThread* st = thread();
+    postToken(new LifePhaseDoneToken(st->iter, st->bands, st->sim_cell_rate));
+  }
+  DPS_IDENTIFY_OPERATION(LifeGlobalSync);
+};
+
+class LifeComputeSplit
+    : public SplitOperation<LifeMasterThread, TV1(LifePhaseDoneToken),
+                            TV1(LifeComputeToken)> {
+ public:
+  void execute(LifePhaseDoneToken* in) override {
+    for (int w = 0; w < in->bands; ++w) {
+      postToken(new LifeComputeToken(w, in->iter, in->sim_cell_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeComputeSplit);
+};
+
+class LifeComputeBand
+    : public LeafOperation<LifeWorkerThread, TV1(LifeComputeToken),
+                           TV1(LifePartDoneToken)> {
+ public:
+  void execute(LifeComputeToken* in) override {
+    LifeWorkerThread* st = thread();
+    const int cur = in->iter % 2;
+    const int nxt = (in->iter + 1) % 2;
+    if (in->sim_cell_rate > 0) {
+      charge(life::step_cost_cells(st->buf[cur].rows(), st->buf[cur].cols()) /
+             in->sim_cell_rate);
+      st->buf[nxt] = st->buf[cur];
+    } else {
+      st->buf[nxt] =
+          life::step_band(st->buf[cur], st->border_above, st->border_below);
+    }
+    st->active.store(nxt, std::memory_order_release);
+    postToken(new LifePartDoneToken(st->band_index));
+  }
+  DPS_IDENTIFY_OPERATION(LifeComputeBand);
+};
+
+class LifeFinalMerge
+    : public MergeOperation<LifeMasterThread, TV1(LifePartDoneToken),
+                            TV1(LifeIterDoneToken)> {
+ public:
+  void execute(LifePartDoneToken* first) override {
+    (void)first;
+    while (waitForNextToken()) {
+    }
+    postToken(new LifeIterDoneToken());
+  }
+  DPS_IDENTIFY_OPERATION(LifeFinalMerge);
+};
+
+// --- Improved iteration graph (Fig. 8) ----------------------------------------
+
+class LifeIterSplitImproved
+    : public SplitOperation<LifeMasterThread, TV1(LifeIterToken),
+                            TV2(LifeBorderPhaseToken, LifeInteriorToken)> {
+ public:
+  void execute(LifeIterToken* in) override {
+    for (int w = 0; w < in->bands; ++w) {
+      postToken(
+          new LifeBorderPhaseToken(w, in->iter, in->bands, in->sim_cell_rate));
+      postToken(new LifeInteriorToken(w, in->iter, in->sim_cell_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeIterSplitImproved);
+};
+
+/// Fig. 8 step (6): interior compute, overlapped with the border exchange.
+class LifeInteriorCompute
+    : public LeafOperation<LifeWorkerThread, TV1(LifeInteriorToken),
+                           TV1(LifePartDoneToken)> {
+ public:
+  void execute(LifeInteriorToken* in) override {
+    LifeWorkerThread* st = thread();
+    const int cur = in->iter % 2;
+    const int nxt = (in->iter + 1) % 2;
+    const life::Band& b = st->buf[cur];
+    if (in->sim_cell_rate > 0) {
+      const int interior_rows = std::max(0, b.rows() - 2);
+      charge(life::step_cost_cells(interior_rows, b.cols()) /
+             in->sim_cell_rate);
+      st->buf[nxt] = b;
+    } else {
+      life::Band stepped = life::step_interior(b);
+      // Write only the interior rows: the border half owns rows 0 and h-1.
+      for (int r = 1; r < b.rows() - 1; ++r) {
+        st->buf[nxt].set_row(r, stepped.row(r));
+      }
+    }
+    st->part_finished(in->iter);
+    postToken(new LifePartDoneToken(st->band_index));
+  }
+  DPS_IDENTIFY_OPERATION(LifeInteriorCompute);
+};
+
+/// Fig. 8 steps (4)+(5): collect borders, then compute the border rows.
+class LifeCollectBordersCompute
+    : public MergeOperation<LifeWorkerThread, TV1(LifeBorderDataToken),
+                            TV1(LifePartDoneToken)> {
+ public:
+  void execute(LifeBorderDataToken* first) override {
+    LifeWorkerThread* st = thread();
+    st->border_above.clear();
+    st->border_below.clear();
+    int iter = first->iter.get();
+    Ptr<LifeBorderDataToken> cur(first);
+    for (;;) {
+      if (cur->owner.get() < cur->requester.get()) {
+        st->border_above.assign(cur->row.begin(), cur->row.end());
+      } else if (cur->owner.get() > cur->requester.get()) {
+        st->border_below.assign(cur->row.begin(), cur->row.end());
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<LifeBorderDataToken>(t);
+    }
+    const int c = iter % 2;
+    const int nxt = (iter + 1) % 2;
+    // Synthetic runs copy the band in the interior half; the border rows'
+    // cost is negligible, so only the real mode computes here. sim_rate was
+    // recorded by LifeBorderSplit earlier on this worker thread.
+    if (st->buf[c].rows() > 0 && st->sim_rate <= 0) {
+      life::step_borders(st->buf[c], st->border_above, st->border_below,
+                         st->buf[nxt]);
+    }
+    st->part_finished(iter);
+    postToken(new LifePartDoneToken(st->band_index));
+  }
+  DPS_IDENTIFY_OPERATION(LifeCollectBordersCompute);
+};
+
+// --- Gather graph --------------------------------------------------------------
+
+class LifeGatherSplit
+    : public SplitOperation<LifeMasterThread, TV1(LifeGatherToken),
+                            TV1(LifeAckToken)> {
+ public:
+  void execute(LifeGatherToken* in) override {
+    for (int w = 0; w < in->bands; ++w) postToken(new LifeAckToken(w));
+  }
+  DPS_IDENTIFY_OPERATION(LifeGatherSplit);
+};
+
+class LifeLoadBand
+    : public LeafOperation<LifeWorkerThread, TV1(LifeAckToken),
+                           TV1(LifeBandToken)> {
+ public:
+  void execute(LifeAckToken* in) override {
+    LifeWorkerThread* st = thread();
+    const life::Band& b = st->buf[st->active.load(std::memory_order_acquire)];
+    auto* t = new LifeBandToken();
+    t->worker = in->worker;
+    t->row0 = st->row0;
+    t->rows = b.rows();
+    t->cols = b.cols();
+    t->total_bands = st->total_bands;
+    t->cells.assign(b.cells().data(), b.cells().data() + b.cells().size());
+    postToken(t);
+  }
+  DPS_IDENTIFY_OPERATION(LifeLoadBand);
+};
+
+class LifeGatherMerge
+    : public MergeOperation<LifeMasterThread, TV1(LifeBandToken),
+                            TV1(LifeWorldToken)> {
+ public:
+  void execute(LifeBandToken* first) override {
+    std::vector<Ptr<LifeBandToken>> parts;
+    parts.push_back(Ptr<LifeBandToken>(first));
+    while (auto t = waitForNextToken()) {
+      parts.push_back(token_cast<LifeBandToken>(t));
+    }
+    std::sort(parts.begin(), parts.end(),
+              [](const Ptr<LifeBandToken>& a, const Ptr<LifeBandToken>& b) {
+                return a->row0.get() < b->row0.get();
+              });
+    auto* world = new LifeWorldToken();
+    int rows = 0;
+    for (auto& p : parts) rows += p->rows.get();
+    world->rows = rows;
+    world->cols = parts.front()->cols.get();
+    world->bands = static_cast<int32_t>(parts.size());
+    world->cells.resize(static_cast<size_t>(rows) * world->cols.get());
+    size_t offset = 0;
+    for (auto& p : parts) {
+      std::copy(p->cells.begin(), p->cells.end(),
+                world->cells.data() + offset);
+      offset += p->cells.size();
+    }
+    postToken(world);
+  }
+  DPS_IDENTIFY_OPERATION(LifeGatherMerge);
+};
+
+// --- Read-subset service (Fig. 10) ---------------------------------------------
+
+class LifeReadSplit
+    : public SplitOperation<LifeMasterThread, TV1(LifeReadRequestToken),
+                            TV1(LifeReadPartToken)> {
+ public:
+  void execute(LifeReadRequestToken* in) override {
+    // Band geometry must match life::split_world: heights differ by <= 1.
+    const int base = in->rows / in->bands;
+    const int extra = in->rows % in->bands;
+    int row0 = 0;
+    bool posted = false;
+    for (int b = 0; b < in->bands; ++b) {
+      const int h = base + (b < extra ? 1 : 0);
+      const int lo = std::max(in->y, row0);
+      const int hi = std::min(in->y + in->h, row0 + h);
+      if (lo < hi) {
+        postToken(new LifeReadPartToken(b, in->x, lo, in->w, hi - lo, in->world));
+        posted = true;
+      }
+      row0 += h;
+    }
+    if (!posted) {
+      raise(Errc::kInvalidArgument,
+            "read request does not intersect the world");
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LifeReadSplit);
+};
+
+class LifeReadBand
+    : public LeafOperation<LifeReaderThread, TV1(LifeReadPartToken),
+                           TV1(LifeReadPartDataToken)> {
+ public:
+  void execute(LifeReadPartToken* in) override {
+    // Reader threads live on the same node as their band's worker and
+    // reach its state through shared process memory (the registry): the
+    // read proceeds while the worker computes, which is what keeps Table
+    // 2's calls at millisecond scale during a one-second iteration.
+    LifeWorkerThread* st =
+        LifeBandRegistry::instance().find(in->world, in->worker);
+    if (st == nullptr) {
+      raise(Errc::kNotFound, "read of an unknown world instance");
+    }
+    // "The call time is divided into processing time (reading the world
+    // data from memory) and communication time" — model the extraction at
+    // ~20 MB/s (Table 2: ~100 ms of processing for a 400x2400 block on the
+    // paper's hardware). Runs on this node's CPU slots, so heavy read
+    // traffic competes with the simulation like it did on the cluster.
+    // Charged before taking the lock: never park an actor holding a mutex.
+    charge(static_cast<double>(in->w) * in->h * 5e-8);
+    std::shared_lock<std::shared_mutex> lock(st->struct_mu);
+    const life::Band& b = st->buf[st->active.load(std::memory_order_acquire)];
+    auto* out = new LifeReadPartDataToken();
+    out->x = in->x;
+    out->y = in->y;
+    out->w = in->w;
+    out->h = in->h;
+    out->cells.resize(static_cast<size_t>(in->w) * in->h);
+    for (int r = 0; r < in->h; ++r) {
+      for (int c = 0; c < in->w; ++c) {
+        out->cells[static_cast<size_t>(r) * in->w + c] =
+            b.at(in->y - st->row0 + r, in->x + c);
+      }
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(LifeReadBand);
+};
+
+class LifeReadMerge
+    : public MergeOperation<LifeMasterThread, TV1(LifeReadPartDataToken),
+                            TV1(LifeSubsetToken)> {
+ public:
+  void execute(LifeReadPartDataToken* first) override {
+    std::vector<Ptr<LifeReadPartDataToken>> parts;
+    parts.push_back(Ptr<LifeReadPartDataToken>(first));
+    while (auto t = waitForNextToken()) {
+      parts.push_back(token_cast<LifeReadPartDataToken>(t));
+    }
+    int y_min = parts.front()->y.get(), y_max = 0;
+    for (auto& p : parts) {
+      y_min = std::min(y_min, p->y.get());
+      y_max = std::max(y_max, p->y.get() + p->h.get());
+    }
+    auto* out = new LifeSubsetToken();
+    const int w = parts.front()->w.get();
+    out->x = parts.front()->x.get();
+    out->y = y_min;
+    out->w = w;
+    out->h = y_max - y_min;
+    out->cells.resize(static_cast<size_t>(w) * (y_max - y_min));
+    for (auto& p : parts) {
+      std::copy(p->cells.begin(), p->cells.end(),
+                out->cells.data() +
+                    static_cast<size_t>(p->y.get() - y_min) * w);
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(LifeReadMerge);
+};
+
+// --- Driver --------------------------------------------------------------------
+
+/// Owns the Life application's collections and graphs; used by examples,
+/// tests and benchmarks.
+class LifeApp {
+ public:
+  /// `bands` worker threads spread round-robin over all cluster nodes.
+  LifeApp(Cluster& cluster, int bands)
+      : app_(cluster, "game-of-life"), bands_(bands) {
+    auto master = app_.thread_collection<LifeMasterThread>("life-master");
+    master->map(cluster.node_name(0));
+    // The read service gets its own thread: its split/merge must overlap
+    // the iteration's master-side merges (Table 2's whole point is that
+    // visualization calls proceed while the simulation runs).
+    auto io = app_.thread_collection<LifeMasterThread>("life-io");
+    io->map(cluster.node_name(0));
+    auto workers = app_.thread_collection<LifeWorkerThread>("life-workers");
+    auto readers = app_.thread_collection<LifeReaderThread>("life-readers");
+    std::vector<std::string> nodes;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      nodes.push_back(cluster.node_name(static_cast<NodeId>(i)));
+    }
+    workers->map(round_robin_mapping(nodes, bands));
+    // Reader i shares node (and hence address space) with worker i.
+    readers->map(round_robin_mapping(nodes, bands));
+
+    scatter_ = app_.build_graph(
+        FlowgraphNode<LifeScatterSplit, LifeMasterWorldRoute>(master) >>
+            FlowgraphNode<LifeStoreBand, LifeWorkerBandRoute>(workers) >>
+            FlowgraphNode<LifeScatterMerge, LifeMasterAckRoute>(master),
+        "life-scatter");
+
+    simple_ = app_.build_graph(
+        FlowgraphNode<LifeIterSplit, LifeMasterIterRoute>(master) >>
+            FlowgraphNode<LifeBorderSplit, LifeWorkerPhaseRoute>(workers) >>
+            FlowgraphNode<LifeServeBorder, LifeWorkerRequestRoute>(workers) >>
+            FlowgraphNode<LifeCollectBordersSync, LifeWorkerDataRoute>(
+                workers) >>
+            FlowgraphNode<LifeGlobalSync, LifeMasterSyncRoute>(master) >>
+            FlowgraphNode<LifeComputeSplit, LifeMasterPhaseRoute>(master) >>
+            FlowgraphNode<LifeComputeBand, LifeWorkerComputeRoute>(workers) >>
+            FlowgraphNode<LifeFinalMerge, LifeMasterPartRoute>(master),
+        "life-simple");
+
+    {
+      FlowgraphNode<LifeIterSplitImproved, LifeMasterIterRoute> split(master);
+      FlowgraphNode<LifeInteriorCompute, LifeWorkerInteriorRoute> interior(
+          workers);
+      FlowgraphNode<LifeBorderSplit, LifeWorkerPhaseRoute> borders(workers);
+      FlowgraphNode<LifeServeBorder, LifeWorkerRequestRoute> serve(workers);
+      FlowgraphNode<LifeCollectBordersCompute, LifeWorkerDataRoute> collect(
+          workers);
+      FlowgraphNode<LifeFinalMerge, LifeMasterPartRoute> merge(master);
+      FlowgraphBuilder b = split >> interior >> merge;
+      b += split >> borders >> serve >> collect >> merge;
+      improved_ = app_.build_graph(b, "life-improved");
+    }
+
+    gather_ = app_.build_graph(
+        FlowgraphNode<LifeGatherSplit, LifeMasterGatherRoute>(master) >>
+            FlowgraphNode<LifeLoadBand, LifeWorkerGatherRoute>(workers) >>
+            FlowgraphNode<LifeGatherMerge, LifeMasterBandRoute>(master),
+        "life-gather");
+
+    read_ = app_.build_graph(
+        FlowgraphNode<LifeReadSplit, LifeMasterReadRoute>(io) >>
+            FlowgraphNode<LifeReadBand, LifeReaderPartRoute>(readers) >>
+            FlowgraphNode<LifeReadMerge, LifeMasterReadDataRoute>(io),
+        "life-read");
+  }
+
+  Application& app() { return app_; }
+  int bands() const { return bands_; }
+
+  void scatter(const life::Band& world) {
+    rows_ = world.rows();
+    cols_ = world.cols();
+    world_id_ = LifeBandRegistry::next_world_id();
+    auto* t = new LifeWorldToken();
+    t->world = world_id_;
+    t->rows = world.rows();
+    t->cols = world.cols();
+    t->bands = bands_;
+    t->cells.assign(world.cells().data(),
+                    world.cells().data() + world.cells().size());
+    auto ack = scatter_->call(t);
+    DPS_CHECK(ack.get() != nullptr, "scatter failed");
+    next_iter_ = 0;
+  }
+
+  /// Runs one iteration through the chosen graph; returns when the global
+  /// barrier (final merge) completes.
+  void iterate(bool improved, double sim_cell_rate = 0) {
+    auto* t = new LifeIterToken(next_iter_++, bands_, sim_cell_rate);
+    auto done = (improved ? improved_ : simple_)->call(t);
+    DPS_CHECK(done.get() != nullptr, "iteration failed");
+  }
+
+  life::Band gather() {
+    auto world =
+        token_cast<LifeWorldToken>(gather_->call(new LifeGatherToken(bands_)));
+    DPS_CHECK(world.get() != nullptr, "gather failed");
+    life::Band b(world->rows.get(), world->cols.get());
+    b.cells().assign(world->cells.begin(), world->cells.end());
+    return b;
+  }
+
+  Ptr<LifeSubsetToken> read(int x, int y, int w, int h) {
+    return token_cast<LifeSubsetToken>(read_->call(
+        new LifeReadRequestToken(x, y, w, h, rows_, cols_, bands_,
+                                 world_id_)));
+  }
+
+  /// Registry key of the scattered world; service clients put it into
+  /// their LifeReadRequestTokens.
+  uint64_t world_id() const { return world_id_; }
+
+  /// Publishes the read graph as the Fig. 10 parallel service.
+  void publish_read_service(const std::string& name) {
+    app_.publish_graph(read_, name);
+  }
+
+  std::shared_ptr<Flowgraph> read_graph() { return read_; }
+  std::shared_ptr<Flowgraph> iteration_graph(bool improved) {
+    return improved ? improved_ : simple_;
+  }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int next_iteration() const { return next_iter_; }
+
+ private:
+  Application app_;
+  int bands_;
+  int rows_ = 0, cols_ = 0;
+  int next_iter_ = 0;
+  uint64_t world_id_ = 0;
+  std::shared_ptr<Flowgraph> scatter_, simple_, improved_, gather_, read_;
+};
+
+}  // namespace dps::apps

@@ -1,0 +1,883 @@
+// Parallel block LU factorization with partial pivoting (paper, section 5,
+// Figures 11–15).
+//
+// The matrix is distributed "as columns of vertically adjacent blocks":
+// column thread c holds block column c (n x r doubles). The graph is built
+// dynamically to fit the number of block columns B = n/r — the paper's
+// showcase for dynamic graph construction. Per step k:
+//
+//   O_k  — stage opener on column thread k: factorizes panel k as soon as
+//          its own column's trailing update completes, then streams a
+//          triangular-solve request to each column c > k *as that column's
+//          update completes* and a row flip to each column c < k
+//          (Fig. 12 (a)/(e)/(f): "stream out trsm while other columns
+//          complete the multiplication");
+//   b_k  — trsm leaf on column c: apply the panel pivots, solve
+//          L11 * T12 = A(k,c), notify (Fig. 12 (b));
+//   C_k  — stream on column k: as each solve completes, immediately stream
+//          the trailing-update order for that column (Fig. 12 (c));
+//   d_k  — update leaf on column c: A(i,c) -= L21 * T12 for i > k, notify
+//          (Fig. 12 (d)); the notifications feed O_{k+1}.
+//
+// The final stage's flip notifications converge on a master merge
+// (Fig. 12 (g)). The *non-pipelined* variant of Fig. 15 replaces every
+// stream with a standard merge+split pair, so each stage waits for all of
+// its inputs before emitting anything.
+//
+// As with the other experiment apps, sim_rate > 0 switches the numeric
+// kernels to calibrated virtual-time charges (token sizes stay real).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "la/factor.hpp"
+#include "util/mapping.hpp"
+
+namespace dps::apps {
+
+// --- Tokens ------------------------------------------------------------------
+
+class LuMatrixToken : public ComplexToken {
+ public:
+  CT<int32_t> n;
+  CT<int32_t> r;
+  Buffer<double> a;        ///< n*n row-major
+  Buffer<int32_t> pivots;  ///< filled by gather: row swapped at each step
+  DPS_IDENTIFY(LuMatrixToken);
+};
+
+class LuColumnToken : public ComplexToken {
+ public:
+  CT<int32_t> c;
+  CT<int32_t> n;
+  CT<int32_t> r;
+  CT<int32_t> blocks;
+  Buffer<double> col;  ///< n x r row-major
+  DPS_IDENTIFY(LuColumnToken);
+};
+
+class LuColAckToken : public SimpleToken {
+ public:
+  int32_t c;
+  LuColAckToken(int32_t c_ = 0) : c(c_) {}
+  DPS_IDENTIFY(LuColAckToken);
+};
+
+class LuStartToken : public SimpleToken {
+ public:
+  int32_t n, r, blocks;
+  double sim_rate;
+  LuStartToken(int32_t n_ = 0, int32_t r_ = 0, int32_t b_ = 0, double s = 0)
+      : n(n_), r(r_), blocks(b_), sim_rate(s) {}
+  DPS_IDENTIFY(LuStartToken);
+};
+
+/// Panel broadcast (Fig. 12 (a)/(e)): sent to every right-hand column the
+/// moment the panel is factorized, so the (large) data transfer overlaps
+/// the columns' still-running trailing updates; the (tiny) solve order
+/// follows once a column's own update completes.
+class LuTrsmRequest : public ComplexToken {
+ public:
+  CT<int32_t> step;
+  CT<int32_t> target;
+  CT<double> sim_rate;
+  Buffer<double> panel;    ///< (n - step*r) x r, L11/U11 with L21 below
+  Buffer<int32_t> pivots;  ///< r entries, relative to the panel top
+  DPS_IDENTIFY(LuTrsmRequest);
+};
+
+/// Acknowledges a stored panel (counted by the stage collector).
+class LuPanelStored : public SimpleToken {
+ public:
+  int32_t step, c;
+  LuPanelStored(int32_t s = 0, int32_t c_ = 0) : step(s), c(c_) {}
+  DPS_IDENTIFY(LuPanelStored);
+};
+
+/// Solve order: column c's data is up to date, run the triangular solve.
+class LuTrsmOrder : public SimpleToken {
+ public:
+  int32_t step, c;
+  double sim_rate;
+  LuTrsmOrder(int32_t s = 0, int32_t c_ = 0, double r = 0)
+      : step(s), c(c_), sim_rate(r) {}
+  DPS_IDENTIFY(LuTrsmOrder);
+};
+
+class LuTrsmDone : public SimpleToken {
+ public:
+  int32_t step, c;
+  LuTrsmDone(int32_t s = 0, int32_t c_ = 0) : step(s), c(c_) {}
+  DPS_IDENTIFY(LuTrsmDone);
+};
+
+class LuMultOrder : public SimpleToken {
+ public:
+  int32_t step, c;
+  double sim_rate;
+  LuMultOrder(int32_t s = 0, int32_t c_ = 0, double r = 0)
+      : step(s), c(c_), sim_rate(r) {}
+  DPS_IDENTIFY(LuMultOrder);
+};
+
+class LuMultDone : public SimpleToken {
+ public:
+  int32_t step, c;
+  LuMultDone(int32_t s = 0, int32_t c_ = 0) : step(s), c(c_) {}
+  DPS_IDENTIFY(LuMultDone);
+};
+
+/// Row-flip request to an already-factorized column (Fig. 12 (f)).
+class LuRowFlip : public ComplexToken {
+ public:
+  CT<int32_t> step;
+  CT<int32_t> target;
+  Buffer<int32_t> pivots;
+  DPS_IDENTIFY(LuRowFlip);
+};
+
+class LuFlipDone : public SimpleToken {
+ public:
+  int32_t step, c;
+  LuFlipDone(int32_t s = 0, int32_t c_ = 0) : step(s), c(c_) {}
+  DPS_IDENTIFY(LuFlipDone);
+};
+
+/// Bridge token between the non-pipelined merge+split stage halves.
+class LuStageToken : public SimpleToken {
+ public:
+  int32_t step;
+  double sim_rate;
+  LuStageToken(int32_t s = 0, double r = 0) : step(s), sim_rate(r) {}
+  DPS_IDENTIFY(LuStageToken);
+};
+
+class LuDoneToken : public SimpleToken {
+ public:
+  int32_t blocks;
+  LuDoneToken(int32_t b = 0) : blocks(b) {}
+  DPS_IDENTIFY(LuDoneToken);
+};
+
+class LuGatherToken : public SimpleToken {
+ public:
+  int32_t blocks;
+  LuGatherToken(int32_t b = 0) : blocks(b) {}
+  DPS_IDENTIFY(LuGatherToken);
+};
+
+class LuColumnResult : public ComplexToken {
+ public:
+  CT<int32_t> c;
+  CT<int32_t> n;
+  CT<int32_t> r;
+  Buffer<double> col;
+  Buffer<int32_t> pivots;  ///< this column's panel pivots (absolute rows)
+  DPS_IDENTIFY(LuColumnResult);
+};
+
+// --- Threads -----------------------------------------------------------------
+
+class LuMasterThread : public Thread {
+  DPS_IDENTIFY_THREAD(LuMasterThread);
+};
+
+class LuColumnThread : public Thread {
+ public:
+  la::Matrix col;  ///< this thread's block column (n x r)
+  int c = 0, n = 0, r = 0, blocks = 0;
+  /// Received panels, keyed by step: with eager broadcasting, step k+1's
+  /// panel can arrive before this column finished its step-k update, so a
+  /// single slot would be clobbered. Erased after the step's update.
+  struct Panel {
+    la::Matrix l;
+    std::vector<int> piv;
+  };
+  std::map<int, Panel> panels;
+  la::Matrix panel;  ///< this thread's own factorization (stage opener)
+  std::vector<int> panel_piv;
+  int panel_step = -1;
+  std::vector<int32_t> my_piv;  ///< pivots of this column's own panel (abs)
+  double last_rate = 0;         ///< sim_rate of the current run
+  DPS_IDENTIFY_THREAD(LuColumnThread);
+};
+
+// --- Routes ------------------------------------------------------------------
+
+DPS_ROUTE(LuMasterMatrixRoute, LuMasterThread, LuMatrixToken, 0);
+DPS_ROUTE(LuMasterAckRoute, LuMasterThread, LuColAckToken, 0);
+DPS_ROUTE(LuMasterGatherRoute, LuMasterThread, LuGatherToken, 0);
+DPS_ROUTE(LuMasterResultRoute, LuMasterThread, LuColumnResult, 0);
+DPS_ROUTE(LuMasterFlipDoneRoute, LuMasterThread, LuFlipDone, 0);
+
+DPS_ROUTE(LuColStartRoute, LuColumnThread, LuStartToken, 0);
+
+/// Wildcard route for the stage collectors, which receive both solve and
+/// flip notifications of one step (both go to the step's column thread).
+class LuStageDoneRoute : public Route<LuColumnThread, Token> {
+ public:
+  int route(Token* t) override {
+    if (auto* d = dynamic_cast<LuTrsmDone*>(t)) {
+      return d->step % threadCount();
+    }
+    if (auto* p = dynamic_cast<LuPanelStored*>(t)) {
+      return p->step % threadCount();
+    }
+    if (auto* f = dynamic_cast<LuFlipDone*>(t)) {
+      return f->step % threadCount();
+    }
+    raise(Errc::kTypeMismatch, "unexpected token at a LU stage collector");
+  }
+  DPS_IDENTIFY_ROUTE(LuStageDoneRoute);
+};
+DPS_ROUTE(LuColColumnRoute, LuColumnThread, LuColumnToken,
+          currentToken->c.get() % threadCount());
+DPS_ROUTE(LuColTrsmRoute, LuColumnThread, LuTrsmRequest,
+          currentToken->target.get() % threadCount());
+DPS_ROUTE(LuColTrsmDoneRoute, LuColumnThread, LuTrsmDone,
+          currentToken->step % threadCount());
+DPS_ROUTE(LuColTrsmOrderRoute, LuColumnThread, LuTrsmOrder,
+          currentToken->c % threadCount());
+DPS_ROUTE(LuColOrderRoute, LuColumnThread, LuMultOrder,
+          currentToken->c % threadCount());
+DPS_ROUTE(LuColMultDoneRoute, LuColumnThread, LuMultDone,
+          (currentToken->step + 1) % threadCount());
+DPS_ROUTE(LuColFlipRoute, LuColumnThread, LuRowFlip,
+          currentToken->target.get() % threadCount());
+DPS_ROUTE(LuColFlipDoneRoute, LuColumnThread, LuFlipDone,
+          currentToken->step % threadCount());
+DPS_ROUTE(LuColStageRoute, LuColumnThread, LuStageToken,
+          currentToken->step % threadCount());
+DPS_ROUTE(LuColStageNextRoute, LuColumnThread, LuStageToken,
+          (currentToken->step + 1) % threadCount());
+DPS_ROUTE(LuColGatherReqRoute, LuColumnThread, LuColAckToken,
+          currentToken->c % threadCount());
+
+// --- Shared kernels ------------------------------------------------------------
+
+namespace lu_detail {
+
+inline double factor_flops(int m, int r) {
+  return static_cast<double>(m) * r * r;
+}
+inline double trsm_flops(int r) { return static_cast<double>(r) * r * r; }
+inline double mult_flops(int m, int r) {
+  return 2.0 * static_cast<double>(m) * r * r;
+}
+
+/// Factorizes the panel of `step` held in `st` (rows step*r..n of its
+/// column). Leaves the packed panel in st->panel / st->panel_piv and the
+/// absolute pivot rows in st->my_piv. Synthetic runs keep the data as is
+/// and use identity pivots.
+inline void factorize_panel(LuColumnThread* st, int step, double sim_rate) {
+  const int r = st->r;
+  const int top = step * r;
+  const int m = st->n - top;
+  la::Matrix panel =
+      st->col.block(static_cast<size_t>(top), 0, static_cast<size_t>(m),
+                    static_cast<size_t>(r));
+  std::vector<int> piv;
+  if (sim_rate > 0) {
+    piv.resize(static_cast<size_t>(r));
+    for (int j = 0; j < r; ++j) piv[static_cast<size_t>(j)] = j;
+  } else {
+    la::getrf_panel(panel, piv);
+    st->col.set_block(static_cast<size_t>(top), 0, panel);
+  }
+  st->panel = std::move(panel);
+  st->panel_piv = piv;
+  st->panel_step = step;
+  st->my_piv.clear();
+  for (int j = 0; j < r; ++j) {
+    st->my_piv.push_back(top + piv[static_cast<size_t>(j)]);
+  }
+  st->last_rate = sim_rate;
+}
+
+/// Emits the row flips of `step` to every already-factorized column.
+template <class Op>
+void post_row_flips(Op* op, LuColumnThread* st, int step) {
+  for (int c = 0; c < step; ++c) {
+    auto* flip = new LuRowFlip();
+    flip->step = step;
+    flip->target = c;
+    for (int p : st->panel_piv) flip->pivots.push_back(p);
+    op->postToken(flip);
+  }
+}
+
+/// Common body of the stage openers: charge and factorize panel `step`
+/// (its own column's updates have arrived), broadcast the panel to every
+/// right-hand column immediately — the large transfers overlap the other
+/// columns' still-running updates — and emit the row flips to the left.
+/// The solve *orders* (tiny) are posted by the caller, gated per column.
+template <class Op>
+void open_stage(Op* op, LuColumnThread* st, int step, double sim_rate) {
+  if (sim_rate > 0) {
+    op->charge(factor_flops(st->n - step * st->r, st->r) / sim_rate);
+  }
+  factorize_panel(st, step, sim_rate);
+  for (int c = step + 1; c < st->blocks; ++c) {
+    auto* req = new LuTrsmRequest();
+    req->step = step;
+    req->target = c;
+    req->sim_rate = sim_rate;
+    req->panel.assign(st->panel.data(), st->panel.data() + st->panel.size());
+    for (int p : st->panel_piv) req->pivots.push_back(p);
+    op->postToken(req);
+  }
+  post_row_flips(op, st, step);
+}
+
+}  // namespace lu_detail
+
+// --- Scatter / gather ------------------------------------------------------------
+
+class LuScatterSplit
+    : public SplitOperation<LuMasterThread, TV1(LuMatrixToken),
+                            TV1(LuColumnToken)> {
+ public:
+  void execute(LuMatrixToken* in) override {
+    const int n = in->n.get(), r = in->r.get();
+    const int blocks = n / r;
+    for (int c = 0; c < blocks; ++c) {
+      auto* t = new LuColumnToken();
+      t->c = c;
+      t->n = n;
+      t->r = r;
+      t->blocks = blocks;
+      t->col.resize(static_cast<size_t>(n) * r);
+      for (int row = 0; row < n; ++row) {
+        std::copy_n(in->a.data() + static_cast<size_t>(row) * n + c * r, r,
+                    t->col.data() + static_cast<size_t>(row) * r);
+      }
+      postToken(t);
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LuScatterSplit);
+};
+
+class LuStoreColumn
+    : public LeafOperation<LuColumnThread, TV1(LuColumnToken),
+                           TV1(LuColAckToken)> {
+ public:
+  void execute(LuColumnToken* in) override {
+    LuColumnThread* st = thread();
+    st->c = in->c.get();
+    st->n = in->n.get();
+    st->r = in->r.get();
+    st->blocks = in->blocks.get();
+    st->col =
+        la::Matrix(static_cast<size_t>(st->n), static_cast<size_t>(st->r));
+    std::copy_n(in->col.data(), in->col.size(), st->col.data());
+    st->panel_step = -1;
+    st->panels.clear();
+    st->my_piv.clear();
+    postToken(new LuColAckToken(st->c));
+  }
+  DPS_IDENTIFY_OPERATION(LuStoreColumn);
+};
+
+class LuScatterMerge
+    : public MergeOperation<LuMasterThread, TV1(LuColAckToken),
+                            TV1(LuColAckToken)> {
+ public:
+  void execute(LuColAckToken* first) override {
+    (void)first;
+    int count = 1;
+    while (waitForNextToken()) ++count;
+    postToken(new LuColAckToken(count));
+  }
+  DPS_IDENTIFY_OPERATION(LuScatterMerge);
+};
+
+class LuGatherSplit
+    : public SplitOperation<LuMasterThread, TV1(LuGatherToken),
+                            TV1(LuColAckToken)> {
+ public:
+  void execute(LuGatherToken* in) override {
+    for (int c = 0; c < in->blocks; ++c) postToken(new LuColAckToken(c));
+  }
+  DPS_IDENTIFY_OPERATION(LuGatherSplit);
+};
+
+class LuLoadColumn
+    : public LeafOperation<LuColumnThread, TV1(LuColAckToken),
+                           TV1(LuColumnResult)> {
+ public:
+  void execute(LuColAckToken* in) override {
+    (void)in;
+    LuColumnThread* st = thread();
+    auto* out = new LuColumnResult();
+    out->c = st->c;
+    out->n = st->n;
+    out->r = st->r;
+    out->col.assign(st->col.data(), st->col.data() + st->col.size());
+    for (int32_t p : st->my_piv) out->pivots.push_back(p);
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(LuLoadColumn);
+};
+
+class LuGatherMerge
+    : public MergeOperation<LuMasterThread, TV1(LuColumnResult),
+                            TV1(LuMatrixToken)> {
+ public:
+  void execute(LuColumnResult* first) override {
+    std::vector<Ptr<LuColumnResult>> cols;
+    cols.push_back(Ptr<LuColumnResult>(first));
+    while (auto t = waitForNextToken()) {
+      cols.push_back(token_cast<LuColumnResult>(t));
+    }
+    std::sort(cols.begin(), cols.end(),
+              [](const Ptr<LuColumnResult>& a, const Ptr<LuColumnResult>& b) {
+                return a->c.get() < b->c.get();
+              });
+    const int n = cols.front()->n.get(), r = cols.front()->r.get();
+    auto* out = new LuMatrixToken();
+    out->n = n;
+    out->r = r;
+    out->a.resize(static_cast<size_t>(n) * n);
+    for (auto& col : cols) {
+      const int c = col->c.get();
+      for (int row = 0; row < n; ++row) {
+        std::copy_n(col->col.data() + static_cast<size_t>(row) * r, r,
+                    out->a.data() + static_cast<size_t>(row) * n + c * r);
+      }
+      for (size_t j = 0; j < col->pivots.size(); ++j) {
+        out->pivots.push_back(col->pivots[j]);
+      }
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(LuGatherMerge);
+};
+
+// --- Pipelined stages -------------------------------------------------------------
+
+/// Stage 0 opener (Fig. 12 (a)): nothing precedes it, so it factorizes and
+/// broadcasts every solve request at once (there are no flips at step 0).
+class LuFirstFactor
+    : public SplitOperation<LuColumnThread, TV1(LuStartToken),
+                            TV3(LuTrsmRequest, LuTrsmOrder, LuRowFlip)> {
+ public:
+  void execute(LuStartToken* in) override {
+    LuColumnThread* st = thread();
+    lu_detail::open_stage(this, st, 0, in->sim_rate);
+    for (int c = 1; c < st->blocks; ++c) {
+      postToken(new LuTrsmOrder(0, c, in->sim_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LuFirstFactor);
+};
+
+/// Stores a broadcast panel in the column thread (data prefetch half).
+class LuStorePanel : public LeafOperation<LuColumnThread, TV1(LuTrsmRequest),
+                                          TV1(LuPanelStored)> {
+ public:
+  void execute(LuTrsmRequest* in) override {
+    LuColumnThread* st = thread();
+    const int step = in->step.get();
+    const int r = st->r;
+    const int m = st->n - step * r;
+    LuColumnThread::Panel& slot = st->panels[step];
+    slot.l = la::Matrix(static_cast<size_t>(m), static_cast<size_t>(r));
+    std::copy_n(in->panel.data(), in->panel.size(), slot.l.data());
+    slot.piv.assign(in->pivots.begin(), in->pivots.end());
+    st->last_rate = in->sim_rate.get();
+    postToken(new LuPanelStored(step, st->c));
+  }
+  DPS_IDENTIFY_OPERATION(LuStorePanel);
+};
+
+/// Triangular solve + row flipping on column c (Fig. 12 (b)); runs once the
+/// column's own trailing update has completed (the order gates it) and the
+/// panel is present (FIFO delivery: the panel left the opener first).
+class LuTrsm : public LeafOperation<LuColumnThread, TV1(LuTrsmOrder),
+                                    TV1(LuTrsmDone)> {
+ public:
+  void execute(LuTrsmOrder* in) override {
+    LuColumnThread* st = thread();
+    const int step = in->step;
+    const int r = st->r;
+    const int top = step * r;
+    auto panel_it = st->panels.find(step);
+    DPS_CHECK(panel_it != st->panels.end(), "solve order before its panel");
+    const LuColumnThread::Panel& panel = panel_it->second;
+    if (in->sim_rate > 0) {
+      charge(lu_detail::trsm_flops(r) / in->sim_rate);
+    } else {
+      // Row flipping (partial pivoting) on the trailing rows.
+      for (int j = 0; j < r; ++j) {
+        st->col.swap_rows(static_cast<size_t>(top + j),
+                          static_cast<size_t>(top + panel.piv[j]));
+      }
+      // Solve L11 * T12 = A(step, c) in place.
+      la::Matrix l11(static_cast<size_t>(r), static_cast<size_t>(r));
+      for (int i = 0; i < r; ++i) {
+        l11.at(i, i) = 1.0;
+        for (int j = 0; j < i; ++j) l11.at(i, j) = panel.l.at(i, j);
+      }
+      la::Matrix t12 =
+          st->col.block(static_cast<size_t>(top), 0, static_cast<size_t>(r),
+                        static_cast<size_t>(r));
+      la::trsm_lower_unit(l11, t12);
+      st->col.set_block(static_cast<size_t>(top), 0, t12);
+    }
+    postToken(new LuTrsmDone(step, st->c));
+  }
+  DPS_IDENTIFY_OPERATION(LuTrsm);
+};
+
+/// Pipelined update dispatcher (Fig. 12 (c)): orders each column's trailing
+/// update the moment its solve completes; flip notifications only count.
+class LuMultStream
+    : public StreamOperation<LuColumnThread,
+                             TV3(LuTrsmDone, LuPanelStored, LuFlipDone),
+                             TV1(LuMultOrder)> {
+ public:
+  void execute(LuTrsmDone* first) override { collect(Ptr<Token>(first)); }
+  void execute(LuPanelStored* first) override { collect(Ptr<Token>(first)); }
+  void execute(LuFlipDone* first) override { collect(Ptr<Token>(first)); }
+
+ private:
+  void collect(Ptr<Token> cur) {
+    const double rate = thread()->last_rate;
+    for (;;) {
+      if (auto done = token_cast<LuTrsmDone>(cur)) {
+        postToken(new LuMultOrder(done->step, done->c, rate));
+      }
+      cur = waitForNextToken();
+      if (!cur) break;
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LuMultStream);
+};
+
+/// Trailing update of column c for one step (Fig. 12 (d)).
+class LuMult : public LeafOperation<LuColumnThread, TV1(LuMultOrder),
+                                    TV1(LuMultDone)> {
+ public:
+  void execute(LuMultOrder* in) override {
+    LuColumnThread* st = thread();
+    const int step = in->step;
+    const int r = st->r;
+    const int top = step * r;
+    const int m = st->n - top;
+    auto panel_it = st->panels.find(step);
+    DPS_CHECK(panel_it != st->panels.end(),
+              "trailing update without its panel");
+    if (in->sim_rate > 0) {
+      charge(lu_detail::mult_flops(m - r, r) / in->sim_rate);
+    } else if (m > r) {
+      // A(i, c) -= L21 * T12 for the rows below the panel block.
+      la::Matrix l21 =
+          panel_it->second.l.block(static_cast<size_t>(r), 0,
+                          static_cast<size_t>(m - r), static_cast<size_t>(r));
+      la::Matrix t12 =
+          st->col.block(static_cast<size_t>(top), 0, static_cast<size_t>(r),
+                        static_cast<size_t>(r));
+      la::Matrix update = la::gemm(l21, t12);
+      for (int i = 0; i < m - r; ++i) {
+        for (int j = 0; j < r; ++j) {
+          st->col.at(static_cast<size_t>(top + r + i),
+                     static_cast<size_t>(j)) -= update.at(i, j);
+        }
+      }
+    }
+    st->panels.erase(step);  // each panel serves one solve + one update
+    postToken(new LuMultDone(step, st->c));
+  }
+  DPS_IDENTIFY_OPERATION(LuMult);
+};
+
+/// Pipelined stage opener for steps >= 1 (Fig. 12 (e)): factorizes its own
+/// panel as soon as its own column's update lands, then streams each other
+/// column's solve request as that column completes its update — never
+/// before, since the solve must see the updated data.
+class LuNextFactor
+    : public StreamOperation<LuColumnThread, TV1(LuMultDone),
+                             TV3(LuTrsmRequest, LuTrsmOrder, LuRowFlip)> {
+ public:
+  void execute(LuMultDone* first) override {
+    LuColumnThread* st = thread();
+    const int step = first->step + 1;
+    const double rate = st->last_rate;
+    bool factorized = false;
+    std::vector<int> ready;  // columns updated before we factorized
+    Ptr<LuMultDone> cur(first);
+    for (;;) {
+      const int c = cur->c;
+      if (c == step) {
+        // Our own column is current: factorize and broadcast the panel to
+        // every right-hand column at once (the data overlaps their
+        // updates); flips go left.
+        lu_detail::open_stage(this, st, step, rate);
+        factorized = true;
+        for (int rc : ready) postToken(new LuTrsmOrder(step, rc, rate));
+        ready.clear();
+      } else if (factorized) {
+        postToken(new LuTrsmOrder(step, c, rate));
+      } else {
+        ready.push_back(c);
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<LuMultDone>(t);
+    }
+    DPS_CHECK(factorized, "stage opener never saw its own column's update");
+  }
+  DPS_IDENTIFY_OPERATION(LuNextFactor);
+};
+
+// --- Non-pipelined stage pieces (Fig. 15 baseline) ---------------------------------
+
+/// Collect every solve/flip of the stage, then emit one bridge token.
+class LuStageCollect
+    : public MergeOperation<LuColumnThread,
+                            TV3(LuTrsmDone, LuPanelStored, LuFlipDone),
+                            TV1(LuStageToken)> {
+ public:
+  void execute(LuTrsmDone* first) override { finish(first->step); }
+  void execute(LuPanelStored* first) override { finish(first->step); }
+  void execute(LuFlipDone* first) override { finish(first->step); }
+
+ private:
+  void finish(int step) {
+    while (waitForNextToken()) {
+    }
+    postToken(new LuStageToken(step, thread()->last_rate));
+  }
+  DPS_IDENTIFY_OPERATION(LuStageCollect);
+};
+
+/// Emit all trailing-update orders of the stage at once.
+class LuStageOrders
+    : public SplitOperation<LuColumnThread, TV1(LuStageToken),
+                            TV1(LuMultOrder)> {
+ public:
+  void execute(LuStageToken* in) override {
+    LuColumnThread* st = thread();
+    for (int c = in->step + 1; c < st->blocks; ++c) {
+      postToken(new LuMultOrder(in->step, c, in->sim_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LuStageOrders);
+};
+
+/// Wait for every update of the stage before the next stage may open.
+class LuStageBarrier
+    : public MergeOperation<LuColumnThread, TV1(LuMultDone),
+                            TV1(LuStageToken)> {
+ public:
+  void execute(LuMultDone* first) override {
+    const int step = first->step;
+    while (waitForNextToken()) {
+    }
+    postToken(new LuStageToken(step, thread()->last_rate));
+  }
+  DPS_IDENTIFY_OPERATION(LuStageBarrier);
+};
+
+/// Non-pipelined stage opener: factorize, then emit everything at once.
+class LuStageOpen
+    : public SplitOperation<LuColumnThread, TV1(LuStageToken),
+                            TV3(LuTrsmRequest, LuTrsmOrder, LuRowFlip)> {
+ public:
+  void execute(LuStageToken* in) override {
+    LuColumnThread* st = thread();
+    const int step = in->step + 1;
+    lu_detail::open_stage(this, st, step, in->sim_rate);
+    for (int c = step + 1; c < st->blocks; ++c) {
+      postToken(new LuTrsmOrder(step, c, in->sim_rate));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(LuStageOpen);
+};
+
+class LuRowFlipOp : public LeafOperation<LuColumnThread, TV1(LuRowFlip),
+                                         TV1(LuFlipDone)> {
+ public:
+  void execute(LuRowFlip* in) override {
+    LuColumnThread* st = thread();
+    const int step = in->step.get();
+    const int top = step * st->r;
+    if (st->last_rate <= 0) {
+      for (size_t j = 0; j < in->pivots.size(); ++j) {
+        st->col.swap_rows(static_cast<size_t>(top) + j,
+                          static_cast<size_t>(top) + in->pivots[j]);
+      }
+    }
+    postToken(new LuFlipDone(step, st->c));
+  }
+  DPS_IDENTIFY_OPERATION(LuRowFlipOp);
+};
+
+class LuFinalMerge
+    : public MergeOperation<LuMasterThread, TV1(LuFlipDone),
+                            TV1(LuDoneToken)> {
+ public:
+  void execute(LuFlipDone* first) override {
+    (void)first;
+    while (waitForNextToken()) {
+    }
+    postToken(new LuDoneToken());
+  }
+  DPS_IDENTIFY_OPERATION(LuFinalMerge);
+};
+
+// --- Driver --------------------------------------------------------------------
+
+/// Owns the LU application's collections and graphs for a fixed block count.
+class LuApp {
+ public:
+  /// `blocks` column threads spread round-robin over the cluster's nodes.
+  LuApp(Cluster& cluster, int blocks)
+      : app_(cluster, "block-lu"), blocks_(blocks) {
+    DPS_CHECK(blocks >= 2, "the LU graph needs at least 2 block columns");
+    auto master = app_.thread_collection<LuMasterThread>("lu-master");
+    master->map(cluster.node_name(0));
+    cols_ = app_.thread_collection<LuColumnThread>("lu-cols");
+    std::vector<std::string> nodes;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      nodes.push_back(cluster.node_name(static_cast<NodeId>(i)));
+    }
+    cols_->map(round_robin_mapping(nodes, blocks));
+
+    scatter_ = app_.build_graph(
+        FlowgraphNode<LuScatterSplit, LuMasterMatrixRoute>(master) >>
+            FlowgraphNode<LuStoreColumn, LuColColumnRoute>(cols_) >>
+            FlowgraphNode<LuScatterMerge, LuMasterAckRoute>(master),
+        "lu-scatter");
+
+    gather_ = app_.build_graph(
+        FlowgraphNode<LuGatherSplit, LuMasterGatherRoute>(master) >>
+            FlowgraphNode<LuLoadColumn, LuColGatherReqRoute>(cols_) >>
+            FlowgraphNode<LuGatherMerge, LuMasterResultRoute>(master),
+        "lu-gather");
+
+    pipelined_ = build_pipelined(master);
+    non_pipelined_ = build_non_pipelined(master);
+  }
+
+  Application& app() { return app_; }
+
+  void scatter(const la::Matrix& a, int r) {
+    n_ = static_cast<int>(a.rows());
+    r_ = r;
+    DPS_CHECK(n_ % r == 0 && n_ / r == blocks_,
+              "matrix size does not match the graph's block count");
+    auto* t = new LuMatrixToken();
+    t->n = n_;
+    t->r = r;
+    t->a.assign(a.data(), a.data() + a.size());
+    auto ack = scatter_->call(t);
+    DPS_CHECK(ack.get() != nullptr, "LU scatter failed");
+  }
+
+  /// Runs the factorization; returns once the final merge fires.
+  void factorize(bool pipelined, double sim_rate = 0) {
+    auto done = (pipelined ? pipelined_ : non_pipelined_)
+                    ->call(new LuStartToken(n_, r_, blocks_, sim_rate));
+    DPS_CHECK(done.get() != nullptr, "LU factorization failed");
+  }
+
+  /// Collects the packed LU factors and the absolute pivot sequence.
+  la::Matrix gather(std::vector<int>* pivots) {
+    auto result =
+        token_cast<LuMatrixToken>(gather_->call(new LuGatherToken(blocks_)));
+    DPS_CHECK(result.get() != nullptr, "LU gather failed");
+    la::Matrix lu(static_cast<size_t>(result->n.get()),
+                  static_cast<size_t>(result->n.get()));
+    std::copy_n(result->a.data(), result->a.size(), lu.data());
+    if (pivots != nullptr) {
+      pivots->assign(result->pivots.begin(), result->pivots.end());
+    }
+    return lu;
+  }
+
+ private:
+  using Cols = std::shared_ptr<ThreadCollection<LuColumnThread>>;
+  using Master = std::shared_ptr<ThreadCollection<LuMasterThread>>;
+
+  std::shared_ptr<Flowgraph> build_pipelined(const Master& master) {
+    // Per stage: the opener broadcasts panels (store leaf) and gates solve
+    // orders (trsm leaf); flips go left; the stage stream collects all
+    // three notification kinds and streams the trailing-update orders.
+    FlowgraphBuilder b;
+    FlowgraphNode<LuFirstFactor, LuColStartRoute> o0(cols_);
+    FlowgraphNode<LuMult, LuColOrderRoute> prev_mult(cols_);
+    {
+      FlowgraphNode<LuStorePanel, LuColTrsmRoute> s0(cols_);
+      FlowgraphNode<LuTrsm, LuColTrsmOrderRoute> b0(cols_);
+      FlowgraphNode<LuMultStream, LuStageDoneRoute> c0(cols_);
+      b += o0 >> s0 >> c0 >> prev_mult;
+      b += o0 >> b0 >> c0;
+    }
+    for (int k = 1; k <= blocks_ - 2; ++k) {
+      FlowgraphNode<LuNextFactor, LuColMultDoneRoute> ok(cols_);
+      FlowgraphNode<LuStorePanel, LuColTrsmRoute> sk(cols_);
+      FlowgraphNode<LuTrsm, LuColTrsmOrderRoute> bk(cols_);
+      FlowgraphNode<LuRowFlipOp, LuColFlipRoute> fk(cols_);
+      FlowgraphNode<LuMultStream, LuStageDoneRoute> ck(cols_);
+      FlowgraphNode<LuMult, LuColOrderRoute> dk(cols_);
+      b += prev_mult >> ok >> sk >> ck >> dk;
+      b += ok >> bk >> ck;
+      b += ok >> fk >> ck;
+      prev_mult = dk;
+    }
+    FlowgraphNode<LuNextFactor, LuColMultDoneRoute> o_last(cols_);
+    FlowgraphNode<LuRowFlipOp, LuColFlipRoute> f_last(cols_);
+    FlowgraphNode<LuFinalMerge, LuMasterFlipDoneRoute> final_merge(master);
+    b += prev_mult >> o_last >> f_last >> final_merge;
+    return app_.build_graph(b, "lu-pipelined");
+  }
+
+  std::shared_ptr<Flowgraph> build_non_pipelined(const Master& master) {
+    // Streams replaced by merge+split pairs: every stage barriers.
+    FlowgraphBuilder b;
+    FlowgraphNode<LuFirstFactor, LuColStartRoute> o0(cols_);
+    FlowgraphNode<LuStageOrders, LuColStageRoute> prev_orders(cols_);
+    {
+      FlowgraphNode<LuStorePanel, LuColTrsmRoute> s0(cols_);
+      FlowgraphNode<LuTrsm, LuColTrsmOrderRoute> b0(cols_);
+      FlowgraphNode<LuStageCollect, LuStageDoneRoute> cm0(cols_);
+      b += o0 >> s0 >> cm0 >> prev_orders;
+      b += o0 >> b0 >> cm0;
+    }
+    FlowgraphNode<LuMult, LuColOrderRoute> prev_mult(cols_);
+    b += prev_orders >> prev_mult;
+    for (int k = 1; k <= blocks_ - 2; ++k) {
+      FlowgraphNode<LuStageBarrier, LuColMultDoneRoute> om(cols_);
+      FlowgraphNode<LuStageOpen, LuColStageNextRoute> os(cols_);
+      FlowgraphNode<LuStorePanel, LuColTrsmRoute> sk(cols_);
+      FlowgraphNode<LuTrsm, LuColTrsmOrderRoute> bk(cols_);
+      FlowgraphNode<LuRowFlipOp, LuColFlipRoute> fk(cols_);
+      FlowgraphNode<LuStageCollect, LuStageDoneRoute> cm(cols_);
+      FlowgraphNode<LuStageOrders, LuColStageRoute> cs(cols_);
+      FlowgraphNode<LuMult, LuColOrderRoute> dk(cols_);
+      b += prev_mult >> om >> os >> sk >> cm >> cs >> dk;
+      b += os >> bk >> cm;
+      b += os >> fk >> cm;
+      prev_mult = dk;
+    }
+    FlowgraphNode<LuStageBarrier, LuColMultDoneRoute> om_last(cols_);
+    FlowgraphNode<LuStageOpen, LuColStageNextRoute> os_last(cols_);
+    FlowgraphNode<LuRowFlipOp, LuColFlipRoute> f_last(cols_);
+    FlowgraphNode<LuFinalMerge, LuMasterFlipDoneRoute> final_merge(master);
+    b += prev_mult >> om_last >> os_last >> f_last >> final_merge;
+    return app_.build_graph(b, "lu-barrier");
+  }
+
+  Application app_;
+  Cols cols_;
+  int blocks_;
+  int n_ = 0, r_ = 0;
+  std::shared_ptr<Flowgraph> scatter_, gather_, pipelined_, non_pipelined_;
+};
+
+}  // namespace dps::apps

@@ -1,0 +1,234 @@
+// Block matrix multiplication (paper, section 4, Table 1).
+//
+// "we run a program multiplying two square n x n matrices by performing
+// block-based matrix multiplications. Assuming that the n x n matrix is
+// split into s blocks horizontally and vertically, the amount of
+// communication is proportional to n^2 (2s+1), whereas computation is
+// proportional to n^3."
+//
+// The master splits the product into s^2 block tasks; task (i,j) carries
+// block row i of A and block column j of B (2s blocks), a worker computes
+// C(i,j), and the merge assembles the result. Varying s changes the
+// communication/computation ratio, which is how Table 1 probes the benefit
+// of DPS's automatic overlapping.
+//
+// Benchmarked in two modes:
+//  * real mode      — workers run the triple-loop gemm (used by tests);
+//  * synthetic mode — workers charge a calibrated virtual compute cost
+//    (sim_flops_per_s > 0) instead of multiplying; token payloads keep
+//    their real sizes so the modeled network sees the paper's traffic.
+#pragma once
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "la/matrix.hpp"
+#include "util/mapping.hpp"
+
+namespace dps::apps {
+
+/// Full-product request: carries both operand matrices (the master and the
+/// caller share the home node, so this token never crosses a link).
+class MatMulRequest : public ComplexToken {
+ public:
+  CT<int32_t> n;               ///< matrix dimension
+  CT<int32_t> s;               ///< split factor (s x s blocks)
+  CT<double> sim_flops_per_s;  ///< 0: compute really; >0: charge cost only
+  Buffer<double> a;            ///< n*n row-major
+  Buffer<double> b;            ///< n*n row-major
+  DPS_IDENTIFY(MatMulRequest);
+};
+
+/// One block task: C(i,j) needs block row i of A and block column j of B.
+class MatMulTask : public ComplexToken {
+ public:
+  CT<int32_t> n;
+  CT<int32_t> s;
+  CT<int32_t> bi;
+  CT<int32_t> bj;
+  CT<int32_t> seq;  ///< task index, used for round-robin routing
+  CT<double> sim_flops_per_s;
+  Buffer<double> a_row;  ///< s blocks of (n/s)^2, concatenated
+  Buffer<double> b_col;  ///< s blocks of (n/s)^2, concatenated
+  DPS_IDENTIFY(MatMulTask);
+};
+
+/// One computed block of C.
+class MatMulResult : public ComplexToken {
+ public:
+  CT<int32_t> n;
+  CT<int32_t> s;
+  CT<int32_t> bi;
+  CT<int32_t> bj;
+  Buffer<double> c_block;  ///< (n/s)^2
+  DPS_IDENTIFY(MatMulResult);
+};
+
+/// The assembled product.
+class MatMulProduct : public ComplexToken {
+ public:
+  CT<int32_t> n;
+  Buffer<double> c;  ///< n*n row-major
+  DPS_IDENTIFY(MatMulProduct);
+};
+
+class MatMasterThread : public Thread {
+  DPS_IDENTIFY_THREAD(MatMasterThread);
+};
+
+class MatComputeThread : public Thread {
+ public:
+  int64_t tasks_done = 0;
+  DPS_IDENTIFY_THREAD(MatComputeThread);
+};
+
+DPS_ROUTE(MatRequestRoute, MatMasterThread, MatMulRequest, 0);
+DPS_ROUTE(MatResultRoute, MatMasterThread, MatMulResult, 0);
+DPS_ROUTE(MatTaskRoute, MatComputeThread, MatMulTask,
+          currentToken->seq.get() % threadCount());
+
+class MatSplit : public SplitOperation<MatMasterThread, TV1(MatMulRequest),
+                                       TV1(MatMulTask)> {
+ public:
+  void execute(MatMulRequest* in) override {
+    const int n = in->n.get();
+    const int s = in->s.get();
+    const int r = n / s;  // block edge
+    int seq = 0;
+    for (int bi = 0; bi < s; ++bi) {
+      for (int bj = 0; bj < s; ++bj) {
+        auto* task = new MatMulTask();
+        task->n = n;
+        task->s = s;
+        task->bi = bi;
+        task->bj = bj;
+        task->seq = seq++;
+        task->sim_flops_per_s = in->sim_flops_per_s.get();
+        // Block row i of A: rows [bi*r, bi*r+r), all columns.
+        task->a_row.resize(static_cast<size_t>(r) * n);
+        for (int row = 0; row < r; ++row) {
+          const double* src = in->a.data() + (bi * r + row) * n;
+          std::copy_n(src, n, task->a_row.data() + static_cast<size_t>(row) * n);
+        }
+        // Block column j of B: all rows, columns [bj*r, bj*r+r), stored as
+        // r-wide rows.
+        task->b_col.resize(static_cast<size_t>(r) * n);
+        for (int row = 0; row < n; ++row) {
+          const double* src = in->b.data() + row * n + bj * r;
+          std::copy_n(src, r, task->b_col.data() + static_cast<size_t>(row) * r);
+        }
+        postToken(task);
+      }
+    }
+  }
+  DPS_IDENTIFY_OPERATION(MatSplit);
+};
+
+class MatMultiply : public LeafOperation<MatComputeThread, TV1(MatMulTask),
+                                         TV1(MatMulResult)> {
+ public:
+  void execute(MatMulTask* in) override {
+    const int n = in->n.get();
+    const int s = in->s.get();
+    const int r = n / s;
+    thread()->tasks_done++;
+    auto* out = new MatMulResult();
+    out->n = n;
+    out->s = s;
+    out->bi = in->bi.get();
+    out->bj = in->bj.get();
+    out->c_block.resize(static_cast<size_t>(r) * r);
+    const double rate = in->sim_flops_per_s.get();
+    if (rate > 0) {
+      // Synthetic mode: account the block product's cost on the virtual
+      // clock; the numeric result is not needed by the benchmark.
+      charge(la::gemm_flops(static_cast<size_t>(r), static_cast<size_t>(n),
+                            static_cast<size_t>(r)) /
+             rate);
+    } else {
+      // C(i,j) = sum_k A(i,k) * B(k,j): a_row is (r x n), b_col is (n x r).
+      for (int i = 0; i < r; ++i) {
+        for (int k = 0; k < n; ++k) {
+          const double aik = in->a_row[static_cast<size_t>(i) * n + k];
+          if (aik == 0.0) continue;
+          const double* brow = in->b_col.data() + static_cast<size_t>(k) * r;
+          double* crow = out->c_block.data() + static_cast<size_t>(i) * r;
+          for (int j = 0; j < r; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(MatMultiply);
+};
+
+class MatMerge : public MergeOperation<MatMasterThread, TV1(MatMulResult),
+                                       TV1(MatMulProduct)> {
+ public:
+  void execute(MatMulResult* first) override {
+    auto* product = new MatMulProduct();
+    const int n = first->n.get();
+    product->n = n;
+    product->c.resize(static_cast<size_t>(n) * n);
+    Ptr<MatMulResult> cur(first);
+    for (;;) {
+      const int s = cur->s.get();
+      const int r = n / s;
+      for (int row = 0; row < r; ++row) {
+        std::copy_n(cur->c_block.data() + static_cast<size_t>(row) * r, r,
+                    product->c.data() +
+                        (cur->bi.get() * r + row) * static_cast<size_t>(n) +
+                        cur->bj.get() * r);
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<MatMulResult>(t);
+    }
+    postToken(product);
+  }
+  DPS_IDENTIFY_OPERATION(MatMerge);
+};
+
+/// Builds the matmul graph: master split/merge on node 0, one compute
+/// thread on each of nodes 1..workers (the paper's master + compute nodes).
+inline std::shared_ptr<Flowgraph> build_matmul_graph(Application& app,
+                                                     int workers) {
+  Cluster& cluster = app.cluster();
+  DPS_CHECK(static_cast<size_t>(workers) + 1 <= cluster.node_count(),
+            "need workers+1 nodes (node 0 is the master)");
+  auto master = app.thread_collection<MatMasterThread>("mat-master");
+  master->map(cluster.node_name(0));
+  auto collector = app.thread_collection<MatMasterThread>("mat-collector");
+  collector->map(cluster.node_name(0));
+  auto compute = app.thread_collection<MatComputeThread>("mat-compute");
+  std::string mapping;
+  for (int w = 1; w <= workers; ++w) {
+    if (w != 1) mapping += ' ';
+    mapping += cluster.node_name(static_cast<NodeId>(w));
+  }
+  compute->map(mapping);
+
+  FlowgraphBuilder b = FlowgraphNode<MatSplit, MatRequestRoute>(master) >>
+                       FlowgraphNode<MatMultiply, MatTaskRoute>(compute) >>
+                       FlowgraphNode<MatMerge, MatResultRoute>(collector);
+  return app.build_graph(b, "matmul");
+}
+
+/// Convenience: multiply two la::Matrix values through the graph.
+inline la::Matrix run_matmul(Flowgraph& graph, const la::Matrix& a,
+                             const la::Matrix& b, int s,
+                             double sim_flops_per_s = 0) {
+  auto* req = new MatMulRequest();
+  const int n = static_cast<int>(a.rows());
+  req->n = n;
+  req->s = s;
+  req->sim_flops_per_s = sim_flops_per_s;
+  req->a.assign(a.data(), a.data() + a.size());
+  req->b.assign(b.data(), b.data() + b.size());
+  auto result = token_cast<MatMulProduct>(graph.call(req));
+  DPS_CHECK(result.get() != nullptr, "matmul returned no product");
+  la::Matrix c(static_cast<size_t>(n), static_cast<size_t>(n));
+  std::copy_n(result->c.data(), result->c.size(), c.data());
+  return c;
+}
+
+}  // namespace dps::apps

@@ -1,0 +1,256 @@
+// Video processing pipeline (paper, section 3, Figure 4).
+//
+// "An uncompressed video stream is stored on a disk array as partial
+// frames, which need to be recomposed before further processing. The use of
+// the stream operation enables complete frames to be processed as soon as
+// they are ready, without waiting until all partial frames have been read."
+//
+// Graph: (1) generate frame-part read requests; (2) read parts from the
+// (synthetic) disk array, each read modeled with a disk latency; (3) a
+// stream operation combines parts into complete frames and emits each frame
+// the moment it completes; (4) process complete frames; (5) merge the
+// processed results. The disk array is simulated: part contents are a
+// deterministic function of (frame, part), so tests can verify the
+// recomposition bit-exactly.
+#pragma once
+
+#include <map>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "serial/registry.hpp"
+#include "util/mapping.hpp"
+
+namespace dps::apps {
+
+class VideoJobToken : public SimpleToken {
+ public:
+  int32_t frames;
+  int32_t parts;       ///< partial frames per frame (disk stripes)
+  int32_t part_bytes;  ///< bytes per part
+  double disk_latency_s;
+  VideoJobToken(int32_t f = 0, int32_t p = 0, int32_t b = 0, double lat = 0)
+      : frames(f), parts(p), part_bytes(b), disk_latency_s(lat) {}
+  DPS_IDENTIFY(VideoJobToken);
+};
+
+class VideoPartRequest : public SimpleToken {
+ public:
+  int32_t frame, part, parts, part_bytes;
+  double disk_latency_s;
+  VideoPartRequest(int32_t f = 0, int32_t p = 0, int32_t ps = 0,
+                   int32_t b = 0, double lat = 0)
+      : frame(f), part(p), parts(ps), part_bytes(b), disk_latency_s(lat) {}
+  DPS_IDENTIFY(VideoPartRequest);
+};
+
+class VideoPartToken : public ComplexToken {
+ public:
+  CT<int32_t> frame;
+  CT<int32_t> part;
+  CT<int32_t> parts;
+  Buffer<uint8_t> data;
+  DPS_IDENTIFY(VideoPartToken);
+};
+
+class VideoFrameToken : public ComplexToken {
+ public:
+  CT<int32_t> frame;
+  Buffer<uint8_t> data;
+  DPS_IDENTIFY(VideoFrameToken);
+};
+
+class VideoProcessedToken : public SimpleToken {
+ public:
+  int32_t frame;
+  uint64_t checksum;
+  VideoProcessedToken(int32_t f = 0, uint64_t c = 0) : frame(f), checksum(c) {}
+  DPS_IDENTIFY(VideoProcessedToken);
+};
+
+class VideoDoneToken : public SimpleToken {
+ public:
+  int32_t frames;
+  uint64_t checksum_xor;
+  VideoDoneToken(int32_t f = 0, uint64_t c = 0) : frames(f), checksum_xor(c) {}
+  DPS_IDENTIFY(VideoDoneToken);
+};
+
+class VideoMasterThread : public Thread {
+  DPS_IDENTIFY_THREAD(VideoMasterThread);
+};
+
+class VideoDiskThread : public Thread {
+ public:
+  int64_t reads = 0;
+  DPS_IDENTIFY_THREAD(VideoDiskThread);
+};
+
+class VideoProcThread : public Thread {
+  DPS_IDENTIFY_THREAD(VideoProcThread);
+};
+
+DPS_ROUTE(VideoJobRoute, VideoMasterThread, VideoJobToken, 0);
+DPS_ROUTE(VideoPartReqRoute, VideoDiskThread, VideoPartRequest,
+          currentToken->part % threadCount());
+DPS_ROUTE(VideoPartRoute, VideoMasterThread, VideoPartToken, 0);
+DPS_ROUTE(VideoFrameRoute, VideoProcThread, VideoFrameToken,
+          currentToken->frame.get() % threadCount());
+DPS_ROUTE(VideoProcessedRoute, VideoMasterThread, VideoProcessedToken, 0);
+
+/// Deterministic "disk" content of one partial frame.
+inline uint8_t video_disk_byte(int frame, int part, int offset) {
+  return static_cast<uint8_t>((frame * 131 + part * 31 + offset * 7 + 5) &
+                              0xff);
+}
+
+/// Fig. 4 (1): generate frame-part read requests.
+class VideoSplit
+    : public SplitOperation<VideoMasterThread, TV1(VideoJobToken),
+                            TV1(VideoPartRequest)> {
+ public:
+  void execute(VideoJobToken* in) override {
+    for (int f = 0; f < in->frames; ++f) {
+      for (int p = 0; p < in->parts; ++p) {
+        postToken(new VideoPartRequest(f, p, in->parts, in->part_bytes,
+                                       in->disk_latency_s));
+      }
+    }
+  }
+  DPS_IDENTIFY_OPERATION(VideoSplit);
+};
+
+/// Fig. 4 (2): read one partial frame from the disk array.
+class VideoReadPart
+    : public LeafOperation<VideoDiskThread, TV1(VideoPartRequest),
+                           TV1(VideoPartToken)> {
+ public:
+  void execute(VideoPartRequest* in) override {
+    thread()->reads++;
+    if (in->disk_latency_s > 0) sleepFor(in->disk_latency_s);
+    auto* out = new VideoPartToken();
+    out->frame = in->frame;
+    out->part = in->part;
+    out->parts = in->parts;
+    out->data.resize(static_cast<size_t>(in->part_bytes));
+    for (int i = 0; i < in->part_bytes; ++i) {
+      out->data[static_cast<size_t>(i)] =
+          video_disk_byte(in->frame, in->part, i);
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(VideoReadPart);
+};
+
+/// Fig. 4 (3): combine partial frames and stream complete frames out as
+/// soon as they are ready — the stream operation at work.
+class VideoCombineStream
+    : public StreamOperation<VideoMasterThread, TV1(VideoPartToken),
+                             TV1(VideoFrameToken)> {
+ public:
+  void execute(VideoPartToken* first) override {
+    std::map<int32_t, std::pair<int, Ptr<VideoFrameToken>>> pending;
+    Ptr<VideoPartToken> cur(first);
+    for (;;) {
+      const int32_t f = cur->frame.get();
+      const int parts = cur->parts.get();
+      const size_t part_bytes = cur->data.size();
+      auto& slot = pending[f];
+      if (!slot.second) {
+        slot.second = Ptr<VideoFrameToken>(new VideoFrameToken());
+        slot.second->frame = f;
+        slot.second->data.resize(part_bytes * static_cast<size_t>(parts));
+      }
+      std::copy(cur->data.begin(), cur->data.end(),
+                slot.second->data.data() +
+                    static_cast<size_t>(cur->part.get()) * part_bytes);
+      if (++slot.first == parts) {
+        postToken(slot.second);  // the frame leaves immediately
+        pending.erase(f);
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<VideoPartToken>(t);
+    }
+    DPS_CHECK(pending.empty(), "incomplete frames at end of stream");
+  }
+  DPS_IDENTIFY_OPERATION(VideoCombineStream);
+};
+
+/// Fig. 4 (4): process one complete frame (here: checksum it).
+class VideoProcessFrame
+    : public LeafOperation<VideoProcThread, TV1(VideoFrameToken),
+                           TV1(VideoProcessedToken)> {
+ public:
+  void execute(VideoFrameToken* in) override {
+    uint64_t h = 1469598103934665603ull ^ 14695981039346656037ull;
+    h = 14695981039346656037ull;
+    for (size_t i = 0; i < in->data.size(); ++i) {
+      h ^= in->data[i];
+      h *= 1099511628211ull;
+    }
+    postToken(new VideoProcessedToken(in->frame.get(), h));
+  }
+  DPS_IDENTIFY_OPERATION(VideoProcessFrame);
+};
+
+/// Fig. 4 (5): merge processed frames onto the final stream.
+class VideoFinalMerge
+    : public MergeOperation<VideoMasterThread, TV1(VideoProcessedToken),
+                            TV1(VideoDoneToken)> {
+ public:
+  void execute(VideoProcessedToken* first) override {
+    int32_t frames = 1;
+    uint64_t acc = first->checksum;
+    while (auto t = waitForNextToken()) {
+      acc ^= token_cast<VideoProcessedToken>(t)->checksum;
+      ++frames;
+    }
+    postToken(new VideoDoneToken(frames, acc));
+  }
+  DPS_IDENTIFY_OPERATION(VideoFinalMerge);
+};
+
+/// Reference checksum of one frame, for tests.
+inline uint64_t video_frame_checksum(int frame, int parts, int part_bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (int p = 0; p < parts; ++p) {
+    for (int i = 0; i < part_bytes; ++i) {
+      h ^= video_disk_byte(frame, p, i);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Builds the Fig. 4 pipeline: disks spread over all nodes, one processing
+/// thread per node, master/combiner on node 0.
+inline std::shared_ptr<Flowgraph> build_video_graph(Application& app,
+                                                    int disks,
+                                                    int processors) {
+  Cluster& cluster = app.cluster();
+  std::vector<std::string> nodes;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    nodes.push_back(cluster.node_name(static_cast<NodeId>(i)));
+  }
+  auto master = app.thread_collection<VideoMasterThread>("video-master");
+  master->map(cluster.node_name(0));
+  auto combiner = app.thread_collection<VideoMasterThread>("video-combine");
+  combiner->map(cluster.node_name(0));
+  auto sink = app.thread_collection<VideoMasterThread>("video-sink");
+  sink->map(cluster.node_name(0));
+  auto disks_coll = app.thread_collection<VideoDiskThread>("video-disks");
+  disks_coll->map(round_robin_mapping(nodes, disks));
+  auto procs = app.thread_collection<VideoProcThread>("video-procs");
+  procs->map(round_robin_mapping(nodes, processors));
+
+  FlowgraphBuilder b =
+      FlowgraphNode<VideoSplit, VideoJobRoute>(master) >>
+      FlowgraphNode<VideoReadPart, VideoPartReqRoute>(disks_coll) >>
+      FlowgraphNode<VideoCombineStream, VideoPartRoute>(combiner) >>
+      FlowgraphNode<VideoProcessFrame, VideoFrameRoute>(procs) >>
+      FlowgraphNode<VideoFinalMerge, VideoProcessedRoute>(sink);
+  return app.build_graph(b, "video");
+}
+
+}  // namespace dps::apps

@@ -1,0 +1,29 @@
+// Graph-call bookkeeping shared by Flowgraph, Application and Cluster.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/ids.hpp"
+#include "serial/token.hpp"
+#include "sim/domain.hpp"
+
+namespace dps {
+namespace detail {
+
+/// State of one outstanding graph call. Completed either into the waiting
+/// slot (synchronous/async callers) or through the continuation callback
+/// (graph-call vertices, which must never block).
+struct CallState {
+  ExecDomain* domain = nullptr;
+  std::mutex mu;
+  WaitPoint wp;
+  Ptr<Token> result;
+  bool done = false;
+  /// If set, invoked with the result instead of storing it.
+  std::function<void(Ptr<Token>)> continuation;
+};
+
+}  // namespace detail
+}  // namespace dps

@@ -1,0 +1,48 @@
+#include "core/checkpoint.hpp"
+
+#include "core/cluster.hpp"
+#include "core/controller.hpp"
+#include "core/thread_collection.hpp"
+
+namespace dps {
+
+namespace {
+constexpr uint32_t kImageMagic = 0x44505343;  // "DPSC"
+constexpr uint8_t kRecord = 1;
+constexpr uint8_t kEnd = 0;
+}  // namespace
+
+std::vector<std::byte> checkpoint_cluster(Cluster& cluster) {
+  Writer w;
+  w.put(kImageMagic);
+  for (NodeId n = 0; n < cluster.node_count(); ++n) {
+    if (!cluster.is_local(n)) continue;
+    cluster.controller(n).checkpoint_workers(w);
+  }
+  w.put(kEnd);
+  return w.take();
+}
+
+void restore_cluster(Cluster& cluster, const std::vector<std::byte>& image) {
+  Reader r(image.data(), image.size());
+  if (r.get<uint32_t>() != kImageMagic) {
+    raise(Errc::kProtocol, "not a DPS checkpoint image");
+  }
+  for (;;) {
+    const uint8_t marker = r.get<uint8_t>();
+    if (marker == kEnd) break;
+    if (marker != kRecord) {
+      raise(Errc::kProtocol, "corrupt checkpoint record marker");
+    }
+    const CollectionId collection = r.get<CollectionId>();
+    const ThreadIndex index = r.get<ThreadIndex>();
+    uint32_t len = 0;
+    const std::byte* payload = r.get_bytes(&len);
+    const NodeId node = cluster.collection(collection)->node_of(index);
+    if (!cluster.is_local(node)) continue;  // other process restores it
+    Reader pr(payload, len);
+    cluster.controller(node).restore_worker(collection, index, pr);
+  }
+}
+
+}  // namespace dps

@@ -1,0 +1,44 @@
+// Checkpointing of distributed thread state (paper, section 6, future
+// work: "The dynamicity of DPS combined with appropriate checkpointing
+// procedures may also lead to more lightweight approaches for graceful
+// degradation in case of node failures").
+//
+// A thread class opts in by implementing Checkpointable; the cluster can
+// then capture every opted-in DPS thread's state into one byte image and
+// later restore it — into the same cluster, or into a freshly constructed
+// one with the same collections (e.g. after a failure, possibly with a
+// different node mapping: the image addresses threads by (collection,
+// index), not by node).
+//
+// Contract: the schedule must be quiescent (no graph calls in flight) at
+// capture and at restore; DPS's call boundaries make such points easy to
+// establish.
+#pragma once
+
+#include <vector>
+
+#include "serial/wire.hpp"
+
+namespace dps {
+
+class Cluster;
+
+/// Implemented by dps::Thread subclasses whose state should be captured.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void checkpoint(Writer& w) const = 0;
+  virtual void restore(Reader& r) = 0;
+};
+
+/// Captures every Checkpointable DPS thread of the cluster.
+std::vector<std::byte> checkpoint_cluster(Cluster& cluster);
+
+/// Restores a previously captured image. Threads are addressed by
+/// (collection id, thread index); collections must have been created in
+/// the same order as in the captured run. Throws Error(kNotFound) when a
+/// record's thread does not exist and Error(kProtocol) on malformed
+/// images.
+void restore_cluster(Cluster& cluster, const std::vector<std::byte>& image);
+
+}  // namespace dps

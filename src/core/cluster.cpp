@@ -1,0 +1,199 @@
+#include "core/cluster.hpp"
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "core/thread_collection.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "sim/scheduler.hpp"
+#include "util/logging.hpp"
+
+namespace dps {
+
+namespace {
+std::vector<std::string> default_names(int n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) names.push_back("node" + std::to_string(i));
+  return names;
+}
+}  // namespace
+
+ClusterConfig ClusterConfig::inproc(int node_count) {
+  ClusterConfig cfg;
+  cfg.nodes = default_names(node_count);
+  cfg.fabric = FabricKind::kInproc;
+  return cfg;
+}
+
+ClusterConfig ClusterConfig::tcp(int node_count) {
+  ClusterConfig cfg;
+  cfg.nodes = default_names(node_count);
+  cfg.fabric = FabricKind::kTcp;
+  return cfg;
+}
+
+ClusterConfig ClusterConfig::simulated(int node_count, LinkModel link) {
+  ClusterConfig cfg;
+  cfg.nodes = default_names(node_count);
+  cfg.fabric = FabricKind::kSim;
+  cfg.link = link;
+  return cfg;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  DPS_CHECK(!config_.nodes.empty(), "cluster needs at least one node");
+  const size_t n = config_.nodes.size();
+  if (config_.external_fabric) {
+    domain_ = std::make_unique<WallDomain>();
+    fabric_ = config_.external_fabric;
+  } else {
+    switch (config_.fabric) {
+      case ClusterConfig::FabricKind::kInproc:
+        domain_ = std::make_unique<WallDomain>();
+        fabric_ = std::make_unique<InprocFabric>(n);
+        break;
+      case ClusterConfig::FabricKind::kTcp:
+        domain_ = std::make_unique<WallDomain>();
+        fabric_ = std::make_unique<TcpFabric>(n);
+        break;
+      case ClusterConfig::FabricKind::kSim:
+        domain_ = std::make_unique<SimDomain>(config_.sim_cpus_per_node);
+        fabric_ = std::make_unique<SimFabric>(n, *domain_, config_.link);
+        break;
+    }
+  }
+  services_ = std::make_unique<NameRegistry>(*domain_);
+  controllers_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    controllers_.push_back(std::make_unique<Controller>(*this, i));
+    Controller* c = controllers_.back().get();
+    if (is_local(i)) {
+      fabric_->attach(i,
+                      [c](NodeMessage&& msg) { c->on_fabric(std::move(msg)); });
+    }
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+NodeId Cluster::node_id(const std::string& name) const {
+  for (NodeId i = 0; i < config_.nodes.size(); ++i) {
+    if (config_.nodes[i] == name) return i;
+  }
+  raise(Errc::kNotFound, "unknown node '" + name + "'");
+}
+
+const std::string& Cluster::node_name(NodeId node) const {
+  DPS_CHECK(node < config_.nodes.size(), "node id out of range");
+  return config_.nodes[node];
+}
+
+Controller& Cluster::controller(NodeId node) {
+  DPS_CHECK(node < controllers_.size(), "node id out of range");
+  return *controllers_[node];
+}
+
+AppId Cluster::register_app(Application* app) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const AppId id = next_app_++;
+  apps_.emplace(id, app);
+  return id;
+}
+
+void Cluster::unregister_app(AppId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apps_.erase(id);
+}
+
+Application* Cluster::app(AppId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = apps_.find(id);
+  if (it == apps_.end()) {
+    raise(Errc::kNotFound, "no application " + std::to_string(id) +
+                               " on this cluster");
+  }
+  return it->second;
+}
+
+CollectionId Cluster::register_collection(
+    std::shared_ptr<ThreadCollectionBase> collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collections_.push_back(std::move(collection));
+  return static_cast<CollectionId>(collections_.size() - 1);
+}
+
+ThreadCollectionBase* Cluster::collection(CollectionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= collections_.size()) {
+    raise(Errc::kNotFound, "unknown thread collection " + std::to_string(id));
+  }
+  return collections_[id].get();
+}
+
+CallId Cluster::new_call_id() {
+  return next_call_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<detail::CallState> Cluster::create_call(CallId id) {
+  auto state = std::make_shared<detail::CallState>();
+  state->domain = domain_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_.emplace(id, state);
+  return state;
+}
+
+void Cluster::complete_call(CallId id, Ptr<Token> result) {
+  std::shared_ptr<detail::CallState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = calls_.find(id);
+    if (it == calls_.end()) {
+      DPS_WARN("stray result for unknown call " << id);
+      return;
+    }
+    state = std::move(it->second);
+    calls_.erase(it);
+  }
+  if (state->continuation) {
+    // Graph-call vertices continue the client graph; must not block.
+    auto continuation = std::move(state->continuation);
+    continuation(std::move(result));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->result = std::move(result);
+  state->done = true;
+  domain_->notify_all(state->wp);
+}
+
+void Cluster::claim_context(ContextId ctx, const void* claimant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = claims_.emplace(ctx, claimant);
+  if (!inserted && it->second != claimant) {
+    raise(Errc::kState,
+          "tokens of one split context were routed to several merge "
+          "threads; all tokens of a context must converge on one thread "
+          "instance (check the merge's routing function)");
+  }
+}
+
+void Cluster::release_context(ContextId ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claims_.erase(ctx);
+}
+
+void Cluster::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    down_ = true;
+  }
+  DPS_DEBUG("cluster shutting down");
+  for (auto& c : controllers_) c->shutdown();
+  fabric_->shutdown();
+  // domain_ (and with it a simulation scheduler thread) stops when the
+  // unique_ptr destroys it after the controllers and fabric are quiet.
+}
+
+}  // namespace dps

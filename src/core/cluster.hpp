@@ -1,0 +1,143 @@
+// Cluster: one run's nodes, fabric, time domain, and shared registries.
+//
+// A Cluster stands for the set of machines the paper's kernels run on. The
+// deployment mode is chosen at construction:
+//
+//   * ClusterConfig::inproc(n)    — n thread-group nodes, serialized
+//                                   in-memory channels, wall clock (the
+//                                   paper's multi-kernel debug deployment);
+//   * ClusterConfig::tcp(n)       — same nodes, real TCP sockets on
+//                                   loopback, wall clock;
+//   * ClusterConfig::simulated(n) — virtual time + modeled Gigabit
+//                                   Ethernet; reproduces the paper's
+//                                   8-node cluster timing on one core.
+//
+// Everything engine-level that is cluster-global lives here: node naming,
+// the controllers, application and thread-collection registries, the
+// graph-call table, the parallel-service name registry, and the
+// merge-context claim diagnostics.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/call.hpp"
+#include "core/ids.hpp"
+#include "net/fabric.hpp"
+#include "net/name_registry.hpp"
+#include "sim/link.hpp"
+
+namespace dps {
+
+class Application;
+class Controller;
+class ThreadCollectionBase;
+
+struct ClusterConfig {
+  enum class FabricKind { kInproc, kTcp, kSim };
+
+  std::vector<std::string> nodes;  ///< node names; size = node count
+  FabricKind fabric = FabricKind::kInproc;
+  LinkModel link = LinkModel::gigabit_ethernet();  ///< kSim only
+
+  /// When set, overrides `fabric`: the cluster uses this transport (wall
+  /// clock). Used by the multi-process SPMD runtime.
+  std::shared_ptr<Fabric> external_fabric;
+
+  /// Multi-process mode: only this node's workers live in this process;
+  /// thread collections skip spawning for other nodes. Unset = all local.
+  std::optional<NodeId> local_node;
+  /// Split–merge flow-control window: max tokens in circulation between one
+  /// split/stream execution and its merge (paper, "Flow control and load
+  /// balancing"). Generous default; benchmarks sweep it explicitly.
+  uint32_t flow_window = 1u << 16;
+
+  /// Virtual-time mode: processor slots per node. The paper's cluster is
+  /// made of bi-processor Pentium III machines.
+  int sim_cpus_per_node = 2;
+
+  static ClusterConfig inproc(int node_count);
+  static ClusterConfig tcp(int node_count);
+  static ClusterConfig simulated(
+      int node_count, LinkModel link = LinkModel::gigabit_ethernet());
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  ExecDomain& domain() { return *domain_; }
+  Fabric& fabric() { return *fabric_; }
+  bool simulated() const { return config_.fabric == ClusterConfig::FabricKind::kSim; }
+  uint32_t flow_window() const { return config_.flow_window; }
+
+  size_t node_count() const { return config_.nodes.size(); }
+
+  /// Whether `node`'s workers live in this process (always true outside
+  /// multi-process mode).
+  bool is_local(NodeId node) const {
+    return !config_.local_node.has_value() || *config_.local_node == node;
+  }
+
+  NodeId node_id(const std::string& name) const;
+  const std::string& node_name(NodeId node) const;
+  Controller& controller(NodeId node);
+
+  /// Parallel-service registry (published flow graphs), the in-process
+  /// equivalent of the paper's name server.
+  NameRegistry& services() { return *services_; }
+
+  // --- applications ---------------------------------------------------------
+  AppId register_app(Application* app);
+  void unregister_app(AppId id);
+  Application* app(AppId id) const;  // throws kNotFound when absent
+
+  // --- thread collections ---------------------------------------------------
+  /// Takes shared ownership: collections must outlive in-flight envelopes,
+  /// so the cluster keeps them alive until it is destroyed.
+  CollectionId register_collection(
+      std::shared_ptr<ThreadCollectionBase> collection);
+  ThreadCollectionBase* collection(CollectionId id) const;
+
+  // --- graph calls ----------------------------------------------------------
+  CallId new_call_id();
+  std::shared_ptr<detail::CallState> create_call(CallId id);
+  void complete_call(CallId id, Ptr<Token> result);
+
+  // --- merge-context claim diagnostics --------------------------------------
+  /// Registers that `claimant` (an engine worker) collects context `ctx`;
+  /// throws Error(kState) if a different worker already does — the symptom
+  /// of a routing function scattering one context over several threads.
+  void claim_context(ContextId ctx, const void* claimant);
+  void release_context(ContextId ctx);
+
+  /// Stops workers and transports. Called by the destructor; may be called
+  /// earlier (idempotent).
+  void shutdown();
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<ExecDomain> domain_;
+  std::shared_ptr<Fabric> fabric_;
+  std::unique_ptr<NameRegistry> services_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<AppId, Application*> apps_;
+  AppId next_app_ = 1;
+  std::vector<std::shared_ptr<ThreadCollectionBase>> collections_;
+  std::atomic<uint64_t> next_call_{1};
+  std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls_;
+  std::unordered_map<ContextId, const void*> claims_;
+  bool down_ = false;
+};
+
+}  // namespace dps

@@ -1,0 +1,803 @@
+#include "core/controller.hpp"
+
+#include <cstdio>
+#include <optional>
+
+#include "core/application.hpp"
+#include "core/checkpoint.hpp"
+#include "core/cluster.hpp"
+#include "core/thread_collection.hpp"
+#include "util/logging.hpp"
+
+namespace dps {
+
+namespace {
+
+bool accepts(const Flowgraph::Vertex& v, uint64_t type_id) {
+  for (uint64_t id : v.input_type_ids) {
+    if (id == type_id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+struct Controller::Worker {
+  CollectionId collection = 0;
+  ThreadIndex index = 0;
+  int collection_size = 0;
+  std::string label;
+  std::unique_ptr<Thread> user_thread;
+
+  std::mutex mu;
+  WaitPoint wp;
+  std::deque<Envelope> queue;
+  bool poison = false;
+  std::atomic<uint32_t>* depth_slot = nullptr;
+
+  /// Merge/stream collections currently suspended on this thread (the
+  /// innermost is the running one). While a collection waits, the thread
+  /// keeps executing other queued operations (re-entrant dispatch), but
+  /// envelopes belonging to a suspended collection stay queued for it.
+  std::vector<std::pair<VertexId, ContextId>> active_contexts;
+
+  std::thread os_thread;
+
+  bool belongs_to_active_locked(const Envelope& e) const {
+    if (e.frames.empty()) return false;
+    for (const auto& [v, ctx] : active_contexts) {
+      if (e.vertex == v && e.frames.back().context == ctx) return true;
+    }
+    return false;
+  }
+};
+
+struct Controller::FlowAccount {
+  std::mutex mu;
+  WaitPoint wp;
+  uint32_t in_flight = 0;
+  bool finished = false;  ///< owning split/stream execution completed
+  bool poison = false;
+};
+
+// ---------------------------------------------------------------------------
+// ExecCtx: one operation execution (implements the OpServices the user's
+// postToken / waitForNextToken / thread() calls run against).
+// ---------------------------------------------------------------------------
+
+class Controller::ExecCtx : public detail::OpServices {
+ public:
+  ExecCtx(Controller& controller, Worker& worker, const Flowgraph& graph,
+          Envelope env)
+      : controller_(controller),
+        worker_(worker),
+        graph_(graph),
+        vertex_(env.vertex),
+        env_(std::move(env)) {}
+
+  void run() {
+    const Flowgraph::Vertex& v = graph_.vertex(vertex_);
+    kind_ = v.kind;
+    std::unique_ptr<Operation> op(v.op->create());
+    op->services_ = this;
+
+    switch (kind_) {
+      case OpKind::kLeaf:
+        out_frames_ = env_.frames;
+        break;
+      case OpKind::kSplit: {
+        out_frames_ = env_.frames;
+        split_ctx_ = controller_.new_context_id();
+        controller_.create_flow_account(split_ctx_);
+        out_frames_.push_back(
+            SplitFrame{split_ctx_, 0, 0, 0, controller_.self()});
+        break;
+      }
+      case OpKind::kMerge:
+      case OpKind::kStream: {
+        DPS_CHECK(!env_.frames.empty(),
+                  "merge/stream dispatched without a split frame");
+        const SplitFrame first = env_.frames.back();
+        merge_ctx_ = first.context;
+        controller_.cluster_.claim_context(merge_ctx_, &worker_);
+        claimed_ = true;
+        {
+          std::lock_guard<std::mutex> lock(worker_.mu);
+          worker_.active_contexts.emplace_back(vertex_, merge_ctx_);
+        }
+        out_frames_ = env_.frames;
+        out_frames_.pop_back();
+        received_ = 1;
+        if (first.has_total != 0) {
+          total_ = first.total;
+          total_known_ = true;
+        }
+        controller_.ack_consumed(first);
+        if (kind_ == OpKind::kStream) {
+          split_ctx_ = controller_.new_context_id();
+          controller_.create_flow_account(split_ctx_);
+          out_frames_.push_back(
+              SplitFrame{split_ctx_, 0, 0, 0, controller_.self()});
+        }
+        break;
+      }
+      case OpKind::kGraphCall:
+        DPS_CHECK(false, "graph-call vertices are not user operations");
+    }
+
+    try {
+      op->run_erased(env_.token.get());
+    } catch (...) {
+      cleanup_after_failure();
+      throw;
+    }
+
+    // Post-execution contracts and bookkeeping.
+    if (kind_ == OpKind::kMerge || kind_ == OpKind::kStream) {
+      // Drain tokens the user did not explicitly consume so the context
+      // closes and flow-control credits return.
+      while (!merge_done()) {
+        if (!drain_warned_) {
+          DPS_DEBUG("auto-draining merge context at vertex " << vertex_);
+          drain_warned_ = true;
+        }
+        (void)wait_next();
+      }
+      if (claimed_) {
+        unclaim();
+      }
+    }
+    if (kind_ == OpKind::kSplit || kind_ == OpKind::kStream) {
+      if (posted_ == 0) {
+        controller_.finish_flow_account(split_ctx_);
+        raise(Errc::kState,
+              std::string(to_string(kind_)) +
+                  " posted no tokens; the downstream merge would never "
+                  "complete");
+      }
+      DPS_CHECK(held_.has_value(), "split finalization lost the held token");
+      held_->frames.back().has_total = 1;
+      held_->frames.back().total = posted_;
+      Envelope last = std::move(*held_);
+      held_.reset();
+      send_now(std::move(last));
+      controller_.finish_flow_account(split_ctx_);
+    }
+    if (kind_ == OpKind::kLeaf && posted_ != 1) {
+      raise(Errc::kState, "leaf operation must post exactly one token, got " +
+                              std::to_string(posted_));
+    }
+    if (kind_ == OpKind::kMerge && posted_ != 1) {
+      raise(Errc::kState, "merge operation must post exactly one token, got " +
+                              std::to_string(posted_));
+    }
+  }
+
+  // --- OpServices -----------------------------------------------------------
+
+  void post(Ptr<Token> token) override {
+    DPS_CHECK(token.get() != nullptr, "postToken(nullptr)");
+    const Flowgraph::Vertex& v = graph_.vertex(vertex_);
+    const uint64_t tid = token->typeInfo().id;
+
+    VertexId target = kNoVertex;
+    for (VertexId s : v.successors) {
+      if (accepts(graph_.vertex(s), tid)) {
+        DPS_CHECK(target == kNoVertex,
+                  "ambiguous successor (validated at build; registry drift?)");
+        target = s;
+      }
+    }
+
+    const bool splitish =
+        kind_ == OpKind::kSplit || kind_ == OpKind::kStream;
+
+    if (target == kNoVertex) {
+      if (!v.successors.empty()) {
+        raise(Errc::kUnroutable,
+              "no successor of vertex " + std::to_string(vertex_) +
+                  " accepts token type '" + token->typeInfo().name + "'");
+      }
+      // Terminal vertex: the token is the graph-call result.
+      if (env_.call == 0) {
+        raise(Errc::kState,
+              "token posted at a terminal vertex outside a graph call");
+      }
+      bump_posted(splitish);
+      Envelope reply;
+      reply.app = env_.app;
+      reply.graph = env_.graph;
+      reply.vertex = kNoVertex;
+      reply.call = env_.call;
+      reply.call_reply_node = env_.call_reply_node;
+      reply.token = std::move(token);
+      controller_.send_reply(std::move(reply));
+      return;
+    }
+
+    Envelope out;
+    out.app = env_.app;
+    out.graph = env_.graph;
+    out.vertex = target;
+    out.call = env_.call;
+    out.call_reply_node = env_.call_reply_node;
+    out.frames = out_frames_;
+    if (splitish) out.frames.back().seq = posted_;
+    out.token = std::move(token);
+    bump_posted(splitish);
+
+    if (splitish) {
+      // Held-back-last-token protocol: delay each token by one post so the
+      // final one can carry the context total while the rest pipeline out
+      // eagerly.
+      std::optional<Envelope> to_send;
+      if (held_.has_value()) to_send = std::move(held_);
+      held_ = std::move(out);
+      if (to_send.has_value()) send_now(std::move(*to_send));
+    } else {
+      send_now(std::move(out));
+    }
+  }
+
+  Ptr<Token> wait_next() override {
+    DPS_CHECK(kind_ == OpKind::kMerge || kind_ == OpKind::kStream,
+              "waitForNextToken outside a merge/stream operation");
+    if (merge_done()) return {};
+    // While this collection waits, the DPS thread keeps working: envelopes
+    // for other operations are dispatched re-entrantly (the paper's threads
+    // process their queues; a waiting merge does not idle the thread — the
+    // LU graph depends on this, its stage opener collects notifications
+    // that transitively need leaf work on the same column thread).
+    for (;;) {
+      Envelope env2;
+      bool matched = false;
+      {
+        std::unique_lock<std::mutex> lock(worker_.mu);
+        size_t match_pos = 0, other_pos = 0;
+        controller_.cluster_.domain().wait_until(
+            worker_.wp, lock, [&] {
+              return worker_.poison || find_matching_locked(&match_pos) ||
+                     find_dispatchable_locked(&other_pos);
+            });
+        size_t pos;
+        if (find_matching_locked(&pos)) {
+          matched = true;
+        } else if (find_dispatchable_locked(&pos)) {
+          matched = false;
+        } else {
+          raise(Errc::kState, "worker shut down during merge collection");
+        }
+        env2 = std::move(worker_.queue[pos]);
+        worker_.queue.erase(worker_.queue.begin() +
+                            static_cast<ptrdiff_t>(pos));
+        if (worker_.depth_slot != nullptr) {
+          worker_.depth_slot->fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      if (matched) {
+        const SplitFrame f = env2.frames.back();
+        ++received_;
+        if (f.has_total != 0) {
+          total_ = f.total;
+          total_known_ = true;
+        }
+        controller_.ack_consumed(f);
+        return env2.token;
+      }
+      // Nested execution of an unrelated operation on this thread. Its
+      // failures must not unwind the suspended collection we service.
+      try {
+        controller_.dispatch(worker_, std::move(env2));
+      } catch (const std::exception& e) {
+        DPS_ERROR("worker " << worker_.label
+                            << ": nested operation failed: " << e.what());
+      }
+    }
+  }
+
+  Thread* user_thread() override { return worker_.user_thread.get(); }
+  ExecDomain& domain() override { return controller_.cluster_.domain(); }
+  int thread_index() const override {
+    return static_cast<int>(worker_.index);
+  }
+  int collection_size() const override { return worker_.collection_size; }
+
+ private:
+  bool merge_done() const { return total_known_ && received_ == total_; }
+
+  void bump_posted(bool splitish) {
+    ++posted_;
+    if (!splitish && posted_ > 1) {
+      raise(Errc::kState,
+            std::string(to_string(kind_)) + " operation posted " +
+                std::to_string(posted_) + " tokens; exactly one is allowed");
+    }
+  }
+
+  bool find_matching_locked(size_t* pos) const {
+    for (size_t i = 0; i < worker_.queue.size(); ++i) {
+      const Envelope& e = worker_.queue[i];
+      if (e.vertex == vertex_ && !e.frames.empty() &&
+          e.frames.back().context == merge_ctx_) {
+        *pos = i;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First queued envelope safe to execute re-entrantly while this
+  /// collection waits: it must not belong to a suspended collection, and it
+  /// must not *start* another collection — a nested merge could suspend us
+  /// while its own completion depends on tokens only we can emit (the LU
+  /// stage opener/collector pair on one column thread is exactly that
+  /// shape). Leaves, splits and graph calls run to completion, so they are
+  /// always safe.
+  bool find_dispatchable_locked(size_t* pos) const {
+    for (size_t i = 0; i < worker_.queue.size(); ++i) {
+      const Envelope& e = worker_.queue[i];
+      if (worker_.belongs_to_active_locked(e)) continue;
+      if (controller_.starts_collection(e)) continue;
+      *pos = i;
+      return true;
+    }
+    return false;
+  }
+
+  void unclaim() {
+    controller_.cluster_.release_context(merge_ctx_);
+    {
+      std::lock_guard<std::mutex> lock(worker_.mu);
+      auto& ac = worker_.active_contexts;
+      for (size_t i = ac.size(); i-- > 0;) {
+        if (ac[i] == std::make_pair(vertex_, merge_ctx_)) {
+          ac.erase(ac.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    claimed_ = false;
+  }
+
+  void send_now(Envelope e) {
+    if (kind_ == OpKind::kSplit || kind_ == OpKind::kStream) {
+      controller_.flow_acquire(split_ctx_);
+    }
+    controller_.route_and_send(graph_, std::move(e));
+  }
+
+  void cleanup_after_failure() {
+    if (claimed_) {
+      unclaim();
+    }
+    if (kind_ == OpKind::kSplit || kind_ == OpKind::kStream) {
+      controller_.finish_flow_account(split_ctx_);
+    }
+  }
+
+  Controller& controller_;
+  Worker& worker_;
+  const Flowgraph& graph_;
+  VertexId vertex_;
+  Envelope env_;
+
+  OpKind kind_ = OpKind::kLeaf;
+  std::vector<SplitFrame> out_frames_;
+  uint32_t posted_ = 0;
+  std::optional<Envelope> held_;
+  ContextId split_ctx_ = 0;  // split/stream output context
+  ContextId merge_ctx_ = 0;  // merge/stream input context
+  bool claimed_ = false;
+  uint32_t received_ = 0;
+  uint32_t total_ = 0;
+  bool total_known_ = false;
+  bool drain_warned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+Controller::Controller(Cluster& cluster, NodeId self)
+    : cluster_(cluster), self_(self) {}
+
+Controller::~Controller() { shutdown(); }
+
+void Controller::spawn_worker(ThreadCollectionBase& collection,
+                              ThreadIndex index,
+                              const detail::ThreadTypeInfo& type) {
+  auto w = std::make_unique<Worker>();
+  w->collection = collection.id();
+  w->index = index;
+  w->collection_size = collection.size();
+  w->label = collection.name() + "[" + std::to_string(index) + "]@" +
+             cluster_.node_name(self_);
+  w->user_thread.reset(type.create());
+  w->depth_slot = collection.mutable_queue_depths() + index;
+  Worker* raw = w.get();
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    DPS_CHECK(!down_, "spawn_worker on a shut-down controller");
+    auto key = std::make_pair(collection.id(), index);
+    DPS_CHECK(workers_.find(key) == workers_.end(),
+              "thread already spawned at this (collection, index)");
+    workers_.emplace(key, std::move(w));
+  }
+  cluster_.domain().reserve_actor();
+  raw->os_thread = std::thread([this, raw] { worker_loop(*raw); });
+}
+
+Controller::Worker& Controller::worker(CollectionId collection,
+                                       ThreadIndex index) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  auto it = workers_.find(std::make_pair(collection, index));
+  if (it == workers_.end()) {
+    raise(Errc::kNotFound,
+          "no thread " + std::to_string(index) + " of collection " +
+              std::to_string(collection) + " on node " +
+              cluster_.node_name(self_));
+  }
+  return *it->second;
+}
+
+void Controller::worker_loop(Worker& w) {
+  ExecDomain& domain = cluster_.domain();
+  domain.actor_started(w.label.c_str());
+  // Under virtual time, this DPS thread competes for its node's CPUs.
+  domain.bind_cpu(static_cast<int>(self_));
+  for (;;) {
+    Envelope env;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      try {
+        domain.wait_until(w.wp, lock,
+                          [&] { return w.poison || !w.queue.empty(); });
+      } catch (const Error&) {
+        break;  // simulation stopped or stalled while idle
+      }
+      if (w.queue.empty()) break;  // poisoned and drained
+      env = std::move(w.queue.front());
+      w.queue.pop_front();
+      if (w.depth_slot != nullptr) {
+        w.depth_slot->fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    try {
+      dispatch(w, std::move(env));
+    } catch (const Error& e) {
+      if (w.poison) break;
+      DPS_ERROR("worker " << w.label << ": " << e.what());
+    } catch (const std::exception& e) {
+      // User operation code threw: the token is lost (its context will be
+      // diagnosed as stalled), the thread survives.
+      if (w.poison) break;
+      DPS_ERROR("worker " << w.label
+                          << ": user operation threw: " << e.what());
+    } catch (...) {
+      if (w.poison) break;
+      DPS_ERROR("worker " << w.label << ": user operation threw");
+    }
+  }
+  domain.actor_finished();
+}
+
+void Controller::dispatch(Worker& w, Envelope env) {
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  Application* app = cluster_.app(env.app);
+  std::shared_ptr<Flowgraph> graph = app->graph(env.graph);
+  DPS_CHECK(graph != nullptr, "envelope names an unknown graph");
+  if (graph->vertex(env.vertex).kind == OpKind::kGraphCall) {
+    dispatch_graph_call(w, std::move(env));
+    return;
+  }
+  ExecCtx ctx(*this, w, *graph, std::move(env));
+  ctx.run();
+}
+
+void Controller::dispatch_graph_call(Worker& w, Envelope env) {
+  (void)w;
+  Application* app = cluster_.app(env.app);
+  std::shared_ptr<Flowgraph> graph = app->graph(env.graph);
+  const Flowgraph::Vertex& v = graph->vertex(env.vertex);
+
+  // Resolve the published service; blocks until it appears (lazy start).
+  const std::string value = cluster_.services().wait_for(v.service_name);
+  AppId target_app_id = 0;
+  GraphId target_graph_id = 0;
+  if (std::sscanf(value.c_str(), "%u %u", &target_app_id, &target_graph_id) !=
+      2) {
+    raise(Errc::kProtocol,
+          "malformed service record for '" + v.service_name + "'");
+  }
+  Application* target_app = cluster_.app(target_app_id);
+  std::shared_ptr<Flowgraph> target = target_app->graph(target_graph_id);
+  DPS_CHECK(target != nullptr, "service names an unknown graph");
+
+  const Flowgraph::Vertex& entry = target->vertex(target->entry());
+  if (!accepts(entry, env.token->typeInfo().id)) {
+    raise(Errc::kTypeMismatch,
+          "service '" + v.service_name + "' does not accept token type '" +
+              env.token->typeInfo().name + "'");
+  }
+
+  const CallId sub = cluster_.new_call_id();
+  auto state = cluster_.create_call(sub);
+  state->continuation = [this, app_id = env.app, graph_id = env.graph,
+                         vertex_id = env.vertex, frames = env.frames,
+                         call = env.call,
+                         reply = env.call_reply_node](Ptr<Token> result) {
+    continue_graph_call(app_id, graph_id, vertex_id, frames, call, reply,
+                        std::move(result));
+  };
+
+  Envelope sub_env;
+  sub_env.app = target_app_id;
+  sub_env.graph = target_graph_id;
+  sub_env.vertex = target->entry();
+  sub_env.call = sub;
+  sub_env.call_reply_node = self_;
+  sub_env.token = std::move(env.token);
+  route_and_send(*target, std::move(sub_env));
+}
+
+void Controller::continue_graph_call(AppId app_id, GraphId graph_id,
+                                     VertexId vertex_id,
+                                     std::vector<SplitFrame> frames,
+                                     CallId call, NodeId reply_node,
+                                     Ptr<Token> result) {
+  // Runs on whatever thread completed the sub-call (possibly the simulation
+  // scheduler): must not block and must not throw.
+  try {
+    Application* app = cluster_.app(app_id);
+    std::shared_ptr<Flowgraph> graph = app->graph(graph_id);
+    const Flowgraph::Vertex& v = graph->vertex(vertex_id);
+    const uint64_t tid = result->typeInfo().id;
+    VertexId target = kNoVertex;
+    for (VertexId s : v.successors) {
+      if (accepts(graph->vertex(s), tid)) target = s;
+    }
+    if (target == kNoVertex) {
+      if (!v.successors.empty()) {
+        raise(Errc::kUnroutable,
+              "no successor accepts the service result type '" +
+                  result->typeInfo().name + "'");
+      }
+      Envelope reply;
+      reply.app = app_id;
+      reply.graph = graph_id;
+      reply.vertex = kNoVertex;
+      reply.call = call;
+      reply.call_reply_node = reply_node;
+      reply.token = std::move(result);
+      send_reply(std::move(reply));
+      return;
+    }
+    Envelope out;
+    out.app = app_id;
+    out.graph = graph_id;
+    out.vertex = target;
+    out.call = call;
+    out.call_reply_node = reply_node;
+    out.frames = std::move(frames);
+    out.token = std::move(result);
+    route_and_send(*graph, std::move(out));
+  } catch (const Error& e) {
+    DPS_ERROR("graph-call continuation failed: " << e.what());
+  }
+}
+
+bool Controller::starts_collection(const Envelope& env) const {
+  if (env.vertex == kNoVertex) return false;
+  try {
+    Application* app = cluster_.app(env.app);
+    std::shared_ptr<Flowgraph> graph = app->graph(env.graph);
+    const OpKind kind = graph->vertex(env.vertex).kind;
+    return kind == OpKind::kMerge || kind == OpKind::kStream;
+  } catch (const Error&) {
+    return false;  // let the dispatch path report the real problem
+  }
+}
+
+void Controller::route_and_send(const Flowgraph& graph, Envelope env) {
+  const Flowgraph::Vertex& v = graph.vertex(env.vertex);
+  std::unique_ptr<RouteBase> route(v.route->create());
+  route->ctx_ = detail::RouteContext{v.collection->size(),
+                                     v.collection->queue_depths()};
+  const int idx = route->route_erased(env.token.get());
+  env.collection = v.collection->id();
+  env.thread = static_cast<ThreadIndex>(idx);
+  send(std::move(env));
+}
+
+void Controller::send(Envelope env) {
+  ThreadCollectionBase* coll = cluster_.collection(env.collection);
+  const NodeId target = coll->node_of(env.thread);
+  if (target == self_) {
+    deliver_local(std::move(env));
+    return;
+  }
+  Writer w;
+  env.encode(w);
+  cluster_.fabric().send(self_, target, FrameKind::kEnvelope, w.take());
+}
+
+void Controller::deliver_local(Envelope env) {
+  Worker& w = worker(env.collection, env.thread);
+  std::lock_guard<std::mutex> lock(w.mu);
+  w.queue.push_back(std::move(env));
+  if (w.depth_slot != nullptr) {
+    w.depth_slot->fetch_add(1, std::memory_order_relaxed);
+  }
+  cluster_.domain().notify_all(w.wp);
+}
+
+void Controller::send_reply(Envelope env) {
+  if (env.call_reply_node == self_) {
+    cluster_.complete_call(env.call, std::move(env.token));
+    return;
+  }
+  Writer w;
+  env.encode(w);
+  cluster_.fabric().send(self_, env.call_reply_node, FrameKind::kCallReply,
+                         w.take());
+}
+
+void Controller::on_fabric(NodeMessage&& msg) {
+  // Non-blocking by contract: enqueue, update accounts, notify.
+  switch (msg.kind) {
+    case FrameKind::kEnvelope: {
+      Reader r(msg.payload.data(), msg.payload.size());
+      deliver_local(Envelope::decode(r));
+      break;
+    }
+    case FrameKind::kFlowAck: {
+      Reader r(msg.payload.data(), msg.payload.size());
+      const ContextId ctx = r.get<ContextId>();
+      const uint32_t n = r.get<uint32_t>();
+      apply_flow_release(ctx, n);
+      break;
+    }
+    case FrameKind::kCallReply: {
+      Reader r(msg.payload.data(), msg.payload.size());
+      Envelope env = Envelope::decode(r);
+      cluster_.complete_call(env.call, std::move(env.token));
+      break;
+    }
+    default:
+      DPS_WARN("node " << self_ << ": unexpected frame kind "
+                       << static_cast<int>(msg.kind));
+  }
+}
+
+// --- Flow control ------------------------------------------------------------
+
+ContextId Controller::new_context_id() {
+  return (static_cast<uint64_t>(self_ + 1) << 40) |
+         (context_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void Controller::create_flow_account(ContextId ctx) {
+  std::lock_guard<std::mutex> lock(flow_mu_);
+  accounts_.emplace(ctx, std::make_unique<FlowAccount>());
+}
+
+void Controller::flow_acquire(ContextId ctx) {
+  FlowAccount* acc = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(flow_mu_);
+    auto it = accounts_.find(ctx);
+    DPS_CHECK(it != accounts_.end(), "flow_acquire on unknown account");
+    acc = it->second.get();
+  }
+  const uint32_t window = cluster_.flow_window();
+  std::unique_lock<std::mutex> lock(acc->mu);
+  cluster_.domain().wait_until(
+      acc->wp, lock, [&] { return acc->poison || acc->in_flight < window; });
+  if (acc->poison) {
+    raise(Errc::kState, "shutdown while waiting for flow-control window");
+  }
+  ++acc->in_flight;
+}
+
+void Controller::finish_flow_account(ContextId ctx) {
+  std::lock_guard<std::mutex> lock(flow_mu_);
+  auto it = accounts_.find(ctx);
+  if (it == accounts_.end()) return;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> al(it->second->mu);
+    it->second->finished = true;
+    drained = (it->second->in_flight == 0);
+  }
+  if (drained) accounts_.erase(it);
+}
+
+void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
+  std::lock_guard<std::mutex> lock(flow_mu_);
+  auto it = accounts_.find(ctx);
+  if (it == accounts_.end()) return;  // late ack after account drained
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> al(it->second->mu);
+    FlowAccount& acc = *it->second;
+    acc.in_flight = (acc.in_flight >= n) ? acc.in_flight - n : 0;
+    cluster_.domain().notify_all(acc.wp);
+    drained = acc.finished && acc.in_flight == 0;
+  }
+  if (drained) accounts_.erase(it);
+}
+
+void Controller::ack_consumed(const SplitFrame& frame) {
+  if (frame.split_node == self_) {
+    apply_flow_release(frame.context, 1);
+    return;
+  }
+  Writer w;
+  w.put<ContextId>(frame.context);
+  w.put<uint32_t>(1);
+  cluster_.fabric().send(self_, frame.split_node, FrameKind::kFlowAck,
+                         w.take());
+}
+
+// --- Checkpointing -------------------------------------------------------------
+
+void Controller::checkpoint_workers(Writer& w) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (auto& [key, worker] : workers_) {
+    auto* state = dynamic_cast<const Checkpointable*>(worker->user_thread.get());
+    if (state == nullptr) continue;
+    w.put<uint8_t>(1);
+    w.put<CollectionId>(key.first);
+    w.put<ThreadIndex>(key.second);
+    Writer payload;
+    state->checkpoint(payload);
+    w.put_bytes(payload.bytes().data(), payload.size());
+  }
+}
+
+void Controller::restore_worker(CollectionId collection, ThreadIndex index,
+                                Reader& r) {
+  Worker& w = worker(collection, index);
+  auto* state = dynamic_cast<Checkpointable*>(w.user_thread.get());
+  if (state == nullptr) {
+    raise(Errc::kState,
+          "checkpoint record addresses a thread whose class is not "
+          "Checkpointable");
+  }
+  state->restore(r);
+}
+
+// --- Shutdown ----------------------------------------------------------------
+
+void Controller::shutdown() {
+  std::vector<Worker*> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (down_) return;
+    down_ = true;
+    workers.reserve(workers_.size());
+    for (auto& [key, w] : workers_) workers.push_back(w.get());
+  }
+  for (Worker* w : workers) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->poison = true;
+    cluster_.domain().notify_all(w->wp);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flow_mu_);
+    for (auto& [ctx, acc] : accounts_) {
+      std::lock_guard<std::mutex> al(acc->mu);
+      acc->poison = true;
+      cluster_.domain().notify_all(acc->wp);
+    }
+  }
+  for (Worker* w : workers) {
+    if (w->os_thread.joinable()) w->os_thread.join();
+  }
+}
+
+}  // namespace dps

@@ -1,0 +1,111 @@
+// Controller: the per-node execution engine.
+//
+// "At the heart of the DPS library is the Controller object, instantiated
+// in each node and responsible for sequencing within each node the program
+// execution according to the flow graphs and thread collections
+// instantiated by the application." (paper, section 3)
+//
+// The controller owns this node's engine workers (one OS thread + mailbox
+// per DPS thread mapped here), dispatches arriving envelopes to operation
+// executions, implements merge/stream context collection, tracks the
+// split–merge flow-control accounts anchored on this node, and moves
+// envelopes to other nodes through the cluster fabric.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/envelope.hpp"
+#include "core/flowgraph.hpp"
+#include "core/operation.hpp"
+#include "core/thread.hpp"
+#include "net/fabric.hpp"
+
+namespace dps {
+
+class Cluster;
+class ThreadCollectionBase;
+
+class Controller {
+ public:
+  Controller(Cluster& cluster, NodeId self);
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  NodeId self() const { return self_; }
+
+  /// Spawns the engine worker for thread `index` of `collection` (whose
+  /// home is this node): user Thread instance + mailbox + OS thread.
+  void spawn_worker(ThreadCollectionBase& collection, ThreadIndex index,
+                    const detail::ThreadTypeInfo& type);
+
+  /// Routes an envelope whose destination vertex is set: applies the
+  /// vertex's routing function, resolves the target thread's home node, and
+  /// delivers locally or through the fabric. Also the entry point used by
+  /// Flowgraph::call (from the application's home node).
+  void route_and_send(const Flowgraph& graph, Envelope env);
+
+  /// Delivers an already-routed envelope (collection/thread set).
+  void send(Envelope env);
+
+  /// Fabric delivery callback (non-blocking: enqueue + notify only).
+  void on_fabric(NodeMessage&& msg);
+
+  /// Stops and joins this node's workers. Idempotent.
+  void shutdown();
+
+  /// Number of envelopes dispatched on this node (tests/benchmarks).
+  uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
+
+  /// Checkpoint support (core/checkpoint.hpp): appends one record per
+  /// Checkpointable worker of this node; restores one worker's state. The
+  /// schedule must be quiescent.
+  void checkpoint_workers(Writer& w);
+  void restore_worker(CollectionId collection, ThreadIndex index, Reader& r);
+
+ private:
+  struct Worker;
+  struct FlowAccount;
+  class ExecCtx;
+
+  // Engine internals.
+  void worker_loop(Worker& w);
+  void dispatch(Worker& w, Envelope env);
+  void dispatch_graph_call(Worker& w, Envelope env);
+  void continue_graph_call(AppId app, GraphId graph, VertexId vertex,
+                           std::vector<SplitFrame> frames, CallId call,
+                           NodeId reply_node, Ptr<Token> result);
+  void deliver_local(Envelope env);
+  void send_reply(Envelope env);
+  Worker& worker(CollectionId collection, ThreadIndex index);
+  bool starts_collection(const Envelope& env) const;
+
+  // Flow control (accounts anchored at this node for splits running here).
+  ContextId new_context_id();
+  void create_flow_account(ContextId ctx);
+  void flow_acquire(ContextId ctx);           // blocks until window slot free
+  void finish_flow_account(ContextId ctx);    // split done; erase when drained
+  void apply_flow_release(ContextId ctx, uint32_t n);
+  void ack_consumed(const SplitFrame& frame);  // from merge/stream side
+
+  Cluster& cluster_;
+  NodeId self_;
+
+  std::mutex workers_mu_;
+  std::map<std::pair<CollectionId, ThreadIndex>, std::unique_ptr<Worker>>
+      workers_;
+  bool down_ = false;
+
+  std::mutex flow_mu_;
+  std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_;
+  std::atomic<uint64_t> context_counter_{0};
+  std::atomic<uint64_t> dispatched_{0};
+};
+
+}  // namespace dps

@@ -1,0 +1,54 @@
+#include "core/envelope.hpp"
+
+#include "util/error.hpp"
+
+namespace dps {
+
+SplitFrame& Envelope::top_frame() {
+  DPS_CHECK(!frames.empty(), "envelope has no split frame");
+  return frames.back();
+}
+
+const SplitFrame& Envelope::top_frame() const {
+  DPS_CHECK(!frames.empty(), "envelope has no split frame");
+  return frames.back();
+}
+
+void Envelope::encode(Writer& w) const {
+  w.put(app);
+  w.put(graph);
+  w.put(vertex);
+  w.put(collection);
+  w.put(thread);
+  w.put(call);
+  w.put(call_reply_node);
+  w.put(static_cast<uint32_t>(frames.size()));
+  for (const SplitFrame& f : frames) w.put(f);
+  DPS_CHECK(token.get() != nullptr, "encoding an envelope without a token");
+  serialize_token(*token, w);
+}
+
+Envelope Envelope::decode(Reader& r) {
+  Envelope e;
+  e.app = r.get<AppId>();
+  e.graph = r.get<GraphId>();
+  e.vertex = r.get<VertexId>();
+  e.collection = r.get<CollectionId>();
+  e.thread = r.get<ThreadIndex>();
+  e.call = r.get<CallId>();
+  e.call_reply_node = r.get<NodeId>();
+  const uint32_t n = r.get<uint32_t>();
+  r.require_count(n, sizeof(SplitFrame));
+  e.frames.resize(n);
+  for (uint32_t i = 0; i < n; ++i) e.frames[i] = r.get<SplitFrame>();
+  e.token = deserialize_token(r);
+  return e;
+}
+
+size_t Envelope::encoded_size() const {
+  Writer w;
+  encode(w);
+  return w.size();
+}
+
+}  // namespace dps

@@ -1,0 +1,52 @@
+// Token envelopes — the control structure that travels with every token.
+//
+// "Data objects transferred over the network incorporate control structures
+// giving information about their state and position within the flow graph."
+// (paper, section 4). The envelope records the destination vertex/thread,
+// the stack of split frames (one per enclosing split/stream construct,
+// which is how nested split–merge constructs and context-complete detection
+// work), and graph-call bookkeeping. Within one node envelopes move by
+// pointer; across nodes they serialize through encode()/decode().
+#pragma once
+
+#include <vector>
+
+#include "core/ids.hpp"
+#include "serial/registry.hpp"
+#include "serial/wire.hpp"
+
+namespace dps {
+
+/// One level of split/stream nesting.
+struct SplitFrame {
+  ContextId context = 0;  ///< id of the split execution (= flow account id)
+  uint32_t seq = 0;       ///< this token's index within the split
+  uint8_t has_total = 0;  ///< carried by the last token the split posted
+  uint32_t total = 0;     ///< number of tokens the split posted
+  NodeId split_node = 0;  ///< node to send flow-control acks to
+};
+static_assert(std::is_trivially_copyable_v<SplitFrame>);
+
+struct Envelope {
+  AppId app = 0;
+  GraphId graph = 0;
+  VertexId vertex = kNoVertex;  ///< destination vertex; kNoVertex = call reply
+  CollectionId collection = 0;
+  ThreadIndex thread = 0;
+  CallId call = 0;              ///< graph-call id the token belongs to
+  NodeId call_reply_node = 0;   ///< where the final result must return
+  std::vector<SplitFrame> frames;
+  Ptr<Token> token;
+
+  /// Innermost split frame (engine invariant: present at merge/stream).
+  SplitFrame& top_frame();
+  const SplitFrame& top_frame() const;
+
+  void encode(Writer& w) const;
+  static Envelope decode(Reader& r);
+
+  /// Serialized size without building the buffer twice (bench accounting).
+  size_t encoded_size() const;
+};
+
+}  // namespace dps

@@ -1,0 +1,335 @@
+#include "core/flowgraph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "core/application.hpp"
+#include "core/cluster.hpp"
+#include "core/controller.hpp"
+#include "util/logging.hpp"
+
+namespace dps {
+
+// ---------------------------------------------------------------------------
+// FlowgraphBuilder
+// ---------------------------------------------------------------------------
+
+void FlowgraphBuilder::add_vertex(detail::VertexSpecPtr v) {
+  for (const auto& existing : vertices_) {
+    if (existing.get() == v.get()) return;  // shared FlowgraphNode variable
+  }
+  vertices_.push_back(std::move(v));
+}
+
+void FlowgraphBuilder::add_edge(detail::VertexSpecPtr from,
+                                detail::VertexSpecPtr to) {
+  add_vertex(from);
+  add_vertex(to);
+  auto edge = std::make_pair(from.get(), to.get());
+  for (const auto& e : edges_) {
+    if (e == edge) return;  // idempotent (+= of overlapping pieces)
+  }
+  edges_.push_back(edge);
+}
+
+FlowgraphBuilder& FlowgraphBuilder::operator+=(const FlowgraphBuilder& other) {
+  for (const auto& v : other.vertices_) add_vertex(v);
+  for (const auto& [from, to] : other.edges_) {
+    // Locate the shared_ptr owners in `other` to reuse add_edge's dedup.
+    detail::VertexSpecPtr f, t;
+    for (const auto& v : other.vertices_) {
+      if (v.get() == from) f = v;
+      if (v.get() == to) t = v;
+    }
+    add_edge(f, t);
+  }
+  chain_tail = other.chain_tail;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Flowgraph construction & validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int depth_delta(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSplit: return +1;
+    case OpKind::kMerge: return -1;
+    case OpKind::kStream: return 0;  // pops one frame, pushes its own
+    case OpKind::kLeaf:
+    case OpKind::kGraphCall: return 0;
+  }
+  return 0;
+}
+
+bool pops_frame(OpKind kind) {
+  return kind == OpKind::kMerge || kind == OpKind::kStream;
+}
+
+}  // namespace
+
+Flowgraph::Flowgraph(Application& app, GraphId id, std::string name,
+                     const FlowgraphBuilder& builder)
+    : app_(&app), id_(id), name_(std::move(name)) {
+  const auto& specs = builder.vertices();
+  if (specs.empty()) {
+    raise(Errc::kInvalidArgument, "flow graph '" + name_ + "' is empty");
+  }
+
+  // Resolve specs against the registries and the thread collections.
+  std::unordered_map<const detail::VertexSpec*, VertexId> index;
+  vertices_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    Vertex v;
+    v.kind = spec->kind;
+    if (spec->kind != OpKind::kGraphCall) {
+      v.op = &detail::OperationTypeRegistry::instance().find(spec->op_name);
+    }
+    v.route = &detail::RouteTypeRegistry::instance().find(spec->route_name);
+    v.service_name = spec->service_name;
+    v.collection = spec->collection.get();
+    v.input_type_ids = spec->input_type_ids;
+    v.output_type_ids = spec->output_type_ids;
+    if (v.collection == nullptr) {
+      raise(Errc::kInvalidArgument,
+            "vertex '" + spec->op_name + "' has no thread collection");
+    }
+    if (!v.collection->mapped()) {
+      raise(Errc::kState, "thread collection '" + v.collection->name() +
+                              "' must be mapped before building graph '" +
+                              name_ + "'");
+    }
+    if (v.collection->thread_type() != spec->thread_type_name) {
+      raise(Errc::kInvalidArgument,
+            "vertex '" + spec->op_name + "' runs on thread class '" +
+                spec->thread_type_name + "' but collection '" +
+                v.collection->name() + "' holds '" +
+                v.collection->thread_type() + "' threads");
+    }
+    // The route must target the same thread class and accept one of the
+    // vertex's input token types.
+    if (v.route->target_thread_name != spec->thread_type_name) {
+      raise(Errc::kInvalidArgument,
+            "route '" + v.route->name + "' targets thread class '" +
+                v.route->target_thread_name + "', vertex needs '" +
+                spec->thread_type_name + "'");
+    }
+    if (v.route->token_type_name != detail::kAnyTokenRoute) {
+      const uint64_t route_token = fnv1a(v.route->token_type_name.c_str());
+      if (std::find(v.input_type_ids.begin(), v.input_type_ids.end(),
+                    route_token) == v.input_type_ids.end()) {
+        raise(Errc::kInvalidArgument,
+              "route '" + v.route->name + "' routes token type '" +
+                  v.route->token_type_name +
+                  "', which the vertex does not accept");
+      }
+    }
+    index.emplace(spec.get(), static_cast<VertexId>(vertices_.size()));
+    vertices_.push_back(std::move(v));
+  }
+
+  // Edges -> successor lists.
+  std::vector<int> in_degree(vertices_.size(), 0);
+  for (const auto& [from, to] : builder.edges()) {
+    const VertexId f = index.at(from);
+    const VertexId t = index.at(to);
+    vertices_[f].successors.push_back(t);
+    ++in_degree[t];
+  }
+
+  // Unique entry vertex.
+  VertexId entry = kNoVertex;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (in_degree[v] == 0) {
+      if (entry != kNoVertex) {
+        raise(Errc::kInvalidArgument,
+              "flow graph '" + name_ + "' has several entry vertices");
+      }
+      entry = v;
+    }
+  }
+  if (entry == kNoVertex) {
+    raise(Errc::kInvalidArgument,
+          "flow graph '" + name_ + "' has no entry vertex (cycle)");
+  }
+  entry_ = entry;
+  if (pops_frame(vertices_[entry_].kind)) {
+    raise(Errc::kInvalidArgument,
+          "flow graph '" + name_ +
+              "' starts with a merge/stream operation; the entry receives a "
+              "single token and has no split context to collect");
+  }
+
+  // Acyclicity + reachability (iterative DFS with colors).
+  {
+    enum : uint8_t { kWhite, kGray, kBlack };
+    std::vector<uint8_t> color(vertices_.size(), kWhite);
+    std::vector<std::pair<VertexId, size_t>> stack;
+    stack.emplace_back(entry_, 0);
+    color[entry_] = kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < vertices_[v].successors.size()) {
+        const VertexId s = vertices_[v].successors[next++];
+        if (color[s] == kGray) {
+          raise(Errc::kInvalidArgument,
+                "flow graph '" + name_ + "' contains a cycle (DPS graphs "
+                "are directed acyclic graphs)");
+        }
+        if (color[s] == kWhite) {
+          color[s] = kGray;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+      if (color[v] == kWhite) {
+        raise(Errc::kInvalidArgument,
+              "flow graph '" + name_ + "' has vertices unreachable from the "
+              "entry");
+      }
+    }
+  }
+
+  // Successor input lists must be pairwise disjoint: "the input data object
+  // types of the destinations are used to determine which path to follow".
+  for (const Vertex& v : vertices_) {
+    std::set<uint64_t> seen;
+    for (VertexId s : v.successors) {
+      for (uint64_t t : vertices_[s].input_type_ids) {
+        if (!seen.insert(t).second) {
+          raise(Errc::kInvalidArgument,
+                "flow graph '" + name_ +
+                    "': two successors of one vertex accept the same token "
+                    "type; the path choice would be ambiguous");
+        }
+      }
+    }
+  }
+
+  // Frame-depth consistency (balanced split/merge nesting) via BFS.
+  {
+    std::vector<int> depth(vertices_.size(), -1);
+    depth[entry_] = 0;
+    std::vector<VertexId> queue{entry_};
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      const VertexId v = queue[qi];
+      const Vertex& vv = vertices_[v];
+      if (pops_frame(vv.kind) && depth[v] < 1) {
+        raise(Errc::kInvalidArgument,
+              "flow graph '" + name_ + "': merge/stream at depth 0 — no "
+              "enclosing split");
+      }
+      const int out = depth[v] + depth_delta(vv.kind);
+      for (VertexId s : vv.successors) {
+        if (depth[s] == -1) {
+          depth[s] = out;
+          queue.push_back(s);
+        } else if (depth[s] != out) {
+          raise(Errc::kInvalidArgument,
+                "flow graph '" + name_ + "': split/merge nesting depth "
+                "differs between paths reaching the same vertex");
+        }
+      }
+      if (vv.successors.empty() && out != 0) {
+        raise(Errc::kInvalidArgument,
+              "flow graph '" + name_ + "': terminal vertex leaves " +
+                  std::to_string(out) +
+                  " split frame(s) open — every split needs a matching "
+                  "merge (unbalanced graph)");
+      }
+    }
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+      vertices_[v].frame_depth_in = depth[v];
+    }
+  }
+
+  // Each split/stream must have exactly one closing merge/stream: all the
+  // tokens of one context must converge on one collecting vertex.
+  for (VertexId s = 0; s < vertices_.size(); ++s) {
+    const OpKind k = vertices_[s].kind;
+    if (k != OpKind::kSplit && k != OpKind::kStream) continue;
+    std::set<VertexId> closers;
+    std::set<std::pair<VertexId, int>> visited;
+    std::vector<std::pair<VertexId, int>> stack;
+    for (VertexId t : vertices_[s].successors) stack.emplace_back(t, 1);
+    while (!stack.empty()) {
+      auto [v, rel] = stack.back();
+      stack.pop_back();
+      if (!visited.emplace(v, rel).second) continue;
+      const Vertex& vv = vertices_[v];
+      if (pops_frame(vv.kind) && rel == 1) {
+        closers.insert(v);
+        continue;  // context closed; do not walk past the closer
+      }
+      const int out = rel + depth_delta(vv.kind);
+      for (VertexId t : vv.successors) stack.emplace_back(t, out);
+    }
+    if (closers.size() != 1) {
+      raise(Errc::kInvalidArgument,
+            "flow graph '" + name_ + "': a split/stream construct must be "
+            "closed by exactly one merge/stream vertex, found " +
+                std::to_string(closers.size()));
+    }
+  }
+
+  DPS_DEBUG("built flow graph '" << name_ << "' with " << vertices_.size()
+                                 << " vertices");
+}
+
+const Flowgraph::Vertex& Flowgraph::vertex(VertexId v) const {
+  DPS_CHECK(v < vertices_.size(), "vertex id out of range");
+  return vertices_[v];
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+CallHandle Flowgraph::call_async(Ptr<Token> input) {
+  DPS_CHECK(input.get() != nullptr, "call with null token");
+  Cluster& cluster = app_->cluster();
+  const Vertex& entry = vertices_[entry_];
+  const uint64_t tid = input->typeInfo().id;
+  if (std::find(entry.input_type_ids.begin(), entry.input_type_ids.end(),
+                tid) == entry.input_type_ids.end()) {
+    raise(Errc::kTypeMismatch,
+          "graph '" + name_ + "' does not accept input token type '" +
+              input->typeInfo().name + "'");
+  }
+  const CallId id = cluster.new_call_id();
+  auto state = cluster.create_call(id);
+
+  Envelope env;
+  env.app = app_->id();
+  env.graph = id_;
+  env.vertex = entry_;
+  env.call = id;
+  env.call_reply_node = app_->home();
+  env.token = std::move(input);
+  cluster.controller(app_->home()).route_and_send(*this, std::move(env));
+  return CallHandle(id, std::move(state));
+}
+
+Ptr<Token> Flowgraph::call(Ptr<Token> input) {
+  return call_async(std::move(input)).wait();
+}
+
+Ptr<Token> CallHandle::wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->domain->wait_until(state_->wp, lock, [&] { return state_->done; });
+  return state_->result;
+}
+
+bool CallHandle::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+}  // namespace dps

@@ -1,0 +1,274 @@
+// Flow graphs: construction DSL and runtime representation.
+//
+// "Flow graphs are defined with overloaded C++ operators" (paper,
+// section 3):
+//
+//   FlowgraphBuilder builder =
+//       FlowgraphNode<SplitString, MainRoute>(mainThreads) >>
+//       FlowgraphNode<ToUpperCase, RoundRobinRoute>(computeThreads) >>
+//       FlowgraphNode<MergeString, MainRoute>(mainThreads);
+//   auto graph = app.build_graph(builder, "graph");
+//
+// operator>> rejects incompatible sequences at compile time (output/input
+// token-type lists must intersect); operator+= adds alternative paths and
+// appends graph pieces, enabling data-dependent conditional execution and
+// dynamically sized graphs (the LU factorization builds its graph to fit
+// the matrix). ServiceNode embeds a call to a flow graph published by
+// another application (paper, Fig. 10).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/call.hpp"
+#include "core/ids.hpp"
+#include "core/operation.hpp"
+#include "core/route.hpp"
+#include "core/thread_collection.hpp"
+#include "serial/token.hpp"
+#include "sim/domain.hpp"
+
+namespace dps {
+
+class Application;
+class Controller;
+
+namespace detail {
+
+/// Type-erased description of one graph vertex, accumulated by the DSL.
+struct VertexSpec {
+  OpKind kind = OpKind::kLeaf;
+  std::string op_name;       // empty for kGraphCall
+  std::string route_name;
+  std::string service_name;  // kGraphCall only
+  std::shared_ptr<ThreadCollectionBase> collection;
+  std::vector<uint64_t> input_type_ids;
+  std::vector<uint64_t> output_type_ids;
+  std::string thread_type_name;
+};
+
+using VertexSpecPtr = std::shared_ptr<VertexSpec>;
+
+}  // namespace detail
+
+/// Accumulates vertices and edges. Type-erased; the typed checking happens
+/// in operator>> before specs enter a builder.
+class FlowgraphBuilder {
+ public:
+  FlowgraphBuilder() = default;
+
+  /// Union of two graph pieces (the paper's "add 2nd path to graph" and
+  /// "append pieces of graphs together"). Shared FlowgraphNode variables
+  /// produce shared vertices, joining the pieces.
+  FlowgraphBuilder& operator+=(const FlowgraphBuilder& other);
+
+  void add_vertex(detail::VertexSpecPtr v);
+  void add_edge(detail::VertexSpecPtr from, detail::VertexSpecPtr to);
+
+  const std::vector<detail::VertexSpecPtr>& vertices() const {
+    return vertices_;
+  }
+  const std::vector<std::pair<detail::VertexSpec*, detail::VertexSpec*>>&
+  edges() const {
+    return edges_;
+  }
+
+  /// Internal: tail vertex of the most recent >> chain.
+  detail::VertexSpecPtr chain_tail;
+
+ private:
+  std::vector<detail::VertexSpecPtr> vertices_;  // first-appearance order
+  std::vector<std::pair<detail::VertexSpec*, detail::VertexSpec*>> edges_;
+};
+
+namespace detail {
+/// Builder whose chain tail emits `OutList` — carries the static type
+/// information through a >> chain.
+template <class OutList>
+class TypedBuilder : public FlowgraphBuilder {};
+
+/// Tag base for node expressions usable in >> chains.
+struct NodeExprTag {};
+}  // namespace detail
+
+/// A graph vertex: operation Op reached through route RouteT, executing on
+/// a thread collection of Op's thread class. Reusing one FlowgraphNode
+/// variable in several chains reuses the same vertex (paper, Fig. 3).
+template <class Op, class RouteT>
+class FlowgraphNode : public detail::NodeExprTag {
+  static_assert(std::is_base_of_v<RouteBase, RouteT>,
+                "second parameter of FlowgraphNode must be a route class");
+  static_assert(
+      std::is_same_v<typename RouteT::TargetThreadType,
+                     typename Op::ThreadType>,
+      "route targets a different thread class than the operation runs on");
+  static_assert(
+      std::is_same_v<typename RouteT::TokenType, Token> ||
+          tl::contains_v<typename RouteT::TokenType, typename Op::InputList>,
+      "route's token type is not accepted by the operation (wildcard "
+      "Route<Thread, Token> routes accept everything)");
+
+ public:
+  using InputList = typename Op::InputList;
+  using OutputList = typename Op::OutputList;
+
+  explicit FlowgraphNode(
+      std::shared_ptr<ThreadCollection<typename Op::ThreadType>> collection)
+      : spec_(std::make_shared<detail::VertexSpec>()) {
+    const auto& op_info = Op::staticOperationInfo();
+    const auto& route_info = RouteT::staticRouteInfo();
+    spec_->kind = Op::kKind;
+    spec_->op_name = op_info.name;
+    spec_->route_name = route_info.name;
+    spec_->collection = std::move(collection);
+    spec_->input_type_ids = op_info.input_type_ids;
+    spec_->output_type_ids = op_info.output_type_ids;
+    spec_->thread_type_name = op_info.thread_type_name;
+  }
+
+  detail::VertexSpecPtr spec() const { return spec_; }
+
+ private:
+  detail::VertexSpecPtr spec_;
+};
+
+/// A vertex that calls a flow graph published by another application
+/// (paper, Fig. 10 — "The client graph calls the graph exposed by the game
+/// of life. It is seen by the client application as a simple leaf
+/// operation."). In/Out are the claimed token types of the called graph,
+/// verified against the target at call time.
+template <class RouteT, class In, class Out>
+class ServiceNode : public detail::NodeExprTag {
+  static_assert(tl::all_tokens_v<In> && tl::all_tokens_v<Out>,
+                "ServiceNode type lists must contain Token subclasses");
+
+ public:
+  using InputList = In;
+  using OutputList = Out;
+  using ThreadT = typename RouteT::TargetThreadType;
+
+  ServiceNode(std::shared_ptr<ThreadCollection<ThreadT>> collection,
+              std::string service_name)
+      : spec_(std::make_shared<detail::VertexSpec>()) {
+    spec_->kind = OpKind::kGraphCall;
+    spec_->route_name = RouteT::staticRouteInfo().name;
+    spec_->service_name = std::move(service_name);
+    spec_->collection = std::move(collection);
+    spec_->input_type_ids = tl::type_ids<In>::get();
+    spec_->output_type_ids = tl::type_ids<Out>::get();
+    spec_->thread_type_name = ThreadT::staticThreadInfo().name;
+  }
+
+  detail::VertexSpecPtr spec() const { return spec_; }
+
+ private:
+  detail::VertexSpecPtr spec_;
+};
+
+// --- operator>> : sequences, with compile-time type checking ----------------
+
+template <class A, class B,
+          class = std::enable_if_t<
+              std::is_base_of_v<detail::NodeExprTag, A> &&
+              std::is_base_of_v<detail::NodeExprTag, B>>>
+detail::TypedBuilder<typename B::OutputList> operator>>(const A& a,
+                                                        const B& b) {
+  static_assert(
+      tl::intersects_v<typename A::OutputList, typename B::InputList>,
+      "incompatible operations linked with >>: no output token type of the "
+      "left operation is accepted by the right operation");
+  detail::TypedBuilder<typename B::OutputList> builder;
+  builder.add_vertex(a.spec());
+  builder.add_vertex(b.spec());
+  builder.add_edge(a.spec(), b.spec());
+  builder.chain_tail = b.spec();
+  return builder;
+}
+
+template <class OutList, class B,
+          class = std::enable_if_t<std::is_base_of_v<detail::NodeExprTag, B>>>
+detail::TypedBuilder<typename B::OutputList> operator>>(
+    detail::TypedBuilder<OutList> chain, const B& b) {
+  static_assert(
+      tl::intersects_v<OutList, typename B::InputList>,
+      "incompatible operations linked with >>: no output token type of the "
+      "chain tail is accepted by the right operation");
+  detail::TypedBuilder<typename B::OutputList> builder;
+  static_cast<FlowgraphBuilder&>(builder) = std::move(chain);
+  builder.add_vertex(b.spec());
+  builder.add_edge(builder.chain_tail, b.spec());
+  builder.chain_tail = b.spec();
+  return builder;
+}
+
+// --- Runtime graph ----------------------------------------------------------
+
+class CallHandle;
+
+/// A built, validated, callable flow graph. Created by
+/// Application::build_graph; named graphs can be published as parallel
+/// services via Application::publish_graph.
+class Flowgraph {
+ public:
+  struct Vertex {
+    OpKind kind;
+    const detail::OperationTypeInfo* op = nullptr;  // null for kGraphCall
+    const detail::RouteTypeInfo* route = nullptr;
+    std::string service_name;
+    ThreadCollectionBase* collection = nullptr;
+    std::vector<uint64_t> input_type_ids;
+    std::vector<uint64_t> output_type_ids;
+    std::vector<VertexId> successors;
+    int frame_depth_in = 0;  ///< split-frame stack depth on entry
+  };
+
+  const std::string& name() const { return name_; }
+  GraphId id() const { return id_; }
+  Application& app() const { return *app_; }
+
+  const Vertex& vertex(VertexId v) const;
+  VertexId entry() const { return entry_; }
+  size_t vertex_count() const { return vertices_.size(); }
+
+  /// Runs one token through the graph and returns the single result token.
+  /// Blocks the calling thread (which must be a registered actor under
+  /// virtual time; use ActorScope or call from DPS threads).
+  Ptr<Token> call(Ptr<Token> input);
+
+  /// Pipelined variant: posts the input and returns immediately; several
+  /// outstanding calls overlap inside the graph.
+  CallHandle call_async(Ptr<Token> input);
+
+ private:
+  friend class Application;
+  Flowgraph(Application& app, GraphId id, std::string name,
+            const FlowgraphBuilder& builder);
+
+  Application* app_;
+  GraphId id_;
+  std::string name_;
+  std::vector<Vertex> vertices_;
+  VertexId entry_ = 0;
+};
+
+/// Completion handle of one asynchronous graph call.
+class CallHandle {
+ public:
+  /// Blocks until the result token is available.
+  Ptr<Token> wait();
+  bool done() const;
+  CallId id() const { return id_; }
+
+ private:
+  friend class Application;
+  friend class Cluster;
+  friend class Flowgraph;
+  CallHandle(CallId id, std::shared_ptr<detail::CallState> state)
+      : id_(id), state_(std::move(state)) {}
+  CallId id_;
+  std::shared_ptr<detail::CallState> state_;
+};
+
+}  // namespace dps

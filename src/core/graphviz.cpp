@@ -1,0 +1,75 @@
+#include "core/graphviz.hpp"
+
+#include <sstream>
+
+#include "core/thread_collection.hpp"
+
+namespace dps {
+
+namespace {
+
+const char* shape_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSplit: return "trapezium";
+    case OpKind::kMerge: return "invtrapezium";
+    case OpKind::kStream: return "hexagon";
+    case OpKind::kLeaf: return "box";
+    case OpKind::kGraphCall: return "component";
+  }
+  return "box";
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Flowgraph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(graph.name()) << "\" {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [fontname=\"Helvetica\", fontsize=10];\n";
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const Flowgraph::Vertex& vx = graph.vertex(v);
+    std::string label;
+    if (vx.kind == OpKind::kGraphCall) {
+      label = "call " + vx.service_name;
+    } else {
+      label = vx.op->name;
+    }
+    label += "\\n(" + std::string(to_string(vx.kind)) + " @ " +
+             vx.collection->name() + "[" +
+             std::to_string(vx.collection->size()) + "])";
+    os << "  v" << v << " [label=\"" << escape(label) << "\", shape="
+       << shape_of(vx.kind) << (v == graph.entry() ? ", penwidth=2" : "")
+       << "];\n";
+  }
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    for (VertexId s : graph.vertex(v).successors) {
+      // Label the edge with the token types the successor accepts from us.
+      std::string types;
+      for (uint64_t in : graph.vertex(s).input_type_ids) {
+        for (uint64_t out : graph.vertex(v).output_type_ids) {
+          if (in == out) {
+            if (!TokenRegistry::instance().contains(in)) continue;
+            if (!types.empty()) types += ", ";
+            types += TokenRegistry::instance().find(in).name;
+          }
+        }
+      }
+      os << "  v" << v << " -> v" << s;
+      if (!types.empty()) os << " [label=\"" << escape(types) << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dps

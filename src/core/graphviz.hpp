@@ -1,0 +1,22 @@
+// Graphviz export of flow graphs.
+//
+// "The flow graph (acyclic directed graph) represents the parallel program
+// execution pattern. It can be easily visualized and represents therefore a
+// valuable tool for thinking and experimenting with different
+// parallelization strategies." (paper, section 6)
+//
+// to_dot() renders a built graph in DOT: one record per vertex showing the
+// operation, its kind, and the thread collection (with its mapping), plus
+// the accepted token types on each edge.
+#pragma once
+
+#include <string>
+
+#include "core/flowgraph.hpp"
+
+namespace dps {
+
+/// DOT (Graphviz) rendering of a validated flow graph.
+std::string to_dot(const Flowgraph& graph);
+
+}  // namespace dps

@@ -1,0 +1,16 @@
+#include "core/ids.hpp"
+
+namespace dps {
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kLeaf: return "leaf";
+    case OpKind::kSplit: return "split";
+    case OpKind::kMerge: return "merge";
+    case OpKind::kStream: return "stream";
+    case OpKind::kGraphCall: return "graph_call";
+  }
+  return "?";
+}
+
+}  // namespace dps

@@ -1,0 +1,48 @@
+// Identifier types shared across the DPS core.
+#pragma once
+
+#include <cstdint>
+
+#include "net/framing.hpp"  // NodeId
+
+namespace dps {
+
+/// Index of a thread collection within one cluster run.
+using CollectionId = uint32_t;
+
+/// Index of a DPS thread within its collection.
+using ThreadIndex = uint32_t;
+
+/// Application instance id within one cluster run.
+using AppId = uint32_t;
+
+/// Flow graph id within one application.
+using GraphId = uint32_t;
+
+/// Vertex (operation node) index within one flow graph.
+using VertexId = uint32_t;
+
+/// Unique id of one split/stream execution — the key of its merge context
+/// and of its flow-control account.
+using ContextId = uint64_t;
+
+/// Unique id of one graph call.
+using CallId = uint64_t;
+
+/// Sentinel vertex id used by call-result envelopes.
+inline constexpr VertexId kNoVertex = 0xffffffffu;
+
+/// The four operation families of the paper (section 2) plus the
+/// graph-call vertex used for parallel services (section 5, Fig. 10).
+enum class OpKind : uint8_t {
+  kLeaf = 0,    ///< one input token -> exactly one output token
+  kSplit = 1,   ///< one input token -> any number of output tokens
+  kMerge = 2,   ///< all tokens of one context -> exactly one output token
+  kStream = 3,  ///< all tokens of one context -> any number of outputs,
+                ///< posted at any time (merge+split fused, pipelining)
+  kGraphCall = 4,  ///< leaf-like vertex calling a published flow graph
+};
+
+const char* to_string(OpKind kind) noexcept;
+
+}  // namespace dps

@@ -1,0 +1,123 @@
+// Registry implementations for thread classes, routes, and operations.
+// Same structure as the token registry: name-keyed, thread safe, idempotent
+// re-registration, loud failure on unknown names (the usual cause is a
+// class whose DPS_IDENTIFY_* macro was not linked into the binary).
+#include <mutex>
+#include <unordered_map>
+
+#include "core/operation.hpp"
+#include "core/route.hpp"
+#include "core/thread.hpp"
+#include "util/error.hpp"
+
+namespace dps {
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+struct ThreadTypeRegistry::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, const ThreadTypeInfo*> by_name;
+};
+
+ThreadTypeRegistry& ThreadTypeRegistry::instance() {
+  static ThreadTypeRegistry reg;
+  return reg;
+}
+
+ThreadTypeRegistry::Impl& ThreadTypeRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void ThreadTypeRegistry::add(const ThreadTypeInfo* info) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.by_name.emplace(info->name, info);
+}
+
+const ThreadTypeInfo& ThreadTypeRegistry::find(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.by_name.find(name);
+  if (it == im.by_name.end()) {
+    raise(Errc::kNotFound, "unknown thread class '" + name + "'");
+  }
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Routes
+// ---------------------------------------------------------------------------
+
+struct RouteTypeRegistry::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, const RouteTypeInfo*> by_name;
+};
+
+RouteTypeRegistry& RouteTypeRegistry::instance() {
+  static RouteTypeRegistry reg;
+  return reg;
+}
+
+RouteTypeRegistry::Impl& RouteTypeRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void RouteTypeRegistry::add(const RouteTypeInfo* info) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.by_name.emplace(info->name, info);
+}
+
+const RouteTypeInfo& RouteTypeRegistry::find(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.by_name.find(name);
+  if (it == im.by_name.end()) {
+    raise(Errc::kNotFound, "unknown route class '" + name + "'");
+  }
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+struct OperationTypeRegistry::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, const OperationTypeInfo*> by_name;
+};
+
+OperationTypeRegistry& OperationTypeRegistry::instance() {
+  static OperationTypeRegistry reg;
+  return reg;
+}
+
+OperationTypeRegistry::Impl& OperationTypeRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void OperationTypeRegistry::add(const OperationTypeInfo* info) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.by_name.emplace(info->name, info);
+}
+
+const OperationTypeInfo& OperationTypeRegistry::find(
+    const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.by_name.find(name);
+  if (it == im.by_name.end()) {
+    raise(Errc::kNotFound, "unknown operation class '" + name + "'");
+  }
+  return *it->second;
+}
+
+}  // namespace detail
+}  // namespace dps

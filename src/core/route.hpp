@@ -1,0 +1,192 @@
+// Routing functions.
+//
+// "A user-defined routing function specifies at runtime to which instance
+// of the thread in the thread collection a data object is directed in order
+// to execute its next operation." (paper, section 2). A route class derives
+// from Route<TargetThread, TokenType> and implements
+//
+//   int route(TokenType* token)
+//
+// returning a thread index in [0, threadCount()). The DPS_ROUTE macro
+// generates the whole class from one expression, as in the paper:
+//
+//   DPS_ROUTE(RoundRobinRoute, ComputeThread, CharToken,
+//             currentToken->pos % threadCount());
+//
+// Routes can also implement the paper's feedback-driven load balancing:
+// queueDepth(i) exposes the number of tokens currently queued at thread i
+// of the target collection, and LeastLoadedRoute uses it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/thread.hpp"
+#include "serial/registry.hpp"
+#include "util/error.hpp"
+
+namespace dps {
+
+namespace detail {
+
+/// Runtime routing inputs supplied by the controller.
+struct RouteContext {
+  int thread_count = 0;
+  /// Outstanding queued tokens per target thread (live estimates; used for
+  /// load-balancing heuristics). Null when unavailable.
+  const std::atomic<uint32_t>* queue_depths = nullptr;
+};
+
+}  // namespace detail
+
+/// Type-erased base the engine drives.
+class RouteBase {
+ public:
+  virtual ~RouteBase() = default;
+
+  /// Dispatches on the dynamic token type and returns the target index.
+  virtual int route_erased(Token* token) = 0;
+
+  /// Registered name of the *target thread class* (checked against the
+  /// vertex's thread collection at graph-build time).
+  virtual const char* target_thread_type() const = 0;
+
+ protected:
+  friend class Controller;
+  detail::RouteContext ctx_;
+
+  int threadCountBase() const { return ctx_.thread_count; }
+  uint32_t queueDepthBase(int i) const {
+    if (ctx_.queue_depths == nullptr || i < 0 || i >= ctx_.thread_count) {
+      return 0;
+    }
+    return ctx_.queue_depths[i].load(std::memory_order_relaxed);
+  }
+};
+
+/// Typed route: TargetThread is the thread class of the destination
+/// collection; TokenT the token type being routed.
+template <class TargetThread, class TokenT>
+class Route : public RouteBase {
+  static_assert(std::is_base_of_v<Thread, TargetThread>,
+                "Route target must be a dps::Thread subclass");
+  static_assert(std::is_base_of_v<Token, TokenT>,
+                "Route token must be a dps::Token subclass");
+
+ public:
+  using TargetThreadType = TargetThread;
+  using TokenType = TokenT;
+
+  /// User hook: destination thread index for this token.
+  virtual int route(TokenT* currentToken) = 0;
+
+  int route_erased(Token* token) final {
+    TokenT* typed;
+    if constexpr (std::is_same_v<TokenT, Token>) {
+      typed = token;  // wildcard route: accepts every token type
+    } else {
+      typed = dynamic_cast<TokenT*>(token);
+      if (typed == nullptr) {
+        raise(Errc::kTypeMismatch,
+              std::string("route expects ") + TokenT::staticTypeInfo().name +
+                  ", got " + token->typeInfo().name);
+      }
+    }
+    const int idx = route(typed);
+    if (idx < 0 || idx >= threadCount()) {
+      raise(Errc::kInvalidArgument,
+            "route returned thread index " + std::to_string(idx) +
+                " outside collection of size " +
+                std::to_string(threadCount()));
+    }
+    return idx;
+  }
+
+  const char* target_thread_type() const final {
+    return TargetThread::staticThreadInfo().name.c_str();
+  }
+
+ protected:
+  /// Number of threads in the destination collection.
+  int threadCount() const { return threadCountBase(); }
+  /// Tokens currently queued at destination thread i (load balancing).
+  uint32_t queueDepth(int i) const { return queueDepthBase(i); }
+};
+
+namespace detail {
+
+struct RouteTypeInfo {
+  std::string name;
+  std::string token_type_name;
+  std::string target_thread_name;
+  RouteBase* (*create)() = nullptr;
+};
+
+class RouteTypeRegistry {
+ public:
+  static RouteTypeRegistry& instance();
+  void add(const RouteTypeInfo* info);
+  const RouteTypeInfo& find(const std::string& name) const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Wildcard marker: a Route<Thread, Token> accepts every token type of its
+/// vertex (needed when one vertex collects several token types, e.g. the
+/// LU stage streams receiving both solve and flip notifications).
+inline constexpr const char* kAnyTokenRoute = "Token";
+
+template <class T>
+const RouteTypeInfo& register_route_type(const char* name) {
+  static_assert(std::is_base_of_v<RouteBase, T>,
+                "DPS_IDENTIFY_ROUTE is for dps::Route subclasses");
+  static const RouteTypeInfo info = [&] {
+    RouteTypeInfo i;
+    i.name = name;
+    if constexpr (std::is_same_v<typename T::TokenType, Token>) {
+      i.token_type_name = kAnyTokenRoute;
+    } else {
+      i.token_type_name = T::TokenType::staticTypeInfo().name;
+    }
+    i.target_thread_name = T::TargetThreadType::staticThreadInfo().name;
+    i.create = []() -> RouteBase* { return new T(); };
+    return i;
+  }();
+  RouteTypeRegistry::instance().add(&info);
+  return info;
+}
+
+}  // namespace detail
+}  // namespace dps
+
+/// Registers the enclosing route class (mirrors the paper's IDENTIFY on
+/// routing functions).
+#define DPS_IDENTIFY_ROUTE(T)                                          \
+ public:                                                               \
+  static const ::dps::detail::RouteTypeInfo& staticRouteInfo() {       \
+    static const ::dps::detail::RouteTypeInfo& info =                  \
+        ::dps::detail::register_route_type<T>(#T);                     \
+    return info;                                                       \
+  }                                                                    \
+                                                                       \
+ private:                                                              \
+  inline static const bool dps_route_registered_ =                     \
+      (T::staticRouteInfo(), true)
+
+/// One-expression route definition, as in the paper:
+///   DPS_ROUTE(RoundRobinRoute, ComputeThread, CharToken,
+///             currentToken->pos % threadCount());
+#define DPS_ROUTE(Name, ThreadT, TokenT, expr)                    \
+  class Name : public ::dps::Route<ThreadT, TokenT> {             \
+   public:                                                        \
+    int route(TokenT* currentToken) override {                    \
+      (void)currentToken;                                         \
+      return (expr);                                              \
+    }                                                             \
+    DPS_IDENTIFY_ROUTE(Name);                                     \
+  }

@@ -1,0 +1,87 @@
+// DPS thread classes.
+//
+// "Operations within a flow graph are carried out within threads grouped in
+// thread collections. DPS threads are mapped to operating system threads."
+// (paper, section 1). A user thread class derives from dps::Thread and may
+// carry member data — that is how distributed data structures are built
+// (each thread of a collection holds its part, e.g. a band of the
+// Game-of-Life world or a column of blocks in the LU factorization).
+//
+// DPS_IDENTIFY_THREAD(T) registers the class factory so collections can
+// instantiate the per-thread state on whichever node each thread maps to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dps {
+
+/// Base class for user-defined DPS thread state.
+class Thread {
+ public:
+  Thread() = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  virtual ~Thread() = default;
+
+  /// Name of the registered thread class (set by DPS_IDENTIFY_THREAD).
+  virtual const char* dps_thread_type() const = 0;
+};
+
+namespace detail {
+
+struct ThreadTypeInfo {
+  std::string name;
+  uint64_t id = 0;
+  Thread* (*create)() = nullptr;
+};
+
+/// name -> factory registry (thread safe).
+class ThreadTypeRegistry {
+ public:
+  static ThreadTypeRegistry& instance();
+  void add(const ThreadTypeInfo* info);
+  const ThreadTypeInfo& find(const std::string& name) const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+template <class T>
+const ThreadTypeInfo& register_thread_type(const char* name) {
+  static_assert(std::is_base_of_v<Thread, T>,
+                "DPS_IDENTIFY_THREAD is for dps::Thread subclasses");
+  static_assert(std::is_default_constructible_v<T>,
+                "thread classes need a default constructor (per-thread state "
+                "is created by the framework on the thread's home node)");
+  static const ThreadTypeInfo info = [&] {
+    ThreadTypeInfo i;
+    i.name = name;
+    i.create = []() -> Thread* { return new T(); };
+    return i;
+  }();
+  ThreadTypeRegistry::instance().add(&info);
+  return info;
+}
+
+}  // namespace detail
+}  // namespace dps
+
+/// Registers the enclosing dps::Thread subclass. Mirrors the paper's
+/// IDENTIFY(ComputeThread); inside thread classes.
+#define DPS_IDENTIFY_THREAD(T)                                          \
+ public:                                                                \
+  static const ::dps::detail::ThreadTypeInfo& staticThreadInfo() {      \
+    static const ::dps::detail::ThreadTypeInfo& info =                  \
+        ::dps::detail::register_thread_type<T>(#T);                     \
+    return info;                                                        \
+  }                                                                     \
+  const char* dps_thread_type() const override {                        \
+    return staticThreadInfo().name.c_str();                             \
+  }                                                                     \
+                                                                        \
+ private:                                                               \
+  inline static const bool dps_thread_registered_ =                     \
+      (T::staticThreadInfo(), true)

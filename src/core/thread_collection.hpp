@@ -1,0 +1,79 @@
+// Thread collections: named groups of DPS threads mapped onto nodes.
+//
+// "Developers instantiate collections of threads. ... The mapping of the
+// threads of a thread collection onto nodes is specified by using a string
+// containing the names of the nodes separated by spaces, with an optional
+// multiplier" (paper, sections 2–3):
+//
+//   auto compute = app.thread_collection<ComputeThread>("proc");
+//   compute->map("node0*2 node1");
+//
+// map() parses the string, resolves node names through the cluster, and
+// spawns one engine worker (OS thread + mailbox + user Thread instance) per
+// index on its home node — thread collections and mappings are created
+// dynamically at run time, the core of the paper's "dynamicity".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/thread.hpp"
+
+namespace dps {
+
+class Application;
+
+class ThreadCollectionBase {
+ public:
+  virtual ~ThreadCollectionBase();
+
+  const std::string& name() const { return name_; }
+  CollectionId id() const { return id_; }
+  const std::string& thread_type() const { return thread_type_; }
+
+  /// Places and spawns the collection's threads. May be called once.
+  void map(const std::string& mapping);
+
+  bool mapped() const { return !placement_.empty(); }
+  int size() const { return static_cast<int>(placement_.size()); }
+  NodeId node_of(ThreadIndex index) const;
+
+  /// Mailbox depth estimates per thread, for load-balancing routes.
+  const std::atomic<uint32_t>* queue_depths() const {
+    return depths_.get();
+  }
+  std::atomic<uint32_t>* mutable_queue_depths() { return depths_.get(); }
+
+ protected:
+  ThreadCollectionBase(Application& app, std::string name,
+                       const detail::ThreadTypeInfo& type);
+
+ private:
+  friend class Application;  // assigns id_ at registration
+
+  Application& app_;
+  std::string name_;
+  std::string thread_type_;
+  const detail::ThreadTypeInfo& type_;
+  CollectionId id_ = 0;
+  std::vector<NodeId> placement_;
+  std::unique_ptr<std::atomic<uint32_t>[]> depths_;
+};
+
+/// Typed collection; T is the user's dps::Thread subclass.
+template <class T>
+class ThreadCollection : public ThreadCollectionBase {
+  static_assert(std::is_base_of_v<Thread, T>,
+                "ThreadCollection<T> requires a dps::Thread subclass");
+
+ public:
+  using ThreadType = T;
+
+  ThreadCollection(Application& app, std::string name)
+      : ThreadCollectionBase(app, std::move(name), T::staticThreadInfo()) {}
+};
+
+}  // namespace dps

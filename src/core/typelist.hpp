@@ -1,0 +1,75 @@
+// Token-type lists for compile-time flow-graph checking.
+//
+// Every operation declares the token types it accepts and emits:
+//
+//   class ToUpperCase : public LeafOperation<ComputeThread,
+//                                            TV<CharToken>, TV<CharToken>> ...
+//
+// The paper writes TV1(CharToken) / TV2(A,B); those macros are provided as
+// aliases. FlowgraphBuilder's operator>> uses the lists to reject
+// incompatible sequences at compile time ("The operator >> generates
+// compile time errors when two incompatible operations are linked
+// together").
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "serial/registry.hpp"
+
+namespace dps {
+
+/// A list of token types.
+template <class... Ts>
+struct TV {
+  static constexpr size_t size = sizeof...(Ts);
+};
+
+// Paper-style arity-named aliases.
+#define TV1(a) ::dps::TV<a>
+#define TV2(a, b) ::dps::TV<a, b>
+#define TV3(a, b, c) ::dps::TV<a, b, c>
+#define TV4(a, b, c, d) ::dps::TV<a, b, c, d>
+
+namespace tl {
+
+/// contains_v<T, TV<...>>: membership test.
+template <class T, class List>
+struct contains : std::false_type {};
+template <class T, class... Ts>
+struct contains<T, TV<Ts...>>
+    : std::bool_constant<(std::is_same_v<T, Ts> || ...)> {};
+template <class T, class List>
+inline constexpr bool contains_v = contains<T, List>::value;
+
+/// intersects_v<TV<...>, TV<...>>: true when the lists share a type.
+template <class A, class B>
+struct intersects : std::false_type {};
+template <class... As, class B>
+struct intersects<TV<As...>, B>
+    : std::bool_constant<(contains_v<As, B> || ...)> {};
+template <class A, class B>
+inline constexpr bool intersects_v = intersects<A, B>::value;
+
+/// all_tokens_v: every element derives from Token.
+template <class List>
+struct all_tokens : std::false_type {};
+template <class... Ts>
+struct all_tokens<TV<Ts...>>
+    : std::bool_constant<(std::is_base_of_v<Token, Ts> && ...)> {};
+template <class List>
+inline constexpr bool all_tokens_v = all_tokens<List>::value;
+
+/// Runtime ids of every type in the list (forces registration).
+template <class List>
+struct type_ids;
+template <class... Ts>
+struct type_ids<TV<Ts...>> {
+  static std::vector<uint64_t> get() {
+    return {Ts::staticTypeInfo().id...};
+  }
+};
+
+}  // namespace tl
+}  // namespace dps

@@ -1,0 +1,140 @@
+#include "kernel/name_server.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "serial/wire.hpp"
+#include "util/logging.hpp"
+
+namespace dps {
+
+struct NameServerDaemon::Impl {
+  WallDomain domain;
+  NameRegistry registry{domain};
+  TcpListener listener;
+  std::thread acceptor;
+  std::mutex mu;
+  std::vector<std::thread> sessions;
+  bool stopping = false;
+
+  void serve(TcpConn conn) {
+    try {
+      Frame f;
+      if (!read_frame(conn, &f)) return;
+      Reader r(f.payload.data(), f.payload.size());
+      const std::string cmd = r.get_string();
+      std::string reply;
+      if (cmd == "publish") {
+        const std::string name = r.get_string();
+        const std::string value = r.get_string();
+        registry.publish(name, value);
+        reply = "ok";
+      } else if (cmd == "claim") {
+        const std::string name = r.get_string();
+        const std::string value = r.get_string();
+        reply = registry.publish_if_absent(name, value) ? "ok" : "taken";
+      } else if (cmd == "lookup") {
+        reply = registry.lookup(r.get_string()).value_or("");
+      } else if (cmd == "wait") {
+        reply = registry.wait_for(r.get_string());
+      } else if (cmd == "list") {
+        for (const auto& n : registry.names()) {
+          if (!reply.empty()) reply += ' ';
+          reply += n;
+        }
+      } else {
+        reply = "error: unknown command";
+      }
+      Writer w;
+      w.put_string(reply);
+      Frame out;
+      out.kind = FrameKind::kHello;
+      out.payload = w.take();
+      write_frame(conn, out);
+    } catch (const Error& e) {
+      DPS_WARN("name server session: " << e.what());
+    }
+  }
+
+  void accept_loop() {
+    for (;;) {
+      TcpConn conn = listener.accept();
+      if (!conn.valid()) return;  // listener closed
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) return;
+      sessions.emplace_back(
+          [this, c = std::make_shared<TcpConn>(std::move(conn))]() mutable {
+            serve(std::move(*c));
+          });
+    }
+  }
+};
+
+NameServerDaemon::NameServerDaemon(uint16_t port)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->listener = TcpListener::bind(port);
+  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+}
+
+NameServerDaemon::~NameServerDaemon() { stop(); }
+
+uint16_t NameServerDaemon::port() const { return impl_->listener.port(); }
+NameRegistry& NameServerDaemon::registry() { return impl_->registry; }
+
+void NameServerDaemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  impl_->listener.close();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    sessions.swap(impl_->sessions);
+  }
+  for (auto& s : sessions) {
+    if (s.joinable()) s.join();
+  }
+}
+
+std::string NameClient::request(const std::string& cmd, const std::string& a,
+                                const std::string& b) {
+  TcpConn conn = TcpConn::connect(host_, port_);
+  Writer w;
+  w.put_string(cmd);
+  w.put_string(a);  // handlers read only what their command needs;
+  w.put_string(b);  // trailing arguments are simply left unread
+
+  Frame f;
+  f.kind = FrameKind::kHello;
+  f.payload = w.take();
+  write_frame(conn, f);
+  Frame reply;
+  if (!read_frame(conn, &reply)) {
+    raise(Errc::kNetwork, "name server closed the connection");
+  }
+  Reader r(reply.payload.data(), reply.payload.size());
+  return r.get_string();
+}
+
+void NameClient::publish(const std::string& name, const std::string& value) {
+  const std::string reply = request("publish", name, value);
+  if (reply != "ok") raise(Errc::kProtocol, "publish failed: " + reply);
+}
+
+bool NameClient::claim(const std::string& name, const std::string& value) {
+  return request("claim", name, value) == "ok";
+}
+
+std::string NameClient::lookup(const std::string& name) {
+  return request("lookup", name, "");
+}
+
+std::string NameClient::wait_for(const std::string& name) {
+  return request("wait", name, "");
+}
+
+}  // namespace dps

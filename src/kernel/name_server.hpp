@@ -1,0 +1,60 @@
+// TCP name server — the multi-process equivalent of the paper's "simple
+// name server" through which DPS kernels locate each other.
+//
+// Protocol: one frame per request over a fresh connection (fits the very
+// low request rate of kernel discovery). Payload = command string +
+// arguments, written with the wire Writer:
+//   "publish" name value   -> reply "ok"
+//   "lookup"  name         -> reply value ("" when absent)
+//   "wait"    name         -> blocks until published, then replies value
+//   "list"                 -> reply space-joined names
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/name_registry.hpp"
+#include "net/socket.hpp"
+#include "sim/domain.hpp"
+
+namespace dps {
+
+/// In-process daemon serving the registry over TCP (run it in the test or
+/// leader process; kernels of other processes connect by port).
+class NameServerDaemon {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral) and starts serving.
+  explicit NameServerDaemon(uint16_t port = 0);
+  ~NameServerDaemon();
+
+  uint16_t port() const;
+  NameRegistry& registry();
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Client-side access to a remote name server.
+class NameClient {
+ public:
+  NameClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  void publish(const std::string& name, const std::string& value);
+  /// Atomic publish-if-absent; true when this caller won the claim.
+  bool claim(const std::string& name, const std::string& value);
+  /// Non-blocking: empty string when absent.
+  std::string lookup(const std::string& name);
+  /// Blocks until the name is published.
+  std::string wait_for(const std::string& name);
+
+ private:
+  std::string request(const std::string& cmd, const std::string& a,
+                      const std::string& b);
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace dps

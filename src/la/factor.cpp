@@ -1,0 +1,86 @@
+#include "la/factor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dps::la {
+
+void getrf_panel(Matrix& a, std::vector<int>& pivots) {
+  const size_t m = a.rows(), n = a.cols();
+  DPS_CHECK(m >= n, "getrf_panel needs a tall panel (m >= n)");
+  pivots.assign(n, 0);
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: the largest magnitude in column k, rows k..m-1.
+    size_t p = k;
+    double best = std::fabs(a.at(k, k));
+    for (size_t r = k + 1; r < m; ++r) {
+      const double v = std::fabs(a.at(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    pivots[k] = static_cast<int>(p);
+    a.swap_rows(k, p);
+    const double akk = a.at(k, k);
+    if (akk == 0.0) continue;  // singular column; factors stay valid
+    for (size_t r = k + 1; r < m; ++r) {
+      const double l = a.at(r, k) / akk;
+      a.at(r, k) = l;
+      if (l == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) a.at(r, c) -= l * a.at(k, c);
+    }
+  }
+}
+
+void apply_pivots(Matrix& a, const std::vector<int>& pivots) {
+  for (size_t k = 0; k < pivots.size(); ++k) {
+    a.swap_rows(k, static_cast<size_t>(pivots[k]));
+  }
+}
+
+void trsm_lower_unit(const Matrix& l, Matrix& b) {
+  const size_t n = l.rows();
+  DPS_CHECK(l.cols() == n && b.rows() == n, "trsm size mismatch");
+  const size_t w = b.cols();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < i; ++k) {
+      const double lik = l.at(i, k);
+      if (lik == 0.0) continue;
+      for (size_t j = 0; j < w; ++j) b.at(i, j) -= lik * b.at(k, j);
+    }
+    // unit diagonal: no division
+  }
+}
+
+void lu_sequential(Matrix& a, std::vector<int>& pivots) {
+  DPS_CHECK(a.rows() == a.cols(), "lu_sequential needs a square matrix");
+  getrf_panel(a, pivots);  // the unblocked panel code handles m == n
+}
+
+Matrix permute_rows(const Matrix& a, const std::vector<int>& pivots) {
+  Matrix p = a;
+  apply_pivots(p, pivots);
+  return p;
+}
+
+Matrix lu_reconstruct(const Matrix& lu, const std::vector<int>& pivots) {
+  const size_t n = lu.rows();
+  DPS_CHECK(lu.cols() == n, "lu_reconstruct needs square factors");
+  DPS_CHECK(pivots.size() == n, "pivot count mismatch");
+  Matrix l = Matrix::identity(n);
+  Matrix u(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      if (r > c) {
+        l.at(r, c) = lu.at(r, c);
+      } else {
+        u.at(r, c) = lu.at(r, c);
+      }
+    }
+  }
+  return gemm(l, u);
+}
+
+}  // namespace dps::la

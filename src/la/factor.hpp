@@ -1,0 +1,47 @@
+// LU factorization kernels (paper, section 5, "LU Factorization").
+//
+// The paper performs block LU factorization with partial pivoting in three
+// steps (its equations reproduced in the comments below):
+//   1. rectangular LU of the current panel [A11; A21] -> [L11; L21], U11;
+//   2. triangular solve A12 = L11 * T12 (BLAS trsm) + row flipping;
+//   3. trailing update A' = B - L21 * T12, recursively factorized.
+// These kernels implement the sequential pieces the DPS graph distributes.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace dps::la {
+
+/// Unblocked right-looking LU with partial pivoting of an m x n panel
+/// (m >= n), in place: unit-lower L below the diagonal, U on/above.
+/// pivots[k] = row index swapped with row k at step k (absolute, 0-based).
+void getrf_panel(Matrix& a, std::vector<int>& pivots);
+
+/// Applies the pivot sequence (row flipping) to a matrix with the same row
+/// count as the factored panel.
+void apply_pivots(Matrix& a, const std::vector<int>& pivots);
+
+/// Solves L * X = B in place of B, where L is unit lower triangular
+/// (the paper's "trsm routine in BLAS").
+void trsm_lower_unit(const Matrix& l, Matrix& b);
+
+/// Full sequential LU with partial pivoting; reference for the parallel
+/// graph. Returns the combined LU factors in `a` and the pivot sequence.
+void lu_sequential(Matrix& a, std::vector<int>& pivots);
+
+/// Reconstructs P*A from packed LU factors and pivots; used by tests to
+/// verify both the reference and the DPS factorization.
+Matrix lu_reconstruct(const Matrix& lu, const std::vector<int>& pivots);
+
+/// Applies `pivots` to a fresh copy of `a` (i.e. computes P*A).
+Matrix permute_rows(const Matrix& a, const std::vector<int>& pivots);
+
+/// Multiply-add count of an n x n LU — calibrates the simulated benchmarks.
+inline double lu_flops(size_t n) {
+  const double nd = static_cast<double>(n);
+  return 2.0 / 3.0 * nd * nd * nd;
+}
+
+}  // namespace dps::la

@@ -1,0 +1,83 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dps::la {
+
+Matrix Matrix::block(size_t r0, size_t c0, size_t br, size_t bc) const {
+  DPS_CHECK(r0 + br <= rows_ && c0 + bc <= cols_, "block out of range");
+  Matrix b(br, bc);
+  for (size_t r = 0; r < br; ++r) {
+    std::copy_n(&a_[(r0 + r) * cols_ + c0], bc, &b.a_[r * bc]);
+  }
+  return b;
+}
+
+void Matrix::set_block(size_t r0, size_t c0, const Matrix& b) {
+  DPS_CHECK(r0 + b.rows_ <= rows_ && c0 + b.cols_ <= cols_,
+            "set_block out of range");
+  for (size_t r = 0; r < b.rows_; ++r) {
+    std::copy_n(&b.a_[r * b.cols_], b.cols_, &a_[(r0 + r) * cols_ + c0]);
+  }
+}
+
+void Matrix::fill_random(uint64_t seed) {
+  uint64_t s = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (double& x : a_) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    // Map the top bits to (-0.5, 0.5); keeps LU well conditioned enough
+    // with partial pivoting.
+    x = (static_cast<double>(s >> 11) / 9007199254740992.0) - 0.5;
+  }
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::zero() { std::fill(a_.begin(), a_.end(), 0.0); }
+
+void Matrix::swap_rows(size_t r1, size_t r2) {
+  DPS_CHECK(r1 < rows_ && r2 < rows_, "swap_rows out of range");
+  if (r1 == r2) return;
+  std::swap_ranges(&a_[r1 * cols_], &a_[r1 * cols_] + cols_, &a_[r2 * cols_]);
+}
+
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  DPS_CHECK(a.cols() == b.rows() && c.rows() == a.rows() &&
+                c.cols() == b.cols(),
+            "gemm size mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const double aip = a.at(i, p);
+      if (aip == 0.0) continue;
+      const double* brow = b.data() + p * n;
+      double* crow = c.data() + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_acc(a, b, c);
+  return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  DPS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "max_abs_diff size mismatch");
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace dps::la

@@ -1,0 +1,73 @@
+// Dense matrix substrate for the paper's numerical experiments.
+//
+// The paper's Table 1 uses block-based matrix multiplication and its
+// Figure 15 a block LU factorization with partial pivoting. "No optimized
+// linear algebra library was used for this implementation" — likewise here:
+// straightforward triple-loop kernels, which also makes the calibrated
+// per-block cost model of the simulated benchmarks honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dps::la {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), a_(rows * cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return a_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+
+  double* data() { return a_.data(); }
+  const double* data() const { return a_.data(); }
+  size_t size() const { return a_.size(); }
+
+  /// Extracts the block of size (br x bc) whose top-left corner is (r0, c0).
+  Matrix block(size_t r0, size_t c0, size_t br, size_t bc) const;
+
+  /// Writes `b` into this matrix at (r0, c0).
+  void set_block(size_t r0, size_t c0, const Matrix& b);
+
+  /// Fills with a reproducible pseudo-random pattern (LCG, seeded).
+  void fill_random(uint64_t seed);
+
+  /// Identity / zero helpers.
+  static Matrix identity(size_t n);
+  void zero();
+
+  /// Swaps rows r1 and r2.
+  void swap_rows(size_t r1, size_t r2);
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && a_ == o.a_;
+  }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// c += a * b  (sizes must agree; triple loop, no blocking).
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Returns a * b.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// Max-abs elementwise difference; the correctness metric in tests.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Floating-point multiply-add count of an (m x k) * (k x n) product —
+/// used to calibrate the simulated compute-cost model.
+inline double gemm_flops(size_t m, size_t k, size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+}  // namespace dps::la

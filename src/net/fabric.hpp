@@ -1,0 +1,58 @@
+// Fabric: the node-to-node message transport of a cluster run.
+//
+// A cluster's nodes exchange framed messages (token envelopes, flow-control
+// acks) through a Fabric. Three implementations exist, all carrying the
+// same frames so they are interchangeable under the engine:
+//
+//  * InprocFabric — nodes are thread groups of one process; frames are
+//    handed over in memory but only *after* full serialization, exactly
+//    like the paper's several-kernels-on-one-host debugging mode, which
+//    "enforces the use of the networking code ... although the application
+//    is running within a single computer".
+//  * TcpFabric (net/tcp_transport.hpp) — real TCP sockets on localhost,
+//    with lazy connection establishment as in the paper's runtime.
+//  * SimFabric (sim/link.hpp) — deliveries modeled on a virtual clock with
+//    per-NIC bandwidth/latency, reproducing the paper's Gigabit Ethernet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace dps {
+
+/// One delivered inter-node message.
+struct NodeMessage {
+  NodeId from = 0;
+  FrameKind kind = FrameKind::kEnvelope;
+  std::vector<std::byte> payload;
+};
+
+class Fabric {
+ public:
+  /// Delivery callback. Handlers MUST be non-blocking (enqueue + notify
+  /// only): under SimFabric they run on the scheduler thread, and a
+  /// blocking handler would freeze the virtual clock.
+  using Handler = std::function<void(NodeMessage&&)>;
+
+  virtual ~Fabric() = default;
+
+  /// Registers node `self`'s delivery handler. Must complete for every
+  /// node before any traffic flows to it.
+  virtual void attach(NodeId self, Handler handler) = 0;
+
+  /// Sends one message; thread safe; may block (TCP backpressure).
+  virtual void send(NodeId from, NodeId to, FrameKind kind,
+                    std::vector<std::byte> payload) = 0;
+
+  /// Stops delivery and releases transport resources. Idempotent.
+  virtual void shutdown() = 0;
+
+  // Traffic statistics (frame headers included), for benchmarks.
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t messages_sent() const = 0;
+};
+
+}  // namespace dps

@@ -1,0 +1,55 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dps {
+
+namespace {
+struct WireHeader {
+  uint32_t magic;
+  uint16_t kind;
+  uint16_t reserved;
+  uint32_t from;
+  uint32_t length;
+};
+static_assert(sizeof(WireHeader) == 16);
+}  // namespace
+
+size_t frame_wire_size(const Frame& frame) {
+  return sizeof(WireHeader) + frame.payload.size();
+}
+
+void write_frame(TcpConn& conn, const Frame& frame) {
+  WireHeader h{};
+  h.magic = kFrameMagic;
+  h.kind = static_cast<uint16_t>(frame.kind);
+  h.reserved = 0;
+  h.from = frame.from;
+  h.length = static_cast<uint32_t>(frame.payload.size());
+  // One send for the header and one for the payload; TCP_NODELAY is set, but
+  // the payload send immediately follows so coalescing still happens for
+  // small frames on loopback.
+  conn.send_all(&h, sizeof(h));
+  if (!frame.payload.empty()) {
+    conn.send_all(frame.payload.data(), frame.payload.size());
+  }
+}
+
+bool read_frame(TcpConn& conn, Frame* out) {
+  WireHeader h{};
+  if (!conn.recv_all(&h, sizeof(h))) return false;
+  if (h.magic != kFrameMagic) {
+    raise(Errc::kProtocol, "bad frame magic");
+  }
+  out->kind = static_cast<FrameKind>(h.kind);
+  out->from = h.from;
+  out->payload.resize(h.length);
+  if (h.length > 0 && !conn.recv_all(out->payload.data(), h.length)) {
+    raise(Errc::kNetwork, "connection closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace dps

@@ -1,0 +1,47 @@
+// Message framing shared by every DPS channel.
+//
+// A frame is: magic (u32) | kind (u16) | from-node (u32) | length (u32) |
+// payload bytes. The same framing crosses real TCP sockets and the
+// in-process serialized channels, so the two fabrics are interchangeable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace dps {
+
+/// Logical node index within one cluster run.
+using NodeId = uint32_t;
+
+/// Frame kinds understood by the controller.
+enum class FrameKind : uint16_t {
+  kEnvelope = 1,   ///< a routed token envelope
+  kFlowAck = 2,    ///< split–merge flow-control acknowledgement
+  kHello = 3,      ///< connection handshake: announces the sender's NodeId
+  kShutdown = 4,   ///< orderly channel teardown
+  kCallReply = 5,  ///< final token of a graph call returning to the caller
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kEnvelope;
+  NodeId from = 0;
+  std::vector<std::byte> payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x44505331;  // "DPS1"
+
+/// Size of a frame on the wire, including the header — used by benchmarks
+/// to account for DPS control overhead exactly.
+size_t frame_wire_size(const Frame& frame);
+
+/// Blocking frame write to a TCP connection.
+void write_frame(TcpConn& conn, const Frame& frame);
+
+/// Blocking frame read. Returns false on clean EOF before a new frame.
+/// Throws Error(kProtocol) on bad magic, Error(kNetwork) on socket errors.
+bool read_frame(TcpConn& conn, Frame* out);
+
+}  // namespace dps

@@ -1,0 +1,36 @@
+// In-process fabric: serialized handover between thread-group "nodes".
+//
+// Reproduces the paper's debugging deployment where several DPS kernels run
+// on one host: tokens still cross the full serialization path, but the
+// bytes move by function call instead of a socket.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace dps {
+
+class InprocFabric : public Fabric {
+ public:
+  explicit InprocFabric(size_t node_count);
+
+  void attach(NodeId self, Handler handler) override;
+  void send(NodeId from, NodeId to, FrameKind kind,
+            std::vector<std::byte> payload) override;
+  void shutdown() override;
+  uint64_t bytes_sent() const override;
+  uint64_t messages_sent() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Handler> handlers_;
+  bool down_ = false;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+};
+
+}  // namespace dps

@@ -1,0 +1,52 @@
+// Name registry: the in-process equivalent of the paper's name server.
+//
+// DPS kernels "locate each other either by using UDP broadcasts or by
+// accessing a simple name server". Inside one process the registry is a
+// thread-safe name -> value map with blocking lookup (a lookup can wait for
+// a registration that has not happened yet, which is how lazily started
+// services are found). The multi-process kernel (src/kernel) exposes the
+// same map over TCP.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/domain.hpp"
+
+namespace dps {
+
+class NameRegistry {
+ public:
+  explicit NameRegistry(ExecDomain& domain) : domain_(domain) {}
+
+  /// Registers or replaces a name.
+  void publish(const std::string& name, const std::string& value);
+
+  /// Atomic publish-if-absent; returns false when the name already exists
+  /// (used as a spawn lock by the multi-process kernel).
+  bool publish_if_absent(const std::string& name, const std::string& value);
+
+  /// Removes a name (no-op if absent).
+  void withdraw(const std::string& name);
+
+  /// Non-blocking lookup.
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  /// Blocking lookup: waits until the name is published. Throws
+  /// Error(kDeadlock) if a simulated run stalls while waiting.
+  std::string wait_for(const std::string& name);
+
+  std::vector<std::string> names() const;
+
+ private:
+  ExecDomain& domain_;
+  mutable std::mutex mu_;
+  WaitPoint published_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace dps

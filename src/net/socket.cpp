@@ -1,0 +1,155 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dps {
+namespace {
+
+[[noreturn]] void net_fail(const std::string& what) {
+  raise(Errc::kNetwork, what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConn TcpConn::connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) net_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    raise(Errc::kNetwork, "invalid IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    net_fail("connect to " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return TcpConn(fd);
+}
+
+void TcpConn::send_all(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      net_fail("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+bool TcpConn::recv_all(void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      net_fail("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      raise(Errc::kNetwork, "connection closed mid-message");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void TcpConn::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpConn::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener TcpListener::bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) net_fail("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    net_fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    net_fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    net_fail("getsockname");
+  }
+  TcpListener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+TcpConn TcpListener::accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL after a concurrent close(): clean shutdown.
+    return TcpConn();
+  }
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a thread parked in accept() on Linux.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dps

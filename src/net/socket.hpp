@@ -1,0 +1,88 @@
+// RAII TCP socket wrappers (IPv4, blocking I/O).
+//
+// The DPS runtime "performs communications using TCP sockets" with
+// connections opened lazily (paper section 4). These wrappers own file
+// descriptors, set the options a latency-sensitive token stream needs
+// (TCP_NODELAY), and expose full-buffer send/recv so callers never handle
+// short reads/writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dps {
+
+/// An established, owned TCP connection.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+  TcpConn(TcpConn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& o) noexcept;
+  ~TcpConn() { close(); }
+
+  /// Connects to host:port; throws Error(kNetwork) on failure.
+  static TcpConn connect(const std::string& host, uint16_t port);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Sends the whole buffer; throws Error(kNetwork) on failure.
+  void send_all(const void* data, size_t size);
+
+  /// Receives exactly `size` bytes. Returns false on clean EOF at a frame
+  /// boundary (size bytes into the buffer, zero read so far); throws on
+  /// errors and on EOF mid-buffer.
+  bool recv_all(void* data, size_t size);
+
+  /// Shuts down the write side (signals EOF to the peer).
+  void shutdown_write();
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  TcpListener(TcpListener&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  TcpListener& operator=(TcpListener&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      port_ = o.port_;
+      o.fd_ = -1;
+      o.port_ = 0;
+    }
+    return *this;
+  }
+  ~TcpListener() { close(); }
+
+  /// Binds to 127.0.0.1:port (port 0 picks an ephemeral port).
+  static TcpListener bind(uint16_t port);
+
+  /// Blocks until a connection arrives. Returns an invalid TcpConn if the
+  /// listener was closed concurrently (clean shutdown path).
+  TcpConn accept();
+
+  uint16_t port() const noexcept { return port_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace dps

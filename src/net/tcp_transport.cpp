@@ -1,0 +1,144 @@
+#include "net/tcp_transport.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dps {
+
+TcpFabric::TcpFabric(size_t node_count) {
+  nodes_.reserve(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    auto end = std::make_unique<NodeEnd>();
+    end->listener = TcpListener::bind(0);
+    nodes_.push_back(std::move(end));
+  }
+  // Acceptors start immediately; handlers may attach slightly later, and
+  // receiver loops wait for the handler before dispatching.
+  for (size_t i = 0; i < node_count; ++i) {
+    nodes_[i]->acceptor =
+        std::thread([this, i] { acceptor_loop(static_cast<NodeId>(i)); });
+  }
+}
+
+TcpFabric::~TcpFabric() { shutdown(); }
+
+void TcpFabric::attach(NodeId self, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPS_CHECK(self < nodes_.size(), "attach: node id out of range");
+  nodes_[self]->handler = std::move(handler);
+}
+
+uint16_t TcpFabric::port_of(NodeId node) const {
+  DPS_CHECK(node < nodes_.size(), "port_of: node id out of range");
+  return nodes_[node]->listener.port();
+}
+
+void TcpFabric::acceptor_loop(NodeId self) {
+  for (;;) {
+    TcpConn conn = nodes_[self]->listener.accept();
+    if (!conn.valid()) return;  // listener closed: shutting down
+    auto shared = std::make_shared<TcpConn>(std::move(conn));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    receivers_.emplace_back(
+        [this, self, shared] { receiver_loop(self, shared); });
+  }
+}
+
+void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
+  try {
+    Frame hello;
+    if (!read_frame(*conn, &hello) || hello.kind != FrameKind::kHello) {
+      DPS_WARN("tcp fabric: connection without hello, dropping");
+      return;
+    }
+    const NodeId peer = hello.from;
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = nodes_[self]->handler;
+    }
+    DPS_CHECK(static_cast<bool>(handler), "receiver started before attach");
+    Frame f;
+    while (read_frame(*conn, &f)) {
+      if (f.kind == FrameKind::kShutdown) return;
+      handler(NodeMessage{peer, f.kind, std::move(f.payload)});
+    }
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!down_) {
+      DPS_WARN("tcp fabric: receiver for node " << self
+                                                << " ended: " << e.what());
+    }
+  }
+}
+
+TcpFabric::OutConn& TcpFabric::out_conn(NodeId from, NodeId to) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto key = std::make_pair(from, to);
+  auto it = out_.find(key);
+  if (it != out_.end()) return *it->second;
+  if (down_) raise(Errc::kNetwork, "fabric is shut down");
+  const uint16_t port = nodes_[to]->listener.port();
+  lock.unlock();
+  // Lazy connect outside mu_ (connect can block); racing senders may both
+  // connect, the loser's socket is discarded below.
+  TcpConn conn = TcpConn::connect("127.0.0.1", port);
+  Frame hello;
+  hello.kind = FrameKind::kHello;
+  hello.from = from;
+  write_frame(conn, hello);
+  lock.lock();
+  it = out_.find(key);
+  if (it != out_.end()) return *it->second;  // lost the race; drop ours
+  auto oc = std::make_unique<OutConn>();
+  oc->conn = std::move(conn);
+  it = out_.emplace(key, std::move(oc)).first;
+  return *it->second;
+}
+
+void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
+                     std::vector<std::byte> payload) {
+  OutConn& oc = out_conn(from, to);
+  Frame f;
+  f.kind = kind;
+  f.from = from;
+  f.payload = std::move(payload);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(oc.mu);
+  write_frame(oc.conn, f);
+}
+
+void TcpFabric::shutdown() {
+  std::vector<std::thread> receivers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    down_ = true;
+    receivers.swap(receivers_);
+  }
+  for (auto& node : nodes_) node->listener.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, oc] : out_) {
+      std::lock_guard<std::mutex> cl(oc->mu);
+      oc->conn.close();  // unblocks the peer's receiver with EOF/error
+    }
+  }
+  for (auto& node : nodes_) {
+    if (node->acceptor.joinable()) node->acceptor.join();
+  }
+  for (auto& r : receivers) {
+    if (r.joinable()) r.join();
+  }
+}
+
+uint64_t TcpFabric::bytes_sent() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+uint64_t TcpFabric::messages_sent() const {
+  return messages_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dps

@@ -1,0 +1,63 @@
+// TCP fabric: real sockets between the nodes of one cluster run.
+//
+// Every node owns a loopback listener; a connection from node A to node B
+// is opened lazily on A's first send to B (the paper's delayed connection
+// strategy: "It neither launches an application on a node nor opens a
+// connection (TCP socket) to another application unless a data object
+// needs to reach that node"). A hello frame announces the sender's node id;
+// afterwards the socket carries frames one way, read by a per-connection
+// receiver thread that feeds the destination node's handler.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/socket.hpp"
+
+namespace dps {
+
+class TcpFabric : public Fabric {
+ public:
+  explicit TcpFabric(size_t node_count);
+  ~TcpFabric() override;
+
+  void attach(NodeId self, Handler handler) override;
+  void send(NodeId from, NodeId to, FrameKind kind,
+            std::vector<std::byte> payload) override;
+  void shutdown() override;
+  uint64_t bytes_sent() const override;
+  uint64_t messages_sent() const override;
+
+  /// Listening port of a node (exposed for tests).
+  uint16_t port_of(NodeId node) const;
+
+ private:
+  struct NodeEnd {
+    TcpListener listener;
+    Handler handler;
+    std::thread acceptor;
+  };
+  struct OutConn {
+    std::mutex mu;  // serializes writers from one node to one peer
+    TcpConn conn;
+  };
+
+  void acceptor_loop(NodeId self);
+  void receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn);
+  OutConn& out_conn(NodeId from, NodeId to);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<NodeEnd>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<OutConn>> out_;
+  std::vector<std::thread> receivers_;
+  bool down_ = false;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+};
+
+}  // namespace dps

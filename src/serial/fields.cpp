@@ -1,0 +1,24 @@
+#include "serial/fields.hpp"
+
+namespace dps {
+namespace detail {
+
+CaptureState*& capture_top() noexcept {
+  thread_local CaptureState* top = nullptr;
+  return top;
+}
+
+void register_field(const void* field, const FieldOps* ops) {
+  CaptureState* cap = capture_top();
+  if (cap == nullptr) return;
+  const char* addr = static_cast<const char*>(field);
+  // Only record fields that live inside the object currently being probed;
+  // wrappers constructed elsewhere during the probe (e.g. temporaries in a
+  // constructor body, or fields of a *nested* capture) are not ours.
+  if (addr < cap->base || addr >= cap->base + cap->size) return;
+  cap->fields->push_back(
+      {static_cast<size_t>(addr - cap->base), ops});
+}
+
+}  // namespace detail
+}  // namespace dps

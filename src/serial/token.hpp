@@ -1,0 +1,144 @@
+// Token (data object) base classes and the intrusive smart pointer.
+//
+// Tokens are the data objects that circulate through DPS flow graphs
+// (paper section 3, "Expressing data objects"). Two families exist:
+//
+//  * SimpleToken  — derived classes contain only trivially copyable members
+//                   and are serialized with one memory copy, exactly like
+//                   the paper's CharToken example.
+//  * ComplexToken — derived classes declare their serializable state with
+//                   the CT<>, Buffer<> and Vector<> field wrappers
+//                   (serial/fields.hpp); serialization is derived
+//                   automatically with no redundant declarations.
+//
+// Both must carry a DPS_IDENTIFY(ClassName) macro (serial/registry.hpp),
+// which provides the class factory used during deserialization and
+// registers the type with the global token registry.
+//
+// Memory management follows the paper: the framework "takes care of
+// releasing memory using smart pointers with reference counting" — Ptr<T>
+// is an intrusive refcounted pointer over Token.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace dps {
+
+struct TokenTypeInfo;  // defined in serial/registry.hpp
+
+/// Base class of every data object circulating in a flow graph.
+class Token {
+ public:
+  Token() = default;
+  Token(const Token&) : refs_(0) {}  // copies start unowned
+  Token& operator=(const Token&) { return *this; }
+  virtual ~Token() = default;
+
+  /// Runtime type descriptor, provided by DPS_IDENTIFY.
+  virtual const TokenTypeInfo& typeInfo() const = 0;
+
+  // Intrusive reference count used by Ptr<T>.
+  void token_ref() const noexcept {
+    refs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Returns true when the count dropped to zero and the object must die.
+  bool token_unref() const noexcept {
+    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  uint64_t token_refs() const noexcept {
+    return refs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> refs_{0};
+};
+
+// SimpleToken serialization copies the byte range
+// [sizeof(SimpleToken), sizeof(Derived)) of the object, so the bases must
+// not introduce members or tail padding a derived member could occupy.
+static_assert(sizeof(std::atomic<uint64_t>) == 8);
+
+/// Base class for memcpy-serialized tokens. Derived classes must contain
+/// only trivially copyable data members (no pointers, no std::string).
+class SimpleToken : public Token {};
+
+static_assert(sizeof(SimpleToken) == sizeof(Token),
+              "SimpleToken must not add state");
+
+/// Base class for field-wrapper-serialized tokens.
+class ComplexToken : public Token {};
+
+static_assert(sizeof(ComplexToken) == sizeof(Token),
+              "ComplexToken must not add state");
+
+/// Intrusive reference-counted pointer to a Token subclass.
+///
+/// Convention matches the paper's usage: `postToken(new CharToken(...))`
+/// hands a freshly allocated object (count 0) to the framework, which wraps
+/// it in a Ptr (count 1) and deletes it when the last Ptr drops.
+template <class T>
+class Ptr {
+  static_assert(std::is_base_of_v<Token, T>, "Ptr<T> requires a Token type");
+
+ public:
+  Ptr() = default;
+  Ptr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Ptr(T* p) : p_(p) { acquire(); }  // NOLINT(google-explicit-constructor)
+  Ptr(const Ptr& o) : p_(o.p_) { acquire(); }
+  Ptr(Ptr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  /// Upcast conversion (Ptr<Derived> -> Ptr<Base>).
+  template <class U, class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  Ptr(const Ptr<U>& o) : p_(o.get()) {  // NOLINT(google-explicit-constructor)
+    acquire();
+  }
+
+  Ptr& operator=(const Ptr& o) {
+    Ptr tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  Ptr& operator=(Ptr&& o) noexcept {
+    Ptr tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+  ~Ptr() { release(); }
+
+  void reset() { release(); }
+  void swap(Ptr& o) noexcept {
+    T* t = p_;
+    p_ = o.p_;
+    o.p_ = t;
+  }
+
+  T* get() const noexcept { return p_; }
+  T& operator*() const noexcept { return *p_; }
+  T* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  bool operator==(const Ptr& o) const noexcept { return p_ == o.p_; }
+  bool operator!=(const Ptr& o) const noexcept { return p_ != o.p_; }
+
+ private:
+  void acquire() {
+    if (p_ != nullptr) p_->token_ref();
+  }
+  void release() {
+    if (p_ != nullptr && p_->token_unref()) delete p_;
+    p_ = nullptr;
+  }
+
+  T* p_ = nullptr;
+};
+
+/// Checked downcast between token pointer types; returns an empty Ptr when
+/// the dynamic type does not match.
+template <class To, class From>
+Ptr<To> token_cast(const Ptr<From>& p) {
+  return Ptr<To>(dynamic_cast<To*>(p.get()));
+}
+
+}  // namespace dps

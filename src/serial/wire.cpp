@@ -1,0 +1,3 @@
+#include "serial/wire.hpp"
+
+// Header-only; kept as a translation unit anchor for the module.

@@ -1,0 +1,137 @@
+// Byte-level wire format primitives.
+//
+// DPS serializes tokens into flat byte buffers before they cross a node
+// boundary (a real TCP socket, or the in-process serialized channel that
+// reproduces the paper's "several kernels on one host" debugging mode).
+// The format is little-endian, size-prefixed, and versioned one level up in
+// net/framing.hpp. x86-64 only (asserted), matching the paper's platform.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dps {
+
+static_assert(std::endian::native == std::endian::little,
+              "DPS wire format assumes a little-endian host");
+
+/// Appends primitive values to a growable byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Raw bytes, no length prefix.
+  void put_raw(const void* data, size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), bytes, bytes + size);
+  }
+
+  /// Any trivially copyable scalar/struct, by value.
+  template <class T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Writer::put requires a trivially copyable type");
+    put_raw(&value, sizeof(T));
+  }
+
+  /// Length-prefixed (u32) byte run.
+  void put_bytes(const void* data, size_t size) {
+    DPS_CHECK(size <= UINT32_MAX, "byte run exceeds u32 length prefix");
+    put(static_cast<uint32_t>(size));
+    put_raw(data, size);
+  }
+
+  /// Length-prefixed UTF-8/byte string.
+  void put_string(const std::string& s) { put_bytes(s.data(), s.size()); }
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values back out of a byte buffer. Every accessor checks
+/// bounds and throws Error(kProtocol) on overrun, so a truncated or
+/// corrupted message cannot read out of bounds.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : data_(static_cast<const std::byte*>(data)), size_(size) {}
+
+  explicit Reader(const std::vector<std::byte>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  void get_raw(void* out, size_t size) {
+    require(size);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Reader::get requires a trivially copyable type");
+    T value;
+    get_raw(&value, sizeof(T));
+    return value;
+  }
+
+  std::string get_string() {
+    const uint32_t len = get<uint32_t>();
+    require(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Returns a pointer into the underlying buffer for a length-prefixed run
+  /// (zero-copy); the pointer is valid as long as the buffer is.
+  const std::byte* get_bytes(uint32_t* out_len) {
+    const uint32_t len = get<uint32_t>();
+    require(len);
+    const std::byte* p = data_ + pos_;
+    pos_ += len;
+    *out_len = len;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+  /// Validates a decoded element count against the bytes actually present
+  /// (each element needs at least `min_element_size` bytes). Protects
+  /// containers from allocating storage for absurd claimed counts before
+  /// the payload bounds checks would fire.
+  void require_count(uint64_t count, size_t min_element_size) const {
+    if (min_element_size == 0) min_element_size = 1;
+    if (count > remaining() / min_element_size) {
+      raise(Errc::kProtocol,
+            "claimed element count " + std::to_string(count) +
+                " exceeds the remaining payload");
+    }
+  }
+
+ private:
+  void require(size_t size) const {
+    if (size_ - pos_ < size) {
+      raise(Errc::kProtocol, "wire buffer overrun (need " +
+                                 std::to_string(size) + " bytes, have " +
+                                 std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::byte* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dps

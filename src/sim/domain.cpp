@@ -1,0 +1,85 @@
+#include "sim/domain.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace dps {
+
+// WallDomain events run on one timer thread with a time-ordered queue.
+struct WallDomain::Impl {
+  Stopwatch clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::multimap<double, std::function<void()>> events;  // key: due time (s)
+  bool stopping = false;
+  std::thread timer;
+
+  void timer_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+      if (events.empty()) {
+        cv.wait(lock);
+        continue;
+      }
+      const double due = events.begin()->first;
+      const double now_s = clock.seconds();
+      if (now_s < due) {
+        cv.wait_for(lock, std::chrono::duration<double>(due - now_s));
+        continue;
+      }
+      auto fn = std::move(events.begin()->second);
+      events.erase(events.begin());
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  }
+};
+
+WallDomain::WallDomain() : impl_(std::make_unique<Impl>()) {
+  impl_->timer = std::thread([this] { impl_->timer_loop(); });
+}
+
+WallDomain::~WallDomain() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->timer.join();
+}
+
+double WallDomain::now() const { return impl_->clock.seconds(); }
+
+void WallDomain::charge(double) {
+  // Wall mode: the computation physically happened; nothing to account.
+}
+
+void WallDomain::sleep(double seconds) {
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+void WallDomain::post_event(double delay, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->events.emplace(impl_->clock.seconds() + (delay > 0 ? delay : 0),
+                          std::move(fn));
+  }
+  impl_->cv.notify_all();
+}
+
+void WallDomain::actor_started(const char*) {}
+void WallDomain::actor_finished() {}
+
+void WallDomain::wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) {
+  wp.cv.wait(lock);
+}
+
+void WallDomain::notify_all(WaitPoint& wp) { wp.cv.notify_all(); }
+
+}  // namespace dps

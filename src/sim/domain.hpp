@@ -1,0 +1,169 @@
+// Execution domains: wall-clock vs virtual (simulated) time.
+//
+// The paper evaluates DPS on an 8-node Gigabit-Ethernet cluster of
+// bi-processor Pentium III machines. This reproduction runs on one CPU
+// core, so wall-clock speedup curves are unobtainable directly. Instead,
+// the engine is written against the ExecDomain interface: every blocking
+// point (mailbox pop, merge wait, flow-control credit wait, graph-call
+// wait) funnels through WaitPoint/wait/notify, and every modeled CPU cost
+// through charge(). Under WallDomain these map to plain condition
+// variables and no-ops; under SimDomain (sim/scheduler.hpp) they map to a
+// conservative discrete-event scheduler that advances a virtual clock —
+// the same engine and the same user code produce the paper's cluster-scale
+// timing behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace dps {
+
+/// A condition-variable wait site that an ExecDomain can reason about.
+/// The embedding data structure's mutex guards the WaitPoint: wait() must
+/// be entered with that mutex locked, and notify_all() called while holding
+/// it.
+struct WaitPoint {
+  std::condition_variable cv;
+  /// Sim-mode bookkeeping: actor ids currently parked here.
+  std::vector<uint32_t> sim_waiters;
+  /// Set by the simulation scheduler when the whole virtual world stalls
+  /// (no runnable actor, no future event) while someone still waits: that
+  /// is a deadlock of the parallel schedule, reported to the waiters.
+  bool stalled = false;
+};
+
+/// Time, blocking, and event services for one cluster run.
+class ExecDomain {
+ public:
+  virtual ~ExecDomain() = default;
+
+  /// Seconds since the start of the run (virtual or wall).
+  virtual double now() const = 0;
+
+  /// Accounts `seconds` of CPU work by the calling actor. Wall mode: no-op
+  /// (the work physically ran). Sim mode: advances this actor's position on
+  /// the virtual clock. Must not be called while holding locks.
+  virtual void charge(double seconds) = 0;
+
+  /// Models a delay (e.g. disk latency in the video example). Wall mode:
+  /// really sleeps. Sim mode: identical to charge().
+  virtual void sleep(double seconds) = 0;
+
+  /// Schedules `fn` to run `delay` seconds from now on the domain's event
+  /// thread. Used by fabrics for message delivery.
+  virtual void post_event(double delay, std::function<void()> fn) = 0;
+
+  /// Actor lifecycle. Every thread that can block inside the engine during
+  /// a simulated run must be bracketed by these (worker threads are handled
+  /// by the framework; benchmark main threads use ActorScope).
+  virtual void actor_started(const char* name) = 0;
+  virtual void actor_finished() = 0;
+
+  /// Declares that a new actor thread is about to be spawned. The placeholder
+  /// counts as runnable until the thread calls actor_started, so the virtual
+  /// clock can neither advance past the spawn nor misdiagnose a stall while
+  /// the OS thread is still starting. Call from the spawning thread,
+  /// immediately before creating the thread.
+  virtual void reserve_actor() = 0;
+
+  /// Binds the calling actor to a CPU group (one group per cluster node).
+  /// Under virtual time the group's processor slots are a shared resource:
+  /// when more actors charge concurrently than the node has CPUs, the
+  /// excess queues — this is what makes "several DPS threads on one
+  /// bi-processor node" cost what it did on the paper's cluster. No-op
+  /// under wall clock and for unbound actors (group < 0 = infinite CPUs).
+  virtual void bind_cpu(int group) = 0;
+
+  /// Blocks on wp until notified. `lock` holds the mutex guarding wp.
+  virtual void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) = 0;
+
+  /// Wakes all waiters of wp. Caller holds the mutex guarding wp.
+  virtual void notify_all(WaitPoint& wp) = 0;
+
+  virtual bool simulated() const = 0;
+
+  /// Predicate-driven wait; throws Error(kDeadlock) if the simulation
+  /// stalls while this waiter still needs progress.
+  template <class Pred>
+  void wait_until(WaitPoint& wp, std::unique_lock<std::mutex>& lock,
+                  Pred pred) {
+    while (!pred()) {
+      if (wp.stalled) {
+        raise(Errc::kDeadlock,
+              "parallel schedule stalled: no runnable thread, no pending "
+              "message, but this wait is unsatisfied (check thread mappings "
+              "and merge routing)");
+      }
+      wait(wp, lock);
+    }
+  }
+};
+
+/// Rendezvous for joining an actor thread from another actor under virtual
+/// time. A plain std::thread::join() freezes the clock (the joiner still
+/// counts as runnable, so pending events never fire and the joined actor
+/// cannot finish). Instead the exiting actor calls open(); the joiner calls
+/// wait() — a scheduler-aware block — and only then join()s the thread.
+class ActorGate {
+ public:
+  /// Called by the exiting actor as its last action.
+  void open(ExecDomain& domain) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    domain.notify_all(wp_);
+  }
+
+  /// Called by the joiner before std::thread::join().
+  void wait(ExecDomain& domain) {
+    std::unique_lock<std::mutex> lock(mu_);
+    domain.wait_until(wp_, lock, [&] { return done_; });
+  }
+
+ private:
+  std::mutex mu_;
+  WaitPoint wp_;
+  bool done_ = false;
+};
+
+/// RAII actor registration for non-framework threads (benchmark mains).
+class ActorScope {
+ public:
+  ActorScope(ExecDomain& domain, const char* name) : domain_(domain) {
+    domain_.actor_started(name);
+  }
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+  ~ActorScope() { domain_.actor_finished(); }
+
+ private:
+  ExecDomain& domain_;
+};
+
+/// Real-time domain: plain condition variables, real sleeps, no-op charge.
+class WallDomain : public ExecDomain {
+ public:
+  WallDomain();
+  ~WallDomain() override;
+
+  double now() const override;
+  void charge(double seconds) override;
+  void sleep(double seconds) override;
+  void post_event(double delay, std::function<void()> fn) override;
+  void actor_started(const char* name) override;
+  void actor_finished() override;
+  void reserve_actor() override {}
+  void bind_cpu(int) override {}
+  void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) override;
+  void notify_all(WaitPoint& wp) override;
+  bool simulated() const override { return false; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dps

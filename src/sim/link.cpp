@@ -1,0 +1,86 @@
+#include "sim/link.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dps {
+
+struct SimFabric::Impl {
+  ExecDomain& domain;
+  LinkModel link;
+  std::mutex mu;
+  std::vector<Handler> handlers;
+  std::vector<double> tx_free;  // next instant a node's TX NIC is idle
+  std::vector<double> rx_free;  // next instant a node's RX NIC is idle
+  bool down = false;
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> messages{0};
+
+  Impl(size_t n, ExecDomain& d, LinkModel l)
+      : domain(d), link(l), handlers(n), tx_free(n, 0), rx_free(n, 0) {}
+};
+
+SimFabric::SimFabric(size_t node_count, ExecDomain& domain, LinkModel link)
+    : impl_(std::make_unique<Impl>(node_count, domain, link)) {}
+
+SimFabric::~SimFabric() = default;
+
+void SimFabric::attach(NodeId self, Handler handler) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  DPS_CHECK(self < impl_->handlers.size(), "attach: node id out of range");
+  impl_->handlers[self] = std::move(handler);
+}
+
+void SimFabric::send(NodeId from, NodeId to, FrameKind kind,
+                     std::vector<std::byte> payload) {
+  Frame f;
+  f.payload = std::move(payload);
+  const size_t wire = frame_wire_size(f);
+  const double now = impl_->domain.now();
+
+  Handler handler;
+  double arrival = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->down) return;
+    if (to >= impl_->handlers.size() || !impl_->handlers[to]) {
+      raise(Errc::kNotFound,
+            "no node " + std::to_string(to) + " attached to sim fabric");
+    }
+    handler = impl_->handlers[to];
+    const double occ = impl_->link.occupancy(wire);
+    const double tx_start = std::max(now, impl_->tx_free[from]);
+    impl_->tx_free[from] = tx_start + occ;
+    const double rx_start =
+        std::max(tx_start + impl_->link.latency_s, impl_->rx_free[to]);
+    impl_->rx_free[to] = rx_start + occ;
+    arrival = rx_start + occ;
+  }
+  impl_->messages.fetch_add(1, std::memory_order_relaxed);
+  impl_->bytes.fetch_add(wire, std::memory_order_relaxed);
+
+  auto msg = std::make_shared<NodeMessage>(
+      NodeMessage{from, kind, std::move(f.payload)});
+  impl_->domain.post_event(arrival - now, [handler, msg] {
+    handler(std::move(*msg));
+  });
+}
+
+void SimFabric::shutdown() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->down = true;
+}
+
+uint64_t SimFabric::bytes_sent() const {
+  return impl_->bytes.load(std::memory_order_relaxed);
+}
+uint64_t SimFabric::messages_sent() const {
+  return impl_->messages.load(std::memory_order_relaxed);
+}
+
+const LinkModel& SimFabric::link() const { return impl_->link; }
+
+}  // namespace dps

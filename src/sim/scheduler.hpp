@@ -1,0 +1,63 @@
+// Conservative discrete-event scheduler driving real OS threads.
+//
+// SimDomain implements ExecDomain over a virtual clock. Engine threads
+// (DPS workers, the benchmark main) are *actors*; at any instant each actor
+// is either
+//
+//   running  — executing user/engine code (virtual time frozen),
+//   charging — inside charge(s): parked until the clock reaches now+s,
+//   waiting  — parked on a WaitPoint (empty mailbox, unmet credits, ...).
+//
+// The clock only advances when no actor is running; it then jumps to the
+// earliest pending charge wake-up or message-delivery event. Message
+// deliveries (posted by fabrics through post_event) execute on the
+// scheduler thread and wake waiting actors through ExecDomain::notify_all,
+// which pre-credits them as running before the clock can move again — the
+// advancement rule is therefore conservative and the virtual timeline is
+// causally consistent.
+//
+// If the virtual world reaches a state with no runnable actor, no charge,
+// and no event while actors still wait, the parallel schedule is
+// deadlocked; the scheduler then marks the affected WaitPoints stalled and
+// the waiters throw Error(kDeadlock) (see ExecDomain::wait_until).
+#pragma once
+
+#include <memory>
+
+#include "sim/domain.hpp"
+
+namespace dps {
+
+class SimDomain : public ExecDomain {
+ public:
+  /// The constructing thread is registered as the "main" actor.
+  /// `cpus_per_group` is the number of processor slots per CPU group
+  /// (cluster node); the paper's machines are bi-processor Pentium IIIs.
+  explicit SimDomain(int cpus_per_group = 2);
+  ~SimDomain() override;
+
+  double now() const override;
+  void charge(double seconds) override;
+  void sleep(double seconds) override { charge(seconds); }
+  void post_event(double delay, std::function<void()> fn) override;
+  void actor_started(const char* name) override;
+  void actor_finished() override;
+  void reserve_actor() override;
+  void bind_cpu(int group) override;
+  void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) override;
+  void notify_all(WaitPoint& wp) override;
+  bool simulated() const override { return true; }
+
+  /// Ends the simulation: wakes every parked actor and stops the scheduler
+  /// thread. Called automatically on destruction.
+  void stop();
+
+  /// Number of timed events fired so far (test/diagnostic hook).
+  uint64_t events_fired() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dps

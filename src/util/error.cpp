@@ -1,0 +1,35 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dps {
+
+const char* to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kTypeMismatch: return "type_mismatch";
+    case Errc::kUnroutable: return "unroutable";
+    case Errc::kNotFound: return "not_found";
+    case Errc::kProtocol: return "protocol";
+    case Errc::kNetwork: return "network";
+    case Errc::kState: return "state";
+    case Errc::kDeadlock: return "deadlock";
+  }
+  return "unknown";
+}
+
+void raise(Errc code, const std::string& message) {
+  throw Error(code, message);
+}
+
+namespace detail {
+void check_failed(const char* expr, const char* message, const char* file,
+                  int line) {
+  std::fprintf(stderr, "DPS_CHECK failed: %s (%s) at %s:%d\n", expr, message,
+               file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace dps

@@ -1,0 +1,59 @@
+// Error handling primitives for the DPS framework.
+//
+// DPS reports unrecoverable misuse (mismatched token types at runtime,
+// unroutable tokens, malformed mapping strings) through dps::Error, a
+// std::runtime_error subclass carrying an error code so tests can assert on
+// the failure class rather than on message text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dps {
+
+/// Classes of framework failure. Kept coarse on purpose: each value is a
+/// condition a caller could plausibly handle or a test could assert on.
+enum class Errc {
+  kInvalidArgument,   ///< malformed user input (mapping string, bad index...)
+  kTypeMismatch,      ///< token type not accepted where it was sent
+  kUnroutable,        ///< no graph successor accepts the posted token
+  kNotFound,          ///< unknown name (graph, node, kernel, type...)
+  kProtocol,          ///< malformed wire data
+  kNetwork,           ///< socket-level failure
+  kState,             ///< operation invalid in the current state
+  kDeadlock,          ///< watchdog detected a self-deadlocked mapping
+};
+
+/// Human-readable name of an error class ("type_mismatch", ...).
+const char* to_string(Errc code) noexcept;
+
+/// Exception thrown for all framework-detected failures.
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+/// Throws dps::Error. Out-of-line so call sites stay small.
+[[noreturn]] void raise(Errc code, const std::string& message);
+
+/// Internal invariant check; always active (framework bugs must not pass
+/// silently in release builds — this is a messaging framework, corrupting a
+/// token stream is worse than aborting).
+#define DPS_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) ::dps::detail::check_failed(#cond, msg, __FILE__, __LINE__); \
+  } while (0)
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* message,
+                               const char* file, int line);
+}  // namespace detail
+
+}  // namespace dps

@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dps {
+namespace log {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("DPS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(LogLevel lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void write(LogLevel lvl, const std::string& message) {
+  // One fprintf per record keeps interleaving at record granularity.
+  std::fprintf(stderr, "[dps %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace log
+}  // namespace dps

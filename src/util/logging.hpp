@@ -1,0 +1,40 @@
+// Minimal leveled logger. DPS is a library: logging defaults to warnings
+// only and writes to stderr; the level is adjustable at runtime (or through
+// the DPS_LOG environment variable: "debug", "info", "warn", "error",
+// "off"). Thread safe: each message is formatted into one write.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log {
+
+/// Current threshold; messages below it are discarded.
+LogLevel level() noexcept;
+void set_level(LogLevel level) noexcept;
+
+/// Emits one record (already filtered by the macros below).
+void write(LogLevel level, const std::string& message);
+
+}  // namespace log
+
+#define DPS_LOG_AT(lvl, expr)                                \
+  do {                                                       \
+    if (static_cast<int>(lvl) >=                             \
+        static_cast<int>(::dps::log::level())) {             \
+      std::ostringstream dps_log_os;                         \
+      dps_log_os << expr;                                    \
+      ::dps::log::write(lvl, dps_log_os.str());              \
+    }                                                        \
+  } while (0)
+
+#define DPS_DEBUG(expr) DPS_LOG_AT(::dps::LogLevel::kDebug, expr)
+#define DPS_INFO(expr) DPS_LOG_AT(::dps::LogLevel::kInfo, expr)
+#define DPS_WARN(expr) DPS_LOG_AT(::dps::LogLevel::kWarn, expr)
+#define DPS_ERROR(expr) DPS_LOG_AT(::dps::LogLevel::kError, expr)
+
+}  // namespace dps

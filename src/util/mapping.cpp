@@ -1,0 +1,65 @@
+#include "util/mapping.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dps {
+
+std::vector<std::string> parse_mapping(const std::string& mapping) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = mapping.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(mapping[i]))) ++i;
+    if (i >= n) break;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(mapping[i])) &&
+           mapping[i] != '*') {
+      ++i;
+    }
+    std::string name = mapping.substr(start, i - start);
+    if (name.empty()) {
+      raise(Errc::kInvalidArgument,
+            "mapping string has an empty node name in '" + mapping + "'");
+    }
+    long count = 1;
+    if (i < n && mapping[i] == '*') {
+      ++i;
+      size_t num_start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(mapping[i]))) ++i;
+      if (i == num_start) {
+        raise(Errc::kInvalidArgument,
+              "mapping string has '*' without a count in '" + mapping + "'");
+      }
+      count = std::strtol(mapping.substr(num_start, i - num_start).c_str(),
+                          nullptr, 10);
+      if (count <= 0) {
+        raise(Errc::kInvalidArgument,
+              "mapping multiplier must be positive in '" + mapping + "'");
+      }
+    }
+    for (long k = 0; k < count; ++k) out.push_back(name);
+  }
+  if (out.empty()) {
+    raise(Errc::kInvalidArgument, "mapping string maps no threads: '" +
+                                      mapping + "'");
+  }
+  return out;
+}
+
+std::string round_robin_mapping(const std::vector<std::string>& nodes,
+                                int threads) {
+  if (nodes.empty() || threads <= 0) {
+    raise(Errc::kInvalidArgument, "round_robin_mapping needs nodes and threads");
+  }
+  std::string out;
+  for (int t = 0; t < threads; ++t) {
+    if (t != 0) out += ' ';
+    out += nodes[static_cast<size_t>(t) % nodes.size()];
+  }
+  return out;
+}
+
+}  // namespace dps

@@ -1,0 +1,28 @@
+// Parser for DPS thread-mapping strings.
+//
+// The paper (section 3, "Expressing thread collections and flow graphs")
+// places the threads of a collection on nodes with a string of node names
+// separated by spaces, each with an optional "*N" multiplier:
+//
+//   computeThreads->map("nodeA*2 nodeB");
+//
+// creates three threads: two on nodeA, one on nodeB. parse_mapping expands
+// such a string into the ordered list of per-thread node names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dps {
+
+/// Expands a mapping string into one node name per thread, in order.
+/// Throws Error(kInvalidArgument) on malformed input (empty string, zero or
+/// negative multiplier, dangling '*').
+std::vector<std::string> parse_mapping(const std::string& mapping);
+
+/// Builds a mapping string that spreads `threads` threads round-robin over
+/// `nodes` node names — convenience used by examples and benchmarks.
+std::string round_robin_mapping(const std::vector<std::string>& nodes,
+                                int threads);
+
+}  // namespace dps

@@ -1,0 +1,4 @@
+#include "util/stopwatch.hpp"
+
+// Header-only; this translation unit exists so the target has a stable
+// object for the module and a place for future non-inline additions.

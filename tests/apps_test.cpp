@@ -1,0 +1,131 @@
+// Integration tests for the experiment applications: the ring transfer
+// graph (Fig. 6) and the block matrix multiplication (Table 1).
+#include <gtest/gtest.h>
+
+#include "apps/matmul.hpp"
+#include "apps/ring.hpp"
+
+namespace dps {
+namespace {
+
+using apps::build_matmul_graph;
+using apps::build_ring_graph;
+using apps::RingDoneToken;
+using apps::RingStartToken;
+
+TEST(RingApp, AllBlocksArriveInproc) {
+  Cluster cluster(ClusterConfig::inproc(4));
+  Application app(cluster, "ring");
+  auto graph = build_ring_graph(app, 4);
+  ActorScope scope(cluster.domain(), "main");
+  auto done =
+      token_cast<RingDoneToken>(graph->call(new RingStartToken(25, 4096)));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(done->blocks, 25);
+  EXPECT_EQ(done->payload_bytes, 25ll * 4096);
+  // Every block crossed 4 inter-node links (3 forwards + return to merge).
+  EXPECT_GE(cluster.fabric().messages_sent(), 100u);
+}
+
+TEST(RingApp, ThroughputScalesWithModeledBandwidth) {
+  // Under virtual time, halving the link bandwidth must roughly double the
+  // steady-state transfer time of a payload-dominated ring.
+  auto run = [](double bandwidth) {
+    LinkModel link;
+    link.bandwidth_bytes_per_s = bandwidth;
+    link.latency_s = 1e-4;
+    link.per_message_s = 0;
+    Cluster cluster(ClusterConfig::simulated(4, link));
+    Application app(cluster, "ring");
+    auto graph = build_ring_graph(app, 4);
+    ActorScope scope(cluster.domain(), "main");
+    auto done = token_cast<RingDoneToken>(
+        graph->call(new RingStartToken(20, 100 * 1024)));
+    EXPECT_TRUE(done.get() != nullptr);
+    return cluster.domain().now();
+  };
+  const double t_fast = run(70e6);
+  const double t_slow = run(35e6);
+  EXPECT_GT(t_slow, 1.7 * t_fast);
+  EXPECT_LT(t_slow, 2.3 * t_fast);
+}
+
+TEST(RingApp, TwoHopDegenerateRing) {
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "ring2");
+  auto graph = build_ring_graph(app, 2);
+  ActorScope scope(cluster.domain(), "main");
+  auto done =
+      token_cast<RingDoneToken>(graph->call(new RingStartToken(5, 128)));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(done->blocks, 5);
+}
+
+class MatMulParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(MatMulParam, MatchesSequentialGemm) {
+  const auto [n, s, workers] = GetParam();
+  Cluster cluster(ClusterConfig::inproc(workers + 1));
+  Application app(cluster, "matmul");
+  auto graph = build_matmul_graph(app, workers);
+  ActorScope scope(cluster.domain(), "main");
+
+  la::Matrix a(static_cast<size_t>(n), static_cast<size_t>(n));
+  la::Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+  a.fill_random(1);
+  b.fill_random(2);
+  la::Matrix c = apps::run_matmul(*graph, a, b, s);
+  EXPECT_LT(la::max_abs_diff(c, la::gemm(a, b)), 1e-9)
+      << "n=" << n << " s=" << s << " workers=" << workers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatMulParam,
+    ::testing::Values(std::make_tuple(16, 2, 1), std::make_tuple(16, 4, 2),
+                      std::make_tuple(32, 4, 3), std::make_tuple(32, 8, 4),
+                      std::make_tuple(64, 8, 2), std::make_tuple(48, 3, 2)));
+
+TEST(MatMulApp, SyntheticModeChargesVirtualTime) {
+  Cluster cluster(ClusterConfig::simulated(3));
+  Application app(cluster, "matmul-sim");
+  auto graph = build_matmul_graph(app, 2);
+  ActorScope scope(cluster.domain(), "main");
+  la::Matrix a(64, 64), b(64, 64);
+  a.fill_random(3);
+  b.fill_random(4);
+  (void)apps::run_matmul(*graph, a, b, 4, /*sim_flops_per_s=*/220e6);
+  // 2*64^3 flops at 220 MFLOPS across 2 workers >= 1.2 ms of virtual time.
+  EXPECT_GT(cluster.domain().now(), 2.0 * 64 * 64 * 64 / 220e6 / 2 * 0.9);
+}
+
+TEST(MatMulApp, NarrowWindowSerializesTransfers) {
+  // The Table 1 "no overlap" baseline: flow window = one task per worker.
+  ClusterConfig cfg = ClusterConfig::simulated(3);
+  cfg.flow_window = 2;  // 2 workers
+  Cluster narrow_cluster(cfg);
+  Application napp(narrow_cluster, "mm");
+  auto ngraph = build_matmul_graph(napp, 2);
+  double t_narrow = 0, t_wide = 0;
+  la::Matrix a(64, 64), b(64, 64);
+  a.fill_random(5);
+  b.fill_random(6);
+  {
+    ActorScope scope(narrow_cluster.domain(), "main");
+    (void)apps::run_matmul(*ngraph, a, b, 8, 50e6);
+    t_narrow = narrow_cluster.domain().now();
+  }
+  Cluster wide_cluster(ClusterConfig::simulated(3));
+  Application wapp(wide_cluster, "mm");
+  auto wgraph = build_matmul_graph(wapp, 2);
+  {
+    ActorScope scope(wide_cluster.domain(), "main");
+    (void)apps::run_matmul(*wgraph, a, b, 8, 50e6);
+    t_wide = wide_cluster.domain().now();
+  }
+  EXPECT_LT(t_wide, t_narrow)
+      << "pipelined transfers must beat the serialized window";
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,111 @@
+// Unit tests for the token envelope: wire round trips, split-frame stacks,
+// and tamper rejection.
+#include <gtest/gtest.h>
+
+#include "core/envelope.hpp"
+
+namespace dps {
+namespace {
+
+class EnvPayloadToken : public SimpleToken {
+ public:
+  int32_t a;
+  double b;
+  EnvPayloadToken(int32_t a_ = 0, double b_ = 0) : a(a_), b(b_) {}
+  DPS_IDENTIFY(EnvPayloadToken);
+};
+
+Envelope sample() {
+  Envelope e;
+  e.app = 3;
+  e.graph = 1;
+  e.vertex = 7;
+  e.collection = 2;
+  e.thread = 5;
+  e.call = 0x1234567890abcdefull;
+  e.call_reply_node = 1;
+  e.frames.push_back(SplitFrame{111, 4, 0, 0, 2});
+  e.frames.push_back(SplitFrame{222, 9, 1, 17, 0});
+  e.token = Ptr<Token>(new EnvPayloadToken(42, 2.5));
+  return e;
+}
+
+TEST(Envelope, EncodeDecodeRoundTrip) {
+  Envelope e = sample();
+  Writer w;
+  e.encode(w);
+  Reader r(w.bytes());
+  Envelope d = Envelope::decode(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(d.app, e.app);
+  EXPECT_EQ(d.graph, e.graph);
+  EXPECT_EQ(d.vertex, e.vertex);
+  EXPECT_EQ(d.collection, e.collection);
+  EXPECT_EQ(d.thread, e.thread);
+  EXPECT_EQ(d.call, e.call);
+  EXPECT_EQ(d.call_reply_node, e.call_reply_node);
+  ASSERT_EQ(d.frames.size(), 2u);
+  EXPECT_EQ(d.frames[0].context, 111u);
+  EXPECT_EQ(d.frames[0].seq, 4u);
+  EXPECT_EQ(d.frames[1].context, 222u);
+  EXPECT_EQ(d.frames[1].has_total, 1);
+  EXPECT_EQ(d.frames[1].total, 17u);
+  auto tok = token_cast<EnvPayloadToken>(d.token);
+  ASSERT_TRUE(tok);
+  EXPECT_EQ(tok->a, 42);
+  EXPECT_EQ(tok->b, 2.5);
+}
+
+TEST(Envelope, EmptyFrameStack) {
+  Envelope e;
+  e.token = Ptr<Token>(new EnvPayloadToken(1, 1));
+  Writer w;
+  e.encode(w);
+  Reader r(w.bytes());
+  Envelope d = Envelope::decode(r);
+  EXPECT_TRUE(d.frames.empty());
+  EXPECT_EQ(d.vertex, kNoVertex);
+}
+
+TEST(Envelope, TopFrameAccessors) {
+  Envelope e = sample();
+  EXPECT_EQ(e.top_frame().context, 222u);
+  const Envelope& ce = e;
+  EXPECT_EQ(ce.top_frame().context, 222u);
+}
+
+TEST(Envelope, TruncatedPayloadRejected) {
+  Envelope e = sample();
+  Writer w;
+  e.encode(w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 4);  // chop the token payload
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_THROW((void)Envelope::decode(r), Error);
+}
+
+TEST(Envelope, EncodedSizeMatchesWriter) {
+  Envelope e = sample();
+  Writer w;
+  e.encode(w);
+  EXPECT_EQ(e.encoded_size(), w.size());
+}
+
+TEST(Envelope, DeepFrameStack) {
+  Envelope e;
+  for (uint32_t i = 0; i < 20; ++i) {
+    e.frames.push_back(SplitFrame{1000 + i, i, 0, 0, i % 4});
+  }
+  e.token = Ptr<Token>(new EnvPayloadToken(0, 0));
+  Writer w;
+  e.encode(w);
+  Reader r(w.bytes());
+  Envelope d = Envelope::decode(r);
+  ASSERT_EQ(d.frames.size(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(d.frames[i].context, 1000 + i);
+  }
+}
+
+}  // namespace
+}  // namespace dps

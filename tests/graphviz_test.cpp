@@ -1,0 +1,50 @@
+// Tests for the Graphviz export of flow graphs (the paper highlights that
+// flow graphs "can be easily visualized").
+#include <gtest/gtest.h>
+
+#include "core/graphviz.hpp"
+#include "tests/toupper_app.hpp"
+
+namespace dps {
+namespace {
+
+using namespace dps_tutorial;
+
+TEST(Graphviz, RendersTutorialGraph) {
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "dot");
+  auto graph = build_toupper_graph(app, 3);
+  const std::string dot = to_dot(*graph);
+
+  EXPECT_NE(dot.find("digraph \"toupper\""), std::string::npos);
+  EXPECT_NE(dot.find("SplitString"), std::string::npos);
+  EXPECT_NE(dot.find("ToUpperCase"), std::string::npos);
+  EXPECT_NE(dot.find("MergeString"), std::string::npos);
+  // Kinds and collections appear in the labels.
+  EXPECT_NE(dot.find("split @ main[1]"), std::string::npos);
+  EXPECT_NE(dot.find("leaf @ proc[3]"), std::string::npos);
+  EXPECT_NE(dot.find("merge @ main[1]"), std::string::npos);
+  // Edges labeled with the travelling token type.
+  EXPECT_NE(dot.find("CharToken"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Exactly one entry vertex is emphasized.
+  size_t pos = 0, bold = 0;
+  while ((pos = dot.find("penwidth=2", pos)) != std::string::npos) {
+    ++bold;
+    pos += 1;
+  }
+  EXPECT_EQ(bold, 1u);
+}
+
+TEST(Graphviz, ShapesFollowOperationKinds) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application app(cluster, "dot2");
+  auto graph = build_toupper_graph(app, 1);
+  const std::string dot = to_dot(*graph);
+  EXPECT_NE(dot.find("shape=trapezium"), std::string::npos);     // split
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);           // leaf
+  EXPECT_NE(dot.find("shape=invtrapezium"), std::string::npos);  // merge
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,175 @@
+// Unit tests for the linear-algebra substrate: gemm, panel LU with partial
+// pivoting, trsm, and the sequential block-LU identity P*A = L*U.
+#include <gtest/gtest.h>
+
+#include "la/factor.hpp"
+
+namespace dps::la {
+namespace {
+
+TEST(Matrix, BlockExtractAndSet) {
+  Matrix a(4, 6);
+  a.fill_random(1);
+  Matrix b = a.block(1, 2, 2, 3);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_EQ(b.at(0, 0), a.at(1, 2));
+  EXPECT_EQ(b.at(1, 2), a.at(2, 4));
+  Matrix c(4, 6);
+  c.set_block(1, 2, b);
+  EXPECT_EQ(c.at(1, 2), a.at(1, 2));
+  EXPECT_EQ(c.at(0, 0), 0.0);
+}
+
+TEST(Matrix, GemmAgainstHandComputed) {
+  Matrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy_n(av, 6, a.data());
+  std::copy_n(bv, 6, b.data());
+  Matrix c = gemm(a, b);
+  EXPECT_EQ(c.at(0, 0), 58);
+  EXPECT_EQ(c.at(0, 1), 64);
+  EXPECT_EQ(c.at(1, 0), 139);
+  EXPECT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matrix, GemmIdentity) {
+  Matrix a(8, 8);
+  a.fill_random(3);
+  Matrix i = Matrix::identity(8);
+  EXPECT_LT(max_abs_diff(gemm(a, i), a), 1e-12);
+  EXPECT_LT(max_abs_diff(gemm(i, a), a), 1e-12);
+}
+
+TEST(Matrix, SwapRows) {
+  Matrix a(3, 2);
+  a.fill_random(5);
+  Matrix b = a;
+  a.swap_rows(0, 2);
+  EXPECT_EQ(a.at(0, 0), b.at(2, 0));
+  EXPECT_EQ(a.at(2, 1), b.at(0, 1));
+  a.swap_rows(1, 1);  // no-op
+  EXPECT_EQ(a.at(1, 0), b.at(1, 0));
+}
+
+class LuSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuSizes, SequentialLuReconstructs) {
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  a.fill_random(n * 7 + 1);
+  Matrix original = a;
+  std::vector<int> pivots;
+  lu_sequential(a, pivots);
+  Matrix pa = permute_rows(original, pivots);
+  EXPECT_LT(max_abs_diff(lu_reconstruct(a, pivots), pa), 1e-9 * n)
+      << "P*A != L*U for n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 100));
+
+TEST(Lu, PanelFactorizationTall) {
+  // Rectangular LU of a tall panel (the paper's step 1).
+  Matrix a(12, 4);
+  a.fill_random(11);
+  Matrix original = a;
+  std::vector<int> pivots;
+  getrf_panel(a, pivots);
+  // Reconstruct: P*A = L * U with L (12x4, unit lower trapezoid) and U (4x4).
+  Matrix l(12, 4), u(4, 4);
+  for (size_t r = 0; r < 12; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      if (r == c) {
+        l.at(r, c) = 1.0;
+        u.at(r, c) = a.at(r, c);
+      } else if (r > c) {
+        l.at(r, c) = a.at(r, c);
+      } else {
+        u.at(r, c) = a.at(r, c);
+      }
+    }
+  }
+  Matrix pa = permute_rows(original, pivots);
+  EXPECT_LT(max_abs_diff(gemm(l, u), pa), 1e-10);
+}
+
+TEST(Lu, TrsmSolvesUnitLowerSystem) {
+  // Build L (unit lower) and X, compute B = L*X, then solve and compare.
+  const size_t n = 16, w = 5;
+  Matrix l = Matrix::identity(n);
+  Matrix seedm(n, n);
+  seedm.fill_random(23);
+  for (size_t r = 1; r < n; ++r) {
+    for (size_t c = 0; c < r; ++c) l.at(r, c) = seedm.at(r, c);
+  }
+  Matrix x(n, w);
+  x.fill_random(29);
+  Matrix b = gemm(l, x);
+  trsm_lower_unit(l, b);
+  EXPECT_LT(max_abs_diff(b, x), 1e-9);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingElement) {
+  Matrix a(3, 3);
+  double v[] = {0, 1, 2, 3, 4, 5, 6, 7, 9};
+  std::copy_n(v, 9, a.data());
+  Matrix original = a;
+  std::vector<int> pivots;
+  lu_sequential(a, pivots);
+  EXPECT_LT(max_abs_diff(lu_reconstruct(a, pivots),
+                         permute_rows(original, pivots)),
+            1e-10);
+  EXPECT_EQ(pivots[0], 2);  // largest |a(i,0)| is row 2
+}
+
+TEST(Lu, BlockedStepsMatchUnblocked) {
+  // Manually run the paper's three steps for one block level and compare to
+  // the plain factorization.
+  const size_t n = 24, r = 8;
+  Matrix a(n, n);
+  a.fill_random(77);
+  Matrix reference = a;
+  std::vector<int> ref_piv;
+  lu_sequential(reference, ref_piv);
+
+  // Step 1: rectangular LU of the first panel.
+  Matrix panel = a.block(0, 0, n, r);
+  std::vector<int> piv;
+  getrf_panel(panel, piv);
+  // Step 2: apply pivots to the trailing columns and solve the triangle.
+  Matrix rest = a.block(0, r, n, n - r);
+  apply_pivots(rest, piv);
+  Matrix l11(r, r);
+  for (size_t i = 0; i < r; ++i) {
+    l11.at(i, i) = 1.0;
+    for (size_t j = 0; j < i; ++j) l11.at(i, j) = panel.at(i, j);
+  }
+  Matrix t12 = rest.block(0, 0, r, n - r);
+  trsm_lower_unit(l11, t12);
+  // Step 3: trailing update A' = B - L21 * T12.
+  Matrix l21 = panel.block(r, 0, n - r, r);
+  Matrix b = rest.block(r, 0, n - r, n - r);
+  Matrix update = gemm(l21, t12);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) b.at(i, j) -= update.at(i, j);
+  }
+  std::vector<int> piv2;
+  getrf_panel(b, piv2);
+
+  // The first r columns of the blocked factors must match the unblocked
+  // reference up to the trailing permutation (compare U11 and T12, which
+  // later pivots cannot change).
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = i; j < r; ++j) {
+      EXPECT_NEAR(panel.at(i, j), reference.at(i, j), 1e-9);
+    }
+    for (size_t j = 0; j < n - r; ++j) {
+      EXPECT_NEAR(t12.at(i, j), reference.at(i, r + j), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dps::la

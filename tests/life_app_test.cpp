@@ -1,0 +1,195 @@
+// Integration tests for the parallel Game of Life: both iteration graphs
+// against the sequential reference, the gather/scatter round trip, the
+// read-subset service, and the synthetic (virtual-time) mode.
+#include <gtest/gtest.h>
+
+#include "apps/life.hpp"
+
+namespace dps {
+namespace {
+
+using apps::LifeApp;
+
+life::Band random_world(int rows, int cols, uint64_t seed) {
+  life::Band w(rows, cols);
+  w.seed_random(seed);
+  return w;
+}
+
+class LifeGraphParam
+    : public ::testing::TestWithParam<std::tuple<bool, int, int>> {};
+
+TEST_P(LifeGraphParam, MatchesSequentialReference) {
+  const auto [improved, bands, nodes] = GetParam();
+  Cluster cluster(ClusterConfig::inproc(nodes));
+  LifeApp life_app(cluster, bands);
+  ActorScope scope(cluster.domain(), "main");
+
+  life::Band world = random_world(37, 23, 99);
+  life_app.scatter(world);
+  const int iterations = 4;
+  for (int i = 0; i < iterations; ++i) life_app.iterate(improved);
+  life::Band result = life_app.gather();
+  EXPECT_EQ(result, life::step_world(world, iterations))
+      << (improved ? "improved" : "simple") << " graph, " << bands
+      << " bands on " << nodes << " nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LifeGraphParam,
+    ::testing::Values(std::make_tuple(false, 1, 1),
+                      std::make_tuple(false, 2, 2),
+                      std::make_tuple(false, 4, 2),
+                      std::make_tuple(false, 5, 3),
+                      std::make_tuple(true, 1, 1),
+                      std::make_tuple(true, 2, 2),
+                      std::make_tuple(true, 4, 2),
+                      std::make_tuple(true, 5, 3),
+                      std::make_tuple(true, 8, 4)));
+
+TEST(LifeApp, ScatterGatherRoundTrip) {
+  Cluster cluster(ClusterConfig::inproc(3));
+  LifeApp life_app(cluster, 5);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band world = random_world(31, 19, 5);
+  life_app.scatter(world);
+  EXPECT_EQ(life_app.gather(), world);
+}
+
+TEST(LifeApp, ReadSubsetReflectsWorldState) {
+  Cluster cluster(ClusterConfig::inproc(2));
+  LifeApp life_app(cluster, 4);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band world = random_world(40, 30, 17);
+  life_app.scatter(world);
+  life_app.iterate(true);
+  life::Band expected = life::step_world(world, 1);
+
+  // A block spanning several bands (rows 7..26).
+  auto subset = life_app.read(3, 7, 20, 19);
+  ASSERT_TRUE(subset);
+  EXPECT_EQ(subset->x.get(), 3);
+  EXPECT_EQ(subset->y.get(), 7);
+  EXPECT_EQ(subset->w.get(), 20);
+  EXPECT_EQ(subset->h.get(), 19);
+  for (int r = 0; r < 19; ++r) {
+    for (int c = 0; c < 20; ++c) {
+      EXPECT_EQ(subset->cells[static_cast<size_t>(r) * 20 + c],
+                expected.at(7 + r, 3 + c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(LifeApp, ReadServicePublishedAndCallable) {
+  // Fig. 10: a client application calls the graph exposed by the Life app.
+  Cluster cluster(ClusterConfig::inproc(2));
+  LifeApp life_app(cluster, 2);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band world = random_world(16, 16, 3);
+  life_app.scatter(world);
+  life_app.publish_read_service("life/read");
+
+  Application client(cluster, "viewer", 1);
+  auto subset = token_cast<apps::LifeSubsetToken>(client.call_service(
+      "life/read",
+      new apps::LifeReadRequestToken(0, 0, 16, 16, 16, 16, 2,
+                                     life_app.world_id())));
+  ASSERT_TRUE(subset);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(subset->cells[static_cast<size_t>(r) * 16 + c],
+                world.at(r, c));
+    }
+  }
+}
+
+TEST(LifeApp, SyntheticIterationChargesVirtualTime) {
+  Cluster cluster(ClusterConfig::simulated(4));
+  LifeApp life_app(cluster, 4);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band world = random_world(400, 400, 1);
+  life_app.scatter(world);
+  const double t0 = cluster.domain().now();
+  life_app.iterate(true, /*sim_cell_rate=*/8e6);
+  const double iter_time = cluster.domain().now() - t0;
+  // 400x400 cells over 4 workers at 8 Mcells/s: >= 5 ms of virtual time.
+  EXPECT_GT(iter_time, 0.8 * (400.0 * 400.0 / 4 / 8e6));
+  EXPECT_LT(iter_time, 1.0);  // and far below a second
+}
+
+TEST(LifeApp, ReadCallsOverlapRunningIterations) {
+  // Table 2's mechanism: service calls must complete in milliseconds while
+  // a ~300 ms iteration is in flight — the read graph's own threads overlap
+  // the iteration's master-side merges.
+  const int world = 512, nodes = 4;
+  Cluster cluster(ClusterConfig::simulated(nodes));
+  LifeApp life_app(cluster, nodes);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band init(world, world);
+  life_app.scatter(init);
+  life_app.publish_read_service("life/read");
+  Application viewer(cluster, "viewer", nodes - 1);
+
+  std::mutex mu;
+  bool stop = false;
+  std::vector<double> call_times;
+  ActorGate gate;
+  cluster.domain().reserve_actor();
+  std::thread client([&] {
+    ActorScope cs(cluster.domain(), "viewer");
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stop) break;
+      }
+      const double t0 = cluster.domain().now();
+      auto s = token_cast<apps::LifeSubsetToken>(viewer.call_service(
+          "life/read",
+          new apps::LifeReadRequestToken(3, 5, 40, 40, world, world, nodes,
+                                         life_app.world_id())));
+      const double dt = cluster.domain().now() - t0;
+      std::lock_guard<std::mutex> lock(mu);
+      if (s) call_times.push_back(dt);
+    }
+    gate.open(cluster.domain());
+  });
+
+  const double cell_rate = double(world) * world / nodes / 0.3;  // ~300 ms
+  for (int i = 0; i < 3; ++i) life_app.iterate(true, cell_rate);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    stop = true;
+  }
+  gate.wait(cluster.domain());
+  client.join();
+
+  ASSERT_GE(call_times.size(), 10u)
+      << "back-to-back calls must flow during the iterations";
+  std::sort(call_times.begin(), call_times.end());
+  const double median = call_times[call_times.size() / 2];
+  EXPECT_LT(median, 0.050) << "calls must overlap the iteration, not queue "
+                              "behind it";
+}
+
+TEST(LifeApp, ImprovedBeatsSimpleUnderVirtualTime) {
+  // The core claim of Fig. 9: overlapping border exchange with interior
+  // compute shortens the iteration, most visibly for small worlds.
+  auto run = [](bool improved) {
+    Cluster cluster(ClusterConfig::simulated(4));
+    LifeApp life_app(cluster, 4);
+    ActorScope scope(cluster.domain(), "main");
+    life::Band world(400, 400);
+    world.seed_random(2);
+    life_app.scatter(world);
+    const double t0 = cluster.domain().now();
+    for (int i = 0; i < 5; ++i) life_app.iterate(improved, 8e6);
+    return cluster.domain().now() - t0;
+  };
+  const double t_simple = run(false);
+  const double t_improved = run(true);
+  EXPECT_LT(t_improved, t_simple);
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,157 @@
+// Unit tests for the Game-of-Life substrate: rule correctness on known
+// patterns, band split/join, and the interior/border decomposition the
+// improved flow graph relies on.
+#include <gtest/gtest.h>
+
+#include "life/world.hpp"
+
+namespace dps::life {
+namespace {
+
+Band make(const std::vector<std::string>& rows) {
+  Band b(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < b.rows(); ++r) {
+    for (int c = 0; c < b.cols(); ++c) {
+      b.set(r, c, rows[static_cast<size_t>(r)][static_cast<size_t>(c)] == '#');
+    }
+  }
+  return b;
+}
+
+std::vector<std::string> render(const Band& b) {
+  std::vector<std::string> rows;
+  for (int r = 0; r < b.rows(); ++r) {
+    std::string row;
+    for (int c = 0; c < b.cols(); ++c) row += b.at(r, c) ? '#' : '.';
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(Life, BlinkerOscillates) {
+  Band b = make({".....",
+                 "..#..",
+                 "..#..",
+                 "..#..",
+                 "....."});
+  Band s1 = step_world(b, 1);
+  EXPECT_EQ(render(s1), (std::vector<std::string>{".....",
+                                                  ".....",
+                                                  ".###.",
+                                                  ".....",
+                                                  "....."}));
+  EXPECT_EQ(step_world(b, 2), b) << "period-2 oscillator";
+}
+
+TEST(Life, BlockIsStill) {
+  Band b = make({"....",
+                 ".##.",
+                 ".##.",
+                 "...."});
+  EXPECT_EQ(step_world(b, 5), b);
+}
+
+TEST(Life, GliderMovesDiagonally) {
+  Band b = make({".#....",
+                 "..#...",
+                 "###...",
+                 "......",
+                 "......",
+                 "......"});
+  Band s4 = step_world(b, 4);  // a glider translates by (1, 1) every 4 steps
+  Band expected = make({"......",
+                        "..#...",
+                        "...#..",
+                        ".###..",
+                        "......",
+                        "......"});
+  EXPECT_EQ(s4, expected);
+}
+
+TEST(Life, EdgesAreDead) {
+  // A blinker against the top edge: cells beyond the world are dead.
+  Band b = make({"###",
+                 "...",
+                 "..."});
+  Band s1 = step_world(b, 1);
+  EXPECT_EQ(render(s1), (std::vector<std::string>{".#.",
+                                                  ".#.",
+                                                  "..."}));
+}
+
+TEST(Life, SplitJoinRoundTrip) {
+  Band w(17, 9);
+  w.seed_random(42);
+  for (int bands : {1, 2, 3, 5, 8, 17}) {
+    auto parts = split_world(w, bands);
+    EXPECT_EQ(static_cast<int>(parts.size()), bands);
+    EXPECT_EQ(join_bands(parts), w) << bands << " bands";
+    int total = 0;
+    for (auto& p : parts) total += p.rows();
+    EXPECT_EQ(total, 17);
+  }
+}
+
+TEST(Life, BandedStepMatchesGlobalStep) {
+  Band w(24, 16);
+  w.seed_random(7);
+  Band global = step_world(w, 1);
+  for (int bands : {2, 3, 4, 6}) {
+    auto parts = split_world(w, bands);
+    std::vector<Band> stepped;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      const auto above = i > 0 ? parts[i - 1].row(parts[i - 1].rows() - 1)
+                               : std::vector<uint8_t>{};
+      const auto below =
+          i + 1 < parts.size() ? parts[i + 1].row(0) : std::vector<uint8_t>{};
+      stepped.push_back(step_band(parts[i], above, below));
+    }
+    EXPECT_EQ(join_bands(stepped), global) << bands << " bands";
+  }
+}
+
+TEST(Life, InteriorPlusBordersEqualsFullStep) {
+  // The improved graph (paper Fig. 8) computes the interior while borders
+  // travel; interior + borders must equal the plain banded step.
+  Band w(30, 20);
+  w.seed_random(19);
+  auto parts = split_world(w, 3);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const auto above = i > 0 ? parts[i - 1].row(parts[i - 1].rows() - 1)
+                             : std::vector<uint8_t>{};
+    const auto below =
+        i + 1 < parts.size() ? parts[i + 1].row(0) : std::vector<uint8_t>{};
+    Band combined = step_interior(parts[i]);
+    step_borders(parts[i], above, below, combined);
+    EXPECT_EQ(combined, step_band(parts[i], above, below)) << "band " << i;
+  }
+}
+
+TEST(Life, PopulationIsPlausible) {
+  Band w(100, 100);
+  w.seed_random(1);
+  const double density =
+      static_cast<double>(w.population()) / (100.0 * 100.0);
+  EXPECT_GT(density, 0.25);
+  EXPECT_LT(density, 0.45);
+}
+
+TEST(Life, SingleRowBands) {
+  // Degenerate band height 1: border rows are the whole band.
+  Band w(4, 8);
+  w.seed_random(3);
+  Band global = step_world(w, 1);
+  auto parts = split_world(w, 4);
+  std::vector<Band> stepped;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const auto above = i > 0 ? parts[i - 1].row(parts[i - 1].rows() - 1)
+                             : std::vector<uint8_t>{};
+    const auto below =
+        i + 1 < parts.size() ? parts[i + 1].row(0) : std::vector<uint8_t>{};
+    stepped.push_back(step_band(parts[i], above, below));
+  }
+  EXPECT_EQ(join_bands(stepped), global);
+}
+
+}  // namespace
+}  // namespace dps::life

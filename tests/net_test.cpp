@@ -1,0 +1,254 @@
+// Unit tests for the network substrate: RAII sockets, framing, the
+// in-process fabric, the real-TCP fabric, and the name registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/inproc_transport.hpp"
+#include "net/name_registry.hpp"
+#include "net/tcp_transport.hpp"
+#include "sim/domain.hpp"
+
+namespace dps {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(const std::vector<std::byte>& v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+// --- Sockets + framing ------------------------------------------------------
+
+TEST(Sockets, ConnectSendReceive) {
+  TcpListener listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.valid());
+  std::thread server([&] {
+    TcpConn conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+    char buf[5];
+    ASSERT_TRUE(conn.recv_all(buf, 5));
+    conn.send_all(buf, 5);  // echo
+  });
+  TcpConn client = TcpConn::connect("127.0.0.1", listener.port());
+  client.send_all("hello", 5);
+  char echo[5];
+  ASSERT_TRUE(client.recv_all(echo, 5));
+  EXPECT_EQ(std::string(echo, 5), "hello");
+  server.join();
+}
+
+TEST(Sockets, CleanEofAtBoundary) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    TcpConn conn = listener.accept();
+    conn.send_all("xyz", 3);
+    // destructor closes -> EOF for the client
+  });
+  TcpConn client = TcpConn::connect("127.0.0.1", listener.port());
+  char buf[3];
+  ASSERT_TRUE(client.recv_all(buf, 3));
+  EXPECT_FALSE(client.recv_all(buf, 3));  // clean EOF
+  server.join();
+}
+
+TEST(Sockets, ConnectFailureThrowsNetwork) {
+  // Port 1 on loopback is essentially never listening.
+  try {
+    TcpConn::connect("127.0.0.1", 1);
+    GTEST_SKIP() << "port 1 unexpectedly open";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kNetwork);
+  }
+}
+
+TEST(Framing, RoundTripOverSocket) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    TcpConn conn = listener.accept();
+    Frame f;
+    ASSERT_TRUE(read_frame(conn, &f));
+    EXPECT_EQ(f.kind, FrameKind::kEnvelope);
+    EXPECT_EQ(f.from, 7u);
+    EXPECT_EQ(string_of(f.payload), "payload!");
+    Frame reply;
+    reply.kind = FrameKind::kFlowAck;
+    reply.from = 3;
+    write_frame(conn, reply);
+  });
+  TcpConn client = TcpConn::connect("127.0.0.1", listener.port());
+  Frame f;
+  f.kind = FrameKind::kEnvelope;
+  f.from = 7;
+  f.payload = bytes_of("payload!");
+  write_frame(client, f);
+  Frame reply;
+  ASSERT_TRUE(read_frame(client, &reply));
+  EXPECT_EQ(reply.kind, FrameKind::kFlowAck);
+  EXPECT_EQ(reply.from, 3u);
+  EXPECT_TRUE(reply.payload.empty());
+  server.join();
+}
+
+TEST(Framing, BadMagicRejected) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    TcpConn conn = listener.accept();
+    uint32_t junk[4] = {0x12345678, 0, 0, 0};
+    conn.send_all(junk, sizeof(junk));
+  });
+  TcpConn client = TcpConn::connect("127.0.0.1", listener.port());
+  Frame f;
+  try {
+    (void)read_frame(client, &f);
+    FAIL() << "expected protocol error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kProtocol);
+  }
+  server.join();
+}
+
+TEST(Framing, WireSizeAccountsHeader) {
+  Frame f;
+  f.payload.resize(100);
+  EXPECT_EQ(frame_wire_size(f), 116u);
+}
+
+// --- Fabrics ----------------------------------------------------------------
+
+template <class FabricT>
+void exercise_fabric(FabricT& fabric, size_t nodes) {
+  struct Sink {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<NodeMessage> got;
+  };
+  std::vector<Sink> sinks(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    fabric.attach(static_cast<NodeId>(i), [&sinks, i](NodeMessage&& m) {
+      std::lock_guard<std::mutex> lock(sinks[i].mu);
+      sinks[i].got.push_back(std::move(m));
+      sinks[i].cv.notify_all();
+    });
+  }
+  // Every node sends one message to every other node.
+  for (size_t from = 0; from < nodes; ++from) {
+    for (size_t to = 0; to < nodes; ++to) {
+      if (from == to) continue;
+      fabric.send(static_cast<NodeId>(from), static_cast<NodeId>(to),
+                  FrameKind::kEnvelope,
+                  bytes_of("m" + std::to_string(from) + std::to_string(to)));
+    }
+  }
+  for (size_t i = 0; i < nodes; ++i) {
+    std::unique_lock<std::mutex> lock(sinks[i].mu);
+    sinks[i].cv.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return sinks[i].got.size() == nodes - 1; });
+    ASSERT_EQ(sinks[i].got.size(), nodes - 1) << "node " << i;
+    for (const auto& m : sinks[i].got) {
+      EXPECT_EQ(string_of(m.payload),
+                "m" + std::to_string(m.from) + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(fabric.messages_sent(), nodes * (nodes - 1));
+  EXPECT_GT(fabric.bytes_sent(), 0u);
+  fabric.shutdown();
+}
+
+TEST(InprocFabric, AllToAll) {
+  InprocFabric fabric(4);
+  exercise_fabric(fabric, 4);
+}
+
+TEST(TcpFabric, AllToAll) {
+  TcpFabric fabric(4);
+  exercise_fabric(fabric, 4);
+}
+
+TEST(TcpFabric, LazyConnectionsAndOrder) {
+  TcpFabric fabric(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> got;
+  fabric.attach(0, [](NodeMessage&&) {});
+  fabric.attach(1, [&](NodeMessage&& m) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(string_of(m.payload));
+    cv.notify_all();
+  });
+  const int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.send(0, 1, FrameKind::kEnvelope, bytes_of(std::to_string(i)));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10),
+                [&] { return got.size() == kMessages; });
+    ASSERT_EQ(got.size(), static_cast<size_t>(kMessages));
+    for (int i = 0; i < kMessages; ++i) {
+      EXPECT_EQ(got[i], std::to_string(i)) << "messages must keep FIFO order";
+    }
+  }
+  fabric.shutdown();
+}
+
+TEST(InprocFabric, UnattachedDestinationThrows) {
+  InprocFabric fabric(2);
+  fabric.attach(0, [](NodeMessage&&) {});
+  try {
+    fabric.send(0, 1, FrameKind::kEnvelope, {});
+    FAIL() << "expected not_found";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kNotFound);
+  }
+}
+
+// --- Name registry ----------------------------------------------------------
+
+TEST(NameRegistry, PublishLookupWithdraw) {
+  WallDomain domain;
+  NameRegistry reg(domain);
+  EXPECT_FALSE(reg.lookup("svc").has_value());
+  reg.publish("svc", "value1");
+  EXPECT_EQ(reg.lookup("svc").value(), "value1");
+  reg.publish("svc", "value2");  // replace
+  EXPECT_EQ(reg.lookup("svc").value(), "value2");
+  reg.withdraw("svc");
+  EXPECT_FALSE(reg.lookup("svc").has_value());
+}
+
+TEST(NameRegistry, WaitForBlocksUntilPublished) {
+  WallDomain domain;
+  NameRegistry reg(domain);
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(reg.wait_for("late"), "here");
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  reg.publish("late", "here");
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(NameRegistry, ListsNames) {
+  WallDomain domain;
+  NameRegistry reg(domain);
+  reg.publish("b", "2");
+  reg.publish("a", "1");
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace dps

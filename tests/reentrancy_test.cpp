@@ -1,0 +1,135 @@
+// Regression tests for re-entrant dispatch: while a merge/stream collects,
+// its DPS thread must keep executing other queued operations — the LU
+// stage opener depends on this (its notifications transitively require
+// leaf work on the same column thread). Without re-entrancy the graph in
+// these tests deadlocks.
+#include <gtest/gtest.h>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+
+namespace dps {
+namespace {
+
+class RPingToken : public SimpleToken {
+ public:
+  int value;
+  RPingToken(int v = 0) : value(v) {}
+  DPS_IDENTIFY(RPingToken);
+};
+
+class RPongToken : public SimpleToken {
+ public:
+  int value;
+  RPongToken(int v = 0) : value(v) {}
+  DPS_IDENTIFY(RPongToken);
+};
+
+class RStartToken : public SimpleToken {
+ public:
+  int pings;
+  RStartToken(int p = 0) : pings(p) {}
+  DPS_IDENTIFY(RStartToken);
+};
+
+class RSumToken : public SimpleToken {
+ public:
+  int64_t sum;
+  RSumToken(int64_t s = 0) : sum(s) {}
+  DPS_IDENTIFY(RSumToken);
+};
+
+class RMainThread : public Thread {
+  DPS_IDENTIFY_THREAD(RMainThread);
+};
+class RWorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(RWorkThread);
+};
+
+DPS_ROUTE(RMainStartRoute, RMainThread, RStartToken, 0);
+DPS_ROUTE(RWorkPingRoute, RWorkThread, RPingToken, 0);
+DPS_ROUTE(RWorkPongRoute, RWorkThread, RPongToken, 0);
+
+// Posts one pong directly (it reaches the merge first and opens the
+// collection), then the pings whose processing — on the SAME worker
+// thread as the merge — produces the remaining pongs.
+class RSplit : public SplitOperation<RMainThread, TV1(RStartToken),
+                                     TV2(RPingToken, RPongToken)> {
+ public:
+  void execute(RStartToken* in) override {
+    postToken(new RPongToken(0));
+    for (int i = 1; i <= in->pings; ++i) postToken(new RPingToken(i));
+  }
+  DPS_IDENTIFY_OPERATION(RSplit);
+};
+
+class RPingLeaf
+    : public LeafOperation<RWorkThread, TV1(RPingToken), TV1(RPongToken)> {
+ public:
+  void execute(RPingToken* in) override {
+    postToken(new RPongToken(in->value));
+  }
+  DPS_IDENTIFY_OPERATION(RPingLeaf);
+};
+
+class RMerge
+    : public MergeOperation<RWorkThread, TV1(RPongToken), TV1(RSumToken)> {
+ public:
+  void execute(RPongToken* first) override {
+    int64_t sum = first->value;
+    while (auto t = waitForNextToken()) {
+      sum += token_cast<RPongToken>(t)->value;
+    }
+    postToken(new RSumToken(sum));
+  }
+  DPS_IDENTIFY_OPERATION(RMerge);
+};
+
+std::shared_ptr<Flowgraph> build(Application& app) {
+  auto mains = app.thread_collection<RMainThread>("r-main");
+  mains->map("node0");
+  auto workers = app.thread_collection<RWorkThread>("r-work");
+  workers->map("node0");  // ONE worker thread: merge and leaf share it
+
+  FlowgraphNode<RSplit, RMainStartRoute> split(mains);
+  FlowgraphNode<RPingLeaf, RWorkPingRoute> leaf(workers);
+  FlowgraphNode<RMerge, RWorkPongRoute> merge(workers);
+  FlowgraphBuilder b = split >> leaf >> merge;
+  b += split >> merge;  // the direct pong path
+  return app.build_graph(b, "reentrant");
+}
+
+TEST(Reentrancy, MergeThreadKeepsExecutingLeaves) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application app(cluster, "reentrant");
+  auto graph = build(app);
+  ActorScope scope(cluster.domain(), "main");
+  auto result = token_cast<RSumToken>(graph->call(new RStartToken(100)));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->sum, 100 * 101 / 2);
+}
+
+TEST(Reentrancy, WorksUnderVirtualTime) {
+  Cluster cluster(ClusterConfig::simulated(1));
+  Application app(cluster, "reentrant-sim");
+  auto graph = build(app);
+  ActorScope scope(cluster.domain(), "main");
+  auto result = token_cast<RSumToken>(graph->call(new RStartToken(25)));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->sum, 25 * 26 / 2);
+}
+
+TEST(Reentrancy, ManySequentialCalls) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application app(cluster, "reentrant-seq");
+  auto graph = build(app);
+  ActorScope scope(cluster.domain(), "main");
+  for (int i = 1; i <= 20; ++i) {
+    auto result = token_cast<RSumToken>(graph->call(new RStartToken(i)));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->sum, i * (i + 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace dps

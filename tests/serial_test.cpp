@@ -1,0 +1,317 @@
+// Unit tests for the serialization substrate: wire reader/writer, simple
+// tokens (memcpy family), complex tokens (field-wrapper family), nesting,
+// inheritance, the registry, and Ptr<> reference counting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "serial/registry.hpp"
+
+namespace dps {
+namespace {
+
+// --- Wire primitives --------------------------------------------------------
+
+TEST(Wire, ScalarRoundTrip) {
+  Writer w;
+  w.put<int32_t>(-7);
+  w.put<uint64_t>(1ull << 40);
+  w.put<double>(3.25);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<int32_t>(), -7);
+  EXPECT_EQ(r.get<uint64_t>(), 1ull << 40);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_string(std::string("a\0b", 3));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string("a\0b", 3));
+}
+
+TEST(Wire, OverrunThrowsProtocol) {
+  Writer w;
+  w.put<uint16_t>(42);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<uint16_t>(), 42);
+  try {
+    (void)r.get<uint32_t>();
+    FAIL() << "expected overrun";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kProtocol);
+  }
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  Writer w;
+  w.put<uint32_t>(100);  // claims 100 bytes, provides none
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.get_string(), Error);
+}
+
+// --- Tokens under test ------------------------------------------------------
+
+// The paper's tutorial token, verbatim semantics.
+class SCharToken : public SimpleToken {
+ public:
+  char chr = 0;
+  int pos = 0;
+  SCharToken(char c = 0, int p = 0) : chr(c), pos(p) {}
+  DPS_IDENTIFY(SCharToken);
+};
+
+class SEmptyToken : public SimpleToken {
+  DPS_IDENTIFY(SEmptyToken);
+};
+
+struct Inner : Serializable {
+  CT<int> id;
+  CT<std::string> label;
+};
+
+// Mirrors the paper's MyComplexToken.
+class SComplexTok : public ComplexToken {
+ public:
+  CT<int> id;
+  CT<std::string> name;
+  Vector<Inner> children;
+  Buffer<int> numbers;
+  DPS_IDENTIFY(SComplexTok);
+};
+
+// Inheritance: derived complex tokens serialize base + derived fields.
+class SDerivedTok : public SComplexTok {
+ public:
+  CT<double> extra;
+  DPS_IDENTIFY(SDerivedTok);
+};
+
+// Direct nesting of a field-bearing struct as a plain member.
+class SNestingTok : public ComplexToken {
+ public:
+  Inner direct;
+  CT<Inner> wrapped;
+  DPS_IDENTIFY(SNestingTok);
+};
+
+Ptr<Token> round_trip(const Token& t) {
+  Writer w;
+  serialize_token(t, w);
+  Reader r(w.bytes());
+  Ptr<Token> out = deserialize_token(r);
+  EXPECT_TRUE(r.at_end());
+  return out;
+}
+
+// --- Simple tokens ----------------------------------------------------------
+
+TEST(SimpleTokens, RoundTrip) {
+  SCharToken in('Q', 1234);
+  auto out = token_cast<SCharToken>(round_trip(in));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->chr, 'Q');
+  EXPECT_EQ(out->pos, 1234);
+}
+
+TEST(SimpleTokens, EmptyPayload) {
+  SEmptyToken in;
+  auto out = token_cast<SEmptyToken>(round_trip(in));
+  ASSERT_TRUE(out);
+}
+
+TEST(SimpleTokens, PayloadSizeIsDerivedRegion) {
+  Writer w;
+  serialize_token(SCharToken('x', 1), w);
+  // u64 type id + (sizeof(SCharToken) - sizeof(SimpleToken)) payload bytes.
+  EXPECT_EQ(w.size(), 8 + sizeof(SCharToken) - sizeof(SimpleToken));
+}
+
+// --- Complex tokens ---------------------------------------------------------
+
+TEST(ComplexTokens, RoundTrip) {
+  SComplexTok in;
+  in.id = 42;
+  in.name = std::string("widget");
+  Inner a;
+  a.id = 1;
+  a.label = std::string("first");
+  Inner b;
+  b.id = 2;
+  b.label = std::string("second");
+  in.children.push_back(a);
+  in.children.push_back(b);
+  for (int i = 0; i < 100; ++i) in.numbers.push_back(i * i);
+
+  auto out = token_cast<SComplexTok>(round_trip(in));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->id.get(), 42);
+  EXPECT_EQ(out->name.get(), "widget");
+  ASSERT_EQ(out->children.size(), 2u);
+  EXPECT_EQ(out->children[0].id.get(), 1);
+  EXPECT_EQ(out->children[0].label.get(), "first");
+  EXPECT_EQ(out->children[1].label.get(), "second");
+  ASSERT_EQ(out->numbers.size(), 100u);
+  EXPECT_EQ(out->numbers[99], 99 * 99);
+}
+
+TEST(ComplexTokens, EmptyContainers) {
+  SComplexTok in;
+  auto out = token_cast<SComplexTok>(round_trip(in));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->children.size(), 0u);
+  EXPECT_EQ(out->numbers.size(), 0u);
+}
+
+TEST(ComplexTokens, DerivedClassCarriesBaseAndOwnFields) {
+  SDerivedTok in;
+  in.id = 7;
+  in.name = std::string("base-part");
+  in.extra = 2.5;
+  auto out = token_cast<SDerivedTok>(round_trip(in));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->id.get(), 7);
+  EXPECT_EQ(out->name.get(), "base-part");
+  EXPECT_EQ(out->extra.get(), 2.5);
+}
+
+TEST(ComplexTokens, DirectAndWrappedNesting) {
+  SNestingTok in;
+  in.direct.id = 5;
+  in.direct.label = std::string("direct");
+  in.wrapped.get().id = 6;
+  in.wrapped.get().label = std::string("wrapped");
+  auto out = token_cast<SNestingTok>(round_trip(in));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->direct.id.get(), 5);
+  EXPECT_EQ(out->direct.label.get(), "direct");
+  EXPECT_EQ(out->wrapped.get().id.get(), 6);
+  EXPECT_EQ(out->wrapped.get().label.get(), "wrapped");
+}
+
+TEST(ComplexTokens, FieldTableCountsAllWrappers) {
+  // SComplexTok: id, name, children, numbers -> 4 wrapper fields.
+  EXPECT_EQ(FieldTable::of<SComplexTok>().field_count(), 4u);
+  // SDerivedTok adds one.
+  EXPECT_EQ(FieldTable::of<SDerivedTok>().field_count(), 5u);
+  // SNestingTok: direct.{id,label} and wrapped's inner {id,label} register
+  // individually (CT<field-bearing> delegates to the inner wrappers) -> 4.
+  EXPECT_EQ(FieldTable::of<SNestingTok>().field_count(), 4u);
+}
+
+TEST(ComplexTokens, CopyingTokensOutsideCaptureIsInert) {
+  SComplexTok a;
+  a.id = 9;
+  SComplexTok b(a);  // wrapper copy-ctors run; must not disturb the table
+  EXPECT_EQ(b.id.get(), 9);
+  EXPECT_EQ(FieldTable::of<SComplexTok>().field_count(), 4u);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, FindByIdAndName) {
+  const TokenTypeInfo& info = SCharToken::staticTypeInfo();
+  EXPECT_EQ(info.name, "SCharToken");
+  EXPECT_EQ(&TokenRegistry::instance().find(info.id), &info);
+  EXPECT_EQ(&TokenRegistry::instance().find_by_name("SCharToken"), &info);
+  EXPECT_TRUE(TokenRegistry::instance().contains(info.id));
+}
+
+TEST(Registry, UnknownIdThrowsNotFound) {
+  try {
+    TokenRegistry::instance().find(0xdeadbeefdeadbeefull);
+    FAIL() << "expected not_found";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kNotFound);
+  }
+}
+
+TEST(Registry, CorruptTypeTagRejected) {
+  Writer w;
+  serialize_token(SCharToken('a', 1), w);
+  auto bytes = w.take();
+  bytes[0] = std::byte{0xFF};  // clobber the type id
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_THROW((void)deserialize_token(r), Error);
+}
+
+TEST(Registry, CloneProducesIndependentObject) {
+  SComplexTok in;
+  in.id = 1;
+  in.numbers.push_back(10);
+  auto c = token_cast<SComplexTok>(clone_token(in));
+  ASSERT_TRUE(c);
+  c->numbers[0] = 99;
+  EXPECT_EQ(in.numbers[0], 10);
+}
+
+// --- Ptr<> ------------------------------------------------------------------
+
+struct SProbeToken : SimpleToken {
+  static inline int live = 0;
+  SProbeToken() { ++live; }
+  SProbeToken(const SProbeToken&) = delete;
+  ~SProbeToken() override { --live; }
+  DPS_IDENTIFY(SProbeToken);
+};
+
+TEST(Ptr, DeletesAtZero) {
+  {
+    Ptr<SProbeToken> p(new SProbeToken);
+    EXPECT_EQ(SProbeToken::live, 1);
+    {
+      Ptr<SProbeToken> q = p;
+      EXPECT_EQ(p->token_refs(), 2u);
+    }
+    EXPECT_EQ(p->token_refs(), 1u);
+  }
+  EXPECT_EQ(SProbeToken::live, 0);
+}
+
+TEST(Ptr, MoveDoesNotChangeCount) {
+  Ptr<SProbeToken> p(new SProbeToken);
+  Ptr<SProbeToken> q(std::move(p));
+  EXPECT_FALSE(p);
+  EXPECT_EQ(q->token_refs(), 1u);
+  q.reset();
+  EXPECT_EQ(SProbeToken::live, 0);
+}
+
+TEST(Ptr, UpcastAndTokenCast) {
+  Ptr<SCharToken> c(new SCharToken('z', 3));
+  Ptr<Token> t = c;  // upcast
+  EXPECT_EQ(t->token_refs(), 2u);
+  auto back = token_cast<SCharToken>(t);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->chr, 'z');
+  auto wrong = token_cast<SComplexTok>(t);
+  EXPECT_FALSE(wrong);
+}
+
+TEST(Ptr, SharedIntrusiveCountFromRaw) {
+  SProbeToken* raw = new SProbeToken;
+  Ptr<SProbeToken> a(raw);
+  Ptr<SProbeToken> b(raw);  // second wrap of the same raw pointer is safe
+  EXPECT_EQ(raw->token_refs(), 2u);
+  a.reset();
+  EXPECT_EQ(SProbeToken::live, 1);
+  b.reset();
+  EXPECT_EQ(SProbeToken::live, 0);
+}
+
+// --- Hashing ----------------------------------------------------------------
+
+TEST(Fnv, KnownVectorsAndDistinctness) {
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+  EXPECT_NE(fnv1a("SCharToken"), fnv1a("charToken"));
+  EXPECT_EQ(fnv1a("SCharToken"), SCharToken::staticTypeInfo().id);
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,236 @@
+// Parallel-service tests: one application publishes a flow graph, another
+// calls it — directly (call_service) and as a vertex inside its own graph
+// (ServiceNode), the paper's Fig. 10 inter-application graph call.
+#include <gtest/gtest.h>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "util/mapping.hpp"
+
+namespace dps {
+namespace {
+
+class QueryToken : public SimpleToken {
+ public:
+  int key;
+  QueryToken(int k = 0) : key(k) {}
+  DPS_IDENTIFY(QueryToken);
+};
+
+class PartToken : public SimpleToken {
+ public:
+  int key;
+  int part;
+  int value;
+  PartToken(int k = 0, int p = 0, int v = 0) : key(k), part(p), value(v) {}
+  DPS_IDENTIFY(PartToken);
+};
+
+class AnswerToken : public SimpleToken {
+ public:
+  int key;
+  int value;
+  AnswerToken(int k = 0, int v = 0) : key(k), value(v) {}
+  DPS_IDENTIFY(AnswerToken);
+};
+
+class SMainThread : public Thread {
+  DPS_IDENTIFY_THREAD(SMainThread);
+};
+
+class SStoreThread : public Thread {
+ public:
+  int served = 0;  // how many part-reads this store thread handled
+  DPS_IDENTIFY_THREAD(SStoreThread);
+};
+
+DPS_ROUTE(SMainQueryRoute, SMainThread, QueryToken, 0);
+DPS_ROUTE(SMainPartRoute, SMainThread, PartToken, 0);
+DPS_ROUTE(SStorePartRoute, SStoreThread, PartToken,
+          currentToken->part % threadCount());
+
+// --- The service: a "distributed store" application -------------------------
+// Split a query to every store thread; each contributes key * (part+1);
+// merge sums the parts. The expected answer for `parts` threads is
+// key * parts * (parts+1) / 2.
+
+class QuerySplit
+    : public SplitOperation<SMainThread, TV1(QueryToken), TV1(PartToken)> {
+ public:
+  void execute(QueryToken* in) override {
+    for (int p = 0; p < kParts; ++p) postToken(new PartToken(in->key, p, 0));
+  }
+  static inline int kParts = 4;
+  DPS_IDENTIFY_OPERATION(QuerySplit);
+};
+
+class ReadPart
+    : public LeafOperation<SStoreThread, TV1(PartToken), TV1(PartToken)> {
+ public:
+  void execute(PartToken* in) override {
+    thread()->served++;
+    postToken(new PartToken(in->key, in->part, in->key * (in->part + 1)));
+  }
+  DPS_IDENTIFY_OPERATION(ReadPart);
+};
+
+class AnswerMerge
+    : public MergeOperation<SMainThread, TV1(PartToken), TV1(AnswerToken)> {
+ public:
+  void execute(PartToken* first) override {
+    int key = first->key;
+    int sum = first->value;
+    while (auto t = waitForNextToken()) {
+      sum += token_cast<PartToken>(t)->value;
+    }
+    postToken(new AnswerToken(key, sum));
+  }
+  DPS_IDENTIFY_OPERATION(AnswerMerge);
+};
+
+std::shared_ptr<Flowgraph> build_store_service(Application& app, int parts) {
+  QuerySplit::kParts = parts;
+  auto mains = app.thread_collection<SMainThread>("svc-main");
+  mains->map(app.cluster().node_name(0));
+  auto stores = app.thread_collection<SStoreThread>("svc-store");
+  std::vector<std::string> nodes;
+  for (size_t i = 0; i < app.cluster().node_count(); ++i) {
+    nodes.push_back(app.cluster().node_name(static_cast<NodeId>(i)));
+  }
+  stores->map(round_robin_mapping(nodes, parts));
+  FlowgraphBuilder b = FlowgraphNode<QuerySplit, SMainQueryRoute>(mains) >>
+                       FlowgraphNode<ReadPart, SStorePartRoute>(stores) >>
+                       FlowgraphNode<AnswerMerge, SMainPartRoute>(mains);
+  return app.build_graph(b, "store-read");
+}
+
+TEST(Services, DirectServiceCall) {
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application service(cluster, "store");
+  auto graph = build_store_service(service, 4);
+  service.publish_graph(graph, "store/read");
+
+  Application client(cluster, "client", 1);  // home on node1
+  ActorScope scope(cluster.domain(), "main");
+  auto answer =
+      token_cast<AnswerToken>(client.call_service("store/read", new QueryToken(7)));
+  ASSERT_TRUE(answer);
+  EXPECT_EQ(answer->key, 7);
+  EXPECT_EQ(answer->value, 7 * (1 + 2 + 3 + 4));
+}
+
+TEST(Services, CallRejectsWrongTokenType) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "store");
+  auto graph = build_store_service(service, 2);
+  service.publish_graph(graph, "store/read");
+  Application client(cluster, "client");
+  ActorScope scope(cluster.domain(), "main");
+  try {
+    (void)client.call_service("store/read", new AnswerToken(1, 2));
+    FAIL() << "expected type mismatch";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kTypeMismatch);
+  }
+}
+
+// --- Client graph embedding the service as a vertex (Fig. 10) ---------------
+
+class ClientSplit
+    : public SplitOperation<SMainThread, TV1(QueryToken), TV1(QueryToken)> {
+ public:
+  void execute(QueryToken* in) override {
+    // Fan out several queries keyed 1..n.
+    for (int k = 1; k <= in->key; ++k) postToken(new QueryToken(k));
+  }
+  DPS_IDENTIFY_OPERATION(ClientSplit);
+};
+
+DPS_ROUTE(SMainQuerySpreadRoute, SMainThread, QueryToken,
+          currentToken->key % threadCount());
+DPS_ROUTE(SMainAnswerRoute, SMainThread, AnswerToken, 0);
+
+class ClientMerge
+    : public MergeOperation<SMainThread, TV1(AnswerToken), TV1(AnswerToken)> {
+ public:
+  void execute(AnswerToken* first) override {
+    int total = first->value;
+    while (auto t = waitForNextToken()) {
+      total += token_cast<AnswerToken>(t)->value;
+    }
+    postToken(new AnswerToken(0, total));
+  }
+  DPS_IDENTIFY_OPERATION(ClientMerge);
+};
+
+TEST(Services, ServiceAsGraphVertex) {
+  Cluster cluster(ClusterConfig::inproc(3));
+  Application service(cluster, "store");
+  auto svc_graph = build_store_service(service, 3);
+  service.publish_graph(svc_graph, "store/read");
+
+  Application client(cluster, "client", 2);
+  auto mains = client.thread_collection<SMainThread>("cli-main");
+  mains->map("node2 node2");
+  // split -> [service call] -> merge: the called graph appears as a leaf.
+  FlowgraphBuilder b =
+      FlowgraphNode<ClientSplit, SMainQueryRoute>(mains) >>
+      ServiceNode<SMainQuerySpreadRoute, TV1(QueryToken), TV1(AnswerToken)>(
+          mains, "store/read") >>
+      FlowgraphNode<ClientMerge, SMainAnswerRoute>(mains);
+  auto client_graph = client.build_graph(b, "client-batch");
+
+  ActorScope scope(cluster.domain(), "main");
+  auto result =
+      token_cast<AnswerToken>(client_graph->call(new QueryToken(5)));
+  ASSERT_TRUE(result);
+  // sum over k=1..5 of k*(1+2+3) = 15 * 6
+  EXPECT_EQ(result->value, 15 * 6);
+}
+
+TEST(Services, ServiceVertexUnderVirtualTime) {
+  Cluster cluster(ClusterConfig::simulated(3));
+  Application service(cluster, "store");
+  auto svc_graph = build_store_service(service, 3);
+  service.publish_graph(svc_graph, "store/read");
+
+  Application client(cluster, "client", 2);
+  auto mains = client.thread_collection<SMainThread>("cli-main");
+  mains->map("node2 node2");
+  FlowgraphBuilder b =
+      FlowgraphNode<ClientSplit, SMainQueryRoute>(mains) >>
+      ServiceNode<SMainQuerySpreadRoute, TV1(QueryToken), TV1(AnswerToken)>(
+          mains, "store/read") >>
+      FlowgraphNode<ClientMerge, SMainAnswerRoute>(mains);
+  auto client_graph = client.build_graph(b, "client-batch");
+
+  ActorScope scope(cluster.domain(), "main");
+  auto result =
+      token_cast<AnswerToken>(client_graph->call(new QueryToken(4)));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->value, (1 + 2 + 3 + 4) * 6);
+  EXPECT_GT(cluster.domain().now(), 0.0);
+}
+
+TEST(Services, LateServicePublication) {
+  // A service call issued before publish_graph blocks until the service
+  // appears (the paper's lazily started applications).
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "store");
+  auto graph = build_store_service(service, 2);
+
+  Application client(cluster, "client");
+  ActorScope scope(cluster.domain(), "main");
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    service.publish_graph(graph, "store/late");
+  });
+  auto answer = token_cast<AnswerToken>(
+      client.call_service("store/late", new QueryToken(3)));
+  publisher.join();
+  ASSERT_TRUE(answer);
+  EXPECT_EQ(answer->value, 3 * (1 + 2));
+}
+
+}  // namespace
+}  // namespace dps

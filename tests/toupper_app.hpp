@@ -1,0 +1,115 @@
+// The paper's tutorial application (section 3): convert a string to
+// uppercase in parallel by splitting it into individual characters.
+// Shared by tests and the quickstart example.
+#pragma once
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "util/mapping.hpp"
+
+namespace dps_tutorial {
+
+using namespace dps;
+
+inline constexpr int kMaxString = 256;
+
+class StringToken : public SimpleToken {
+ public:
+  char str[kMaxString];
+  int len;
+  StringToken(const char* s = "") : str{}, len(0) {
+    len = static_cast<int>(std::strlen(s));
+    if (len >= kMaxString) len = kMaxString - 1;
+    std::memcpy(str, s, static_cast<size_t>(len));
+  }
+  DPS_IDENTIFY(StringToken);
+};
+
+class CharToken : public SimpleToken {
+ public:
+  char chr;
+  int pos;
+  CharToken(char c = 0, int p = 0) : chr(c), pos(p) {}
+  DPS_IDENTIFY(CharToken);
+};
+
+class MainThread : public Thread {
+  DPS_IDENTIFY_THREAD(MainThread);
+};
+
+class ComputeThread : public Thread {
+ public:
+  int executions = 0;  // per-thread state, visible to operations
+  DPS_IDENTIFY_THREAD(ComputeThread);
+};
+
+DPS_ROUTE(MainRoute, MainThread, StringToken, 0);
+DPS_ROUTE(MainCharRoute, MainThread, CharToken, 0);
+DPS_ROUTE(RoundRobinRoute, ComputeThread, CharToken,
+          currentToken->pos % threadCount());
+
+class SplitString
+    : public SplitOperation<MainThread, TV1(StringToken), TV1(CharToken)> {
+ public:
+  void execute(StringToken* in) override {
+    for (int i = 0; i < in->len; ++i) {
+      postToken(new CharToken(in->str[i], i));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(SplitString);
+};
+
+class ToUpperCase
+    : public LeafOperation<ComputeThread, TV1(CharToken), TV1(CharToken)> {
+ public:
+  void execute(CharToken* in) override {
+    thread()->executions++;
+    postToken(new CharToken(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(in->chr))),
+        in->pos));
+  }
+  DPS_IDENTIFY_OPERATION(ToUpperCase);
+};
+
+class MergeString
+    : public MergeOperation<MainThread, TV1(CharToken), TV1(StringToken)> {
+ public:
+  void execute(CharToken* first) override {
+    StringToken* out = new StringToken();
+    Ptr<Token> cur(first);
+    do {
+      auto* c = dynamic_cast<CharToken*>(cur.get());
+      out->str[c->pos] = c->chr;
+      if (c->pos + 1 > out->len) out->len = c->pos + 1;
+    } while ((cur = waitForNextToken()));
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(MergeString);
+};
+
+/// Builds the tutorial graph on an application whose cluster has
+/// `compute_nodes` nodes for the compute collection (one thread each).
+/// Returns the runnable graph.
+inline std::shared_ptr<Flowgraph> build_toupper_graph(Application& app,
+                                                      int compute_threads) {
+  auto main_threads = app.thread_collection<MainThread>("main");
+  main_threads->map(app.cluster().node_name(0));
+  auto compute = app.thread_collection<ComputeThread>("proc");
+  std::vector<std::string> nodes;
+  for (size_t i = 0; i < app.cluster().node_count(); ++i) {
+    nodes.push_back(app.cluster().node_name(static_cast<NodeId>(i)));
+  }
+  compute->map(round_robin_mapping(nodes, compute_threads));
+
+  FlowgraphBuilder builder =
+      FlowgraphNode<SplitString, MainRoute>(main_threads) >>
+      FlowgraphNode<ToUpperCase, RoundRobinRoute>(compute) >>
+      FlowgraphNode<MergeString, MainCharRoute>(main_threads);
+  return app.build_graph(builder, "toupper");
+}
+
+}  // namespace dps_tutorial

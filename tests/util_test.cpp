@@ -1,0 +1,83 @@
+// Unit tests for the utility substrate: error type, mapping-string parser,
+// stopwatch sanity.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/mapping.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Error, CarriesCodeAndMessage) {
+  try {
+    raise(Errc::kTypeMismatch, "boom");
+    FAIL() << "raise returned";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kTypeMismatch);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("type_mismatch"), std::string::npos);
+  }
+}
+
+TEST(Error, CodeNames) {
+  EXPECT_STREQ(to_string(Errc::kUnroutable), "unroutable");
+  EXPECT_STREQ(to_string(Errc::kProtocol), "protocol");
+  EXPECT_STREQ(to_string(Errc::kDeadlock), "deadlock");
+}
+
+TEST(Mapping, SingleNode) {
+  EXPECT_EQ(parse_mapping("nodeA"), (std::vector<std::string>{"nodeA"}));
+}
+
+TEST(Mapping, PaperExample) {
+  // "nodeA*2 nodeB" creates three threads, two on nodeA, one on nodeB.
+  EXPECT_EQ(parse_mapping("nodeA*2 nodeB"),
+            (std::vector<std::string>{"nodeA", "nodeA", "nodeB"}));
+}
+
+TEST(Mapping, MultipliersAndWhitespace) {
+  EXPECT_EQ(parse_mapping("  a*3   b*1  c  "),
+            (std::vector<std::string>{"a", "a", "a", "b", "c"}));
+}
+
+TEST(Mapping, LargeMultiplier) {
+  auto v = parse_mapping("n*64");
+  ASSERT_EQ(v.size(), 64u);
+  EXPECT_EQ(v.front(), "n");
+  EXPECT_EQ(v.back(), "n");
+}
+
+TEST(Mapping, RejectsEmpty) {
+  EXPECT_THROW(parse_mapping(""), Error);
+  EXPECT_THROW(parse_mapping("   "), Error);
+}
+
+TEST(Mapping, RejectsDanglingStar) {
+  EXPECT_THROW(parse_mapping("nodeA*"), Error);
+  EXPECT_THROW(parse_mapping("nodeA* nodeB"), Error);
+}
+
+TEST(Mapping, RejectsZeroMultiplier) {
+  EXPECT_THROW(parse_mapping("nodeA*0"), Error);
+}
+
+TEST(Mapping, RoundRobinHelper) {
+  EXPECT_EQ(round_robin_mapping({"x", "y"}, 5), "x y x y x");
+  EXPECT_EQ(round_robin_mapping({"solo"}, 2), "solo solo");
+  EXPECT_THROW(round_robin_mapping({}, 3), Error);
+  EXPECT_THROW(round_robin_mapping({"x"}, 0), Error);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  double a = sw.seconds();
+  double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace dps
