@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flowctl.dir/ablation_flowctl.cpp.o"
+  "CMakeFiles/ablation_flowctl.dir/ablation_flowctl.cpp.o.d"
+  "ablation_flowctl"
+  "ablation_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

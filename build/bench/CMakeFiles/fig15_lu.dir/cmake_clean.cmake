@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_lu.dir/fig15_lu.cpp.o"
+  "CMakeFiles/fig15_lu.dir/fig15_lu.cpp.o.d"
+  "fig15_lu"
+  "fig15_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

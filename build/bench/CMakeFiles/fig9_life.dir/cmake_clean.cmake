@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_life.dir/fig9_life.cpp.o"
+  "CMakeFiles/fig9_life.dir/fig9_life.cpp.o.d"
+  "fig9_life"
+  "fig9_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overlap.dir/table1_overlap.cpp.o"
+  "CMakeFiles/table1_overlap.dir/table1_overlap.cpp.o.d"
+  "table1_overlap"
+  "table1_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_services.dir/table2_services.cpp.o"
+  "CMakeFiles/table2_services.dir/table2_services.cpp.o.d"
+  "table2_services"
+  "table2_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

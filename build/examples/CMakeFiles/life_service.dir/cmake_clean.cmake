@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_service.dir/life_service.cpp.o"
+  "CMakeFiles/life_service.dir/life_service.cpp.o.d"
+  "life_service"
+  "life_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_overlap.dir/matmul_overlap.cpp.o"
+  "CMakeFiles/matmul_overlap.dir/matmul_overlap.cpp.o.d"
+  "matmul_overlap"
+  "matmul_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

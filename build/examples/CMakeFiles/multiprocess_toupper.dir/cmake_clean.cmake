@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_toupper.dir/multiprocess_toupper.cpp.o"
+  "CMakeFiles/multiprocess_toupper.dir/multiprocess_toupper.cpp.o.d"
+  "multiprocess_toupper"
+  "multiprocess_toupper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_toupper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/application.cpp" "src/CMakeFiles/dps.dir/core/application.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/application.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/dps.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/dps.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/dps.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/envelope.cpp" "src/CMakeFiles/dps.dir/core/envelope.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/envelope.cpp.o.d"
+  "/root/repo/src/core/flowgraph.cpp" "src/CMakeFiles/dps.dir/core/flowgraph.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/flowgraph.cpp.o.d"
+  "/root/repo/src/core/graphviz.cpp" "src/CMakeFiles/dps.dir/core/graphviz.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/graphviz.cpp.o.d"
+  "/root/repo/src/core/ids.cpp" "src/CMakeFiles/dps.dir/core/ids.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/ids.cpp.o.d"
+  "/root/repo/src/core/registries.cpp" "src/CMakeFiles/dps.dir/core/registries.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/registries.cpp.o.d"
+  "/root/repo/src/core/thread_collection.cpp" "src/CMakeFiles/dps.dir/core/thread_collection.cpp.o" "gcc" "src/CMakeFiles/dps.dir/core/thread_collection.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/dps.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/dps.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/name_server.cpp" "src/CMakeFiles/dps.dir/kernel/name_server.cpp.o" "gcc" "src/CMakeFiles/dps.dir/kernel/name_server.cpp.o.d"
+  "/root/repo/src/la/factor.cpp" "src/CMakeFiles/dps.dir/la/factor.cpp.o" "gcc" "src/CMakeFiles/dps.dir/la/factor.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/CMakeFiles/dps.dir/la/matrix.cpp.o" "gcc" "src/CMakeFiles/dps.dir/la/matrix.cpp.o.d"
+  "/root/repo/src/life/world.cpp" "src/CMakeFiles/dps.dir/life/world.cpp.o" "gcc" "src/CMakeFiles/dps.dir/life/world.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/CMakeFiles/dps.dir/net/framing.cpp.o" "gcc" "src/CMakeFiles/dps.dir/net/framing.cpp.o.d"
+  "/root/repo/src/net/inproc_transport.cpp" "src/CMakeFiles/dps.dir/net/inproc_transport.cpp.o" "gcc" "src/CMakeFiles/dps.dir/net/inproc_transport.cpp.o.d"
+  "/root/repo/src/net/name_registry.cpp" "src/CMakeFiles/dps.dir/net/name_registry.cpp.o" "gcc" "src/CMakeFiles/dps.dir/net/name_registry.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/dps.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/dps.dir/net/socket.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/CMakeFiles/dps.dir/net/tcp_transport.cpp.o" "gcc" "src/CMakeFiles/dps.dir/net/tcp_transport.cpp.o.d"
+  "/root/repo/src/serial/fields.cpp" "src/CMakeFiles/dps.dir/serial/fields.cpp.o" "gcc" "src/CMakeFiles/dps.dir/serial/fields.cpp.o.d"
+  "/root/repo/src/serial/registry.cpp" "src/CMakeFiles/dps.dir/serial/registry.cpp.o" "gcc" "src/CMakeFiles/dps.dir/serial/registry.cpp.o.d"
+  "/root/repo/src/serial/token.cpp" "src/CMakeFiles/dps.dir/serial/token.cpp.o" "gcc" "src/CMakeFiles/dps.dir/serial/token.cpp.o.d"
+  "/root/repo/src/serial/wire.cpp" "src/CMakeFiles/dps.dir/serial/wire.cpp.o" "gcc" "src/CMakeFiles/dps.dir/serial/wire.cpp.o.d"
+  "/root/repo/src/sim/domain.cpp" "src/CMakeFiles/dps.dir/sim/domain.cpp.o" "gcc" "src/CMakeFiles/dps.dir/sim/domain.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/dps.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/dps.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/dps.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/dps.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/dps.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/dps.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/dps.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/dps.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/mapping.cpp" "src/CMakeFiles/dps.dir/util/mapping.cpp.o" "gcc" "src/CMakeFiles/dps.dir/util/mapping.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/dps.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/dps.dir/util/stopwatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/dps_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/dps_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core_engine_test.cpp" "tests/CMakeFiles/dps_tests.dir/core_engine_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/core_engine_test.cpp.o.d"
+  "/root/repo/tests/core_features_test.cpp" "tests/CMakeFiles/dps_tests.dir/core_features_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/core_features_test.cpp.o.d"
+  "/root/repo/tests/envelope_test.cpp" "tests/CMakeFiles/dps_tests.dir/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/envelope_test.cpp.o.d"
+  "/root/repo/tests/error_paths_test.cpp" "tests/CMakeFiles/dps_tests.dir/error_paths_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/error_paths_test.cpp.o.d"
+  "/root/repo/tests/fuzz_decode_test.cpp" "tests/CMakeFiles/dps_tests.dir/fuzz_decode_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/fuzz_decode_test.cpp.o.d"
+  "/root/repo/tests/graphviz_test.cpp" "tests/CMakeFiles/dps_tests.dir/graphviz_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/graphviz_test.cpp.o.d"
+  "/root/repo/tests/kernel_test.cpp" "tests/CMakeFiles/dps_tests.dir/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/kernel_test.cpp.o.d"
+  "/root/repo/tests/la_test.cpp" "tests/CMakeFiles/dps_tests.dir/la_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/la_test.cpp.o.d"
+  "/root/repo/tests/life_app_test.cpp" "tests/CMakeFiles/dps_tests.dir/life_app_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/life_app_test.cpp.o.d"
+  "/root/repo/tests/life_test.cpp" "tests/CMakeFiles/dps_tests.dir/life_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/life_test.cpp.o.d"
+  "/root/repo/tests/lu_app_test.cpp" "tests/CMakeFiles/dps_tests.dir/lu_app_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/lu_app_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/dps_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dps_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reentrancy_test.cpp" "tests/CMakeFiles/dps_tests.dir/reentrancy_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/reentrancy_test.cpp.o.d"
+  "/root/repo/tests/serial_test.cpp" "tests/CMakeFiles/dps_tests.dir/serial_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/serial_test.cpp.o.d"
+  "/root/repo/tests/services_test.cpp" "tests/CMakeFiles/dps_tests.dir/services_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/services_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dps_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/dps_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/video_app_test.cpp" "tests/CMakeFiles/dps_tests.dir/video_app_test.cpp.o" "gcc" "tests/CMakeFiles/dps_tests.dir/video_app_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
