@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency-heavy
+# net/core subset rebuilt and re-run under ThreadSanitizer (the tsan test
+# preset selects that subset; see CMakePresets.json).
+#
+# Usage: scripts/tier1.sh            # everything
+#        DPS_SKIP_TSAN=1 scripts/tier1.sh   # plain build+test only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+if [ "${DPS_SKIP_TSAN:-0}" != "1" ]; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan -j "$JOBS"
+fi

@@ -4,10 +4,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/ids.hpp"
 #include "serial/token.hpp"
 #include "sim/domain.hpp"
+#include "util/error.hpp"
 
 namespace dps {
 namespace detail {
@@ -21,6 +23,11 @@ struct CallState {
   WaitPoint wp;
   Ptr<Token> result;
   bool done = false;
+  /// Failure delivery (node death, docs/FAULT_TOLERANCE.md): when set, the
+  /// waiter rethrows instead of returning a result.
+  bool failed = false;
+  Errc err = Errc::kState;
+  std::string err_msg;
   /// If set, invoked with the result instead of storing it.
   std::function<void(Ptr<Token>)> continuation;
 };

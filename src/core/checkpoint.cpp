@@ -1,5 +1,7 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "core/cluster.hpp"
 #include "core/controller.hpp"
 #include "core/thread_collection.hpp"
@@ -43,6 +45,36 @@ void restore_cluster(Cluster& cluster, const std::vector<std::byte>& image) {
     Reader pr(payload, len);
     cluster.controller(node).restore_worker(collection, index, pr);
   }
+}
+
+ClusterConfig degraded_config(const Cluster& failed) {
+  const std::vector<NodeId> dead = failed.dead_nodes();
+  if (dead.empty()) {
+    raise(Errc::kState,
+          "degraded_config: the cluster has no dead nodes to exclude");
+  }
+  ClusterConfig cfg = failed.config();
+  std::vector<std::string> survivors;
+  for (NodeId i = 0; i < cfg.nodes.size(); ++i) {
+    if (std::find(dead.begin(), dead.end(), i) == dead.end()) {
+      survivors.push_back(cfg.nodes[i]);
+    }
+  }
+  if (survivors.empty()) {
+    raise(Errc::kState, "degraded_config: no surviving nodes");
+  }
+  cfg.nodes = std::move(survivors);
+  cfg.external_fabric.reset();  // sized for the failed cluster's node count
+  cfg.local_node.reset();       // old numbering is meaningless after remap
+  return cfg;
+}
+
+void recover_cluster(Cluster& fresh, const std::vector<std::byte>& image) {
+  if (!fresh.dead_nodes().empty()) {
+    raise(Errc::kState,
+          "recover_cluster: the recovery cluster already has dead nodes");
+  }
+  restore_cluster(fresh, image);
 }
 
 }  // namespace dps

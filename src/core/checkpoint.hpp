@@ -17,11 +17,10 @@
 
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "serial/wire.hpp"
 
 namespace dps {
-
-class Cluster;
 
 /// Implemented by dps::Thread subclasses whose state should be captured.
 class Checkpointable {
@@ -40,5 +39,20 @@ std::vector<std::byte> checkpoint_cluster(Cluster& cluster);
 /// record's thread does not exist and Error(kProtocol) on malformed
 /// images.
 void restore_cluster(Cluster& cluster, const std::vector<std::byte>& image);
+
+// --- graceful degradation (docs/FAULT_TOLERANCE.md) --------------------------
+
+/// Recovery step 1: the failed cluster's config with its dead nodes removed.
+/// The external fabric and multi-process pinning are cleared — both are
+/// sized/numbered for the old node set. Throws Error(kState) when no node is
+/// dead (nothing to degrade) or none survives.
+ClusterConfig degraded_config(const Cluster& failed);
+
+/// Recovery step 2: restores `image` into `fresh` — a cluster built from
+/// degraded_config() and re-populated with the same applications and
+/// thread collections (remapped over the surviving nodes). After this the
+/// interrupted graph call can simply be issued again. Throws Error(kState)
+/// if `fresh` already has dead nodes of its own.
+void recover_cluster(Cluster& fresh, const std::vector<std::byte>& image);
 
 }  // namespace dps

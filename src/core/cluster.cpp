@@ -1,5 +1,8 @@
 #include "core/cluster.hpp"
 
+#include <chrono>
+#include <map>
+
 #include "core/application.hpp"
 #include "core/controller.hpp"
 #include "core/thread_collection.hpp"
@@ -7,6 +10,7 @@
 #include "net/tcp_transport.hpp"
 #include "sim/scheduler.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dps {
 
@@ -53,10 +57,13 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         domain_ = std::make_unique<WallDomain>();
         fabric_ = std::make_unique<InprocFabric>(n);
         break;
-      case ClusterConfig::FabricKind::kTcp:
+      case ClusterConfig::FabricKind::kTcp: {
         domain_ = std::make_unique<WallDomain>();
-        fabric_ = std::make_unique<TcpFabric>(n);
+        auto tcp = std::make_shared<TcpFabric>(n);
+        tcp->set_node_names(config_.nodes);
+        fabric_ = std::move(tcp);
         break;
+      }
       case ClusterConfig::FabricKind::kSim:
         domain_ = std::make_unique<SimDomain>(config_.sim_cpus_per_node);
         fabric_ = std::make_unique<SimFabric>(n, *domain_, config_.link);
@@ -71,6 +78,20 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     if (is_local(i)) {
       fabric_->attach(i,
                       [c](NodeMessage&& msg) { c->on_fabric(std::move(msg)); });
+    }
+  }
+
+  if (config_.fault.enabled()) {
+    if (simulated()) {
+      DPS_WARN(
+          "fault tolerance (reliable delivery / heartbeats) is a wall-clock "
+          "mechanism and is disabled under virtual time");
+    } else {
+      ft_active_ = true;
+      for (NodeId i = 0; i < n; ++i) {
+        if (is_local(i)) controllers_[i]->enable_fault_tolerance();
+      }
+      monitor_ = std::thread([this] { monitor_loop(); });
     }
   }
 }
@@ -139,6 +160,17 @@ std::shared_ptr<detail::CallState> Cluster::create_call(CallId id) {
   auto state = std::make_shared<detail::CallState>();
   state->domain = domain_.get();
   std::lock_guard<std::mutex> lock(mu_);
+  if (!dead_.empty()) {
+    // Fail fast: a degraded cluster stays failed until recovered into a
+    // fresh one (docs/FAULT_TOLERANCE.md); new calls would stall on the
+    // dead node's threads.
+    state->failed = true;
+    state->err = Errc::kNodeDown;
+    state->err_msg = "cluster has dead nodes; build a recovery cluster "
+                     "(degraded_config/recover_cluster) before calling again";
+    state->done = true;
+    return state;
+  }
   calls_.emplace(id, state);
   return state;
 }
@@ -167,6 +199,141 @@ void Cluster::complete_call(CallId id, Ptr<Token> result) {
   domain_->notify_all(state->wp);
 }
 
+// --- Fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
+
+bool Cluster::node_down(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_.count(node) != 0;
+}
+
+std::vector<NodeId> Cluster::dead_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {dead_.begin(), dead_.end()};
+}
+
+void Cluster::mark_node_down(NodeId node, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_ || !dead_.insert(node).second) return;
+  }
+  DPS_WARN("node '" << node_name(node) << "' declared down: " << reason);
+  for (NodeId i = 0; i < controllers_.size(); ++i) {
+    if (is_local(i)) controllers_[i]->on_node_down(node);
+  }
+  fail_all_calls(Errc::kNodeDown,
+                 "node '" + node_name(node) + "' declared down: " + reason);
+}
+
+void Cluster::fail_all_calls(Errc code, const std::string& message) {
+  std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    calls.swap(calls_);
+  }
+  for (auto& [id, state] : calls) {
+    if (state->continuation) {
+      // Sub-call of a graph-call vertex: nothing to deliver — the client
+      // graph's own call is in the same table and fails directly.
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->failed = true;
+    state->err = code;
+    state->err_msg = message;
+    state->done = true;
+    domain_->notify_all(state->wp);
+  }
+}
+
+void Cluster::monitor_loop() {
+  const FaultToleranceConfig& ft = config_.fault;
+  const double threshold = ft.heartbeat_period * ft.heartbeat_miss;
+  double next_beacon = 0;  // beacon immediately so last_heard stays fresh
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(monitor_mu_);
+      monitor_cv_.wait_for(
+          lock, std::chrono::duration<double>(ft.tick_interval),
+          [&] { return monitor_stop_; });
+      if (monitor_stop_) return;
+    }
+    const double now = mono_seconds();
+
+    std::set<NodeId> live;
+    for (NodeId i = 0; i < controllers_.size(); ++i) {
+      if (!node_down(i)) live.insert(i);
+    }
+
+    if (ft.reliable) {
+      for (NodeId i : live) {
+        if (!is_local(i)) continue;
+        for (NodeId suspect : controllers_[i]->reliability_tick(now)) {
+          if (!ft.heartbeat) {
+            // No heartbeat adjudication: the retry budget is the only
+            // failure signal, so act on it directly.
+            mark_node_down(suspect, "retransmission budget exhausted");
+          }
+        }
+      }
+    }
+
+    if (!ft.heartbeat) continue;
+    if (now >= next_beacon) {
+      next_beacon = now + ft.heartbeat_period;
+      for (NodeId i : live) {
+        if (is_local(i)) controllers_[i]->send_heartbeats(now);
+      }
+    }
+
+    // Failure adjudication. All controllers of a single-process cluster
+    // share this monitor, so a killed node's own controller is still
+    // running locally and hears nobody — it must not be allowed to vote
+    // the healthy majority dead. Rules, in order:
+    //   1. a node that cannot hear ANY live peer is isolated — it is dead
+    //      to the cluster regardless of its own opinion of others;
+    //   2. a peer is declared dead when every non-isolated observer
+    //      reports it stale (unanimity among credible witnesses);
+    //   3. total blackout (everyone isolated): the leader — the lowest
+    //      live node id — survives; split-brain resolves leader-wins.
+    if (live.size() <= 1) continue;
+    std::map<NodeId, std::set<NodeId>> stale;
+    std::set<NodeId> isolated;
+    for (NodeId i : live) {
+      if (!is_local(i)) continue;
+      std::set<NodeId> s;
+      for (NodeId p : controllers_[i]->stale_peers(now, threshold)) {
+        if (live.count(p) != 0) s.insert(p);
+      }
+      if (s.size() >= live.size() - 1) isolated.insert(i);
+      stale.emplace(i, std::move(s));
+    }
+
+    std::set<NodeId> to_kill;
+    if (!isolated.empty() && isolated.size() == stale.size() &&
+        stale.size() == live.size()) {
+      const NodeId leader = *live.begin();
+      for (NodeId i : live) {
+        if (i != leader) to_kill.insert(i);
+      }
+    } else {
+      to_kill = isolated;
+      for (NodeId p : live) {
+        int votes = 0, witnesses = 0;
+        for (const auto& [i, s] : stale) {
+          if (isolated.count(i) != 0 || i == p) continue;
+          ++witnesses;
+          if (s.count(p) != 0) ++votes;
+        }
+        if (witnesses > 0 && votes == witnesses) to_kill.insert(p);
+      }
+    }
+    for (NodeId p : to_kill) {
+      mark_node_down(p, "missed " + std::to_string(ft.heartbeat_miss) +
+                            " heartbeats");
+    }
+  }
+}
+
 void Cluster::claim_context(ContextId ctx, const void* claimant) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = claims_.emplace(ctx, claimant);
@@ -190,6 +357,14 @@ void Cluster::shutdown() {
     down_ = true;
   }
   DPS_DEBUG("cluster shutting down");
+  if (monitor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_mu_);
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    monitor_.join();
+  }
   for (auto& c : controllers_) c->shutdown();
   fabric_->shutdown();
   // domain_ (and with it a simulation scheduler thread) stops when the

@@ -19,10 +19,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +40,28 @@ namespace dps {
 class Application;
 class Controller;
 class ThreadCollectionBase;
+
+/// Fault-tolerance knobs (docs/FAULT_TOLERANCE.md). Both features are
+/// wall-clock mechanisms and are ignored (with a warning) under virtual
+/// time. Defaults are tuned for loopback/in-process latencies.
+struct FaultToleranceConfig {
+  /// Reliable envelope delivery: sequence numbers per (src,dst) link,
+  /// cumulative acks piggybacked on traffic, retransmission with
+  /// exponential backoff + jitter, duplicate suppression on receive.
+  bool reliable = false;
+  /// Heartbeat failure detection: nodes beacon each other; a silent node
+  /// is declared dead and in-flight graph calls fail with Error(kNodeDown).
+  bool heartbeat = false;
+
+  double heartbeat_period = 0.02;   ///< seconds between beacons
+  int heartbeat_miss = 5;           ///< silent periods before declared dead
+  double rto_initial = 0.005;       ///< first retransmit timeout, seconds
+  double rto_max = 0.2;             ///< backoff cap, seconds
+  int max_retries = 12;             ///< retry budget before peer is suspect
+  double tick_interval = 0.002;     ///< monitor thread granularity, seconds
+
+  bool enabled() const { return reliable || heartbeat; }
+};
 
 struct ClusterConfig {
   enum class FabricKind { kInproc, kTcp, kSim };
@@ -61,6 +86,10 @@ struct ClusterConfig {
   /// made of bi-processor Pentium III machines.
   int sim_cpus_per_node = 2;
 
+  /// Reliable delivery + failure detection (off by default: fault-free
+  /// fabrics pay zero overhead and keep their exact frame accounting).
+  FaultToleranceConfig fault;
+
   static ClusterConfig inproc(int node_count);
   static ClusterConfig tcp(int node_count);
   static ClusterConfig simulated(
@@ -78,6 +107,21 @@ class Cluster {
   Fabric& fabric() { return *fabric_; }
   bool simulated() const { return config_.fabric == ClusterConfig::FabricKind::kSim; }
   uint32_t flow_window() const { return config_.flow_window; }
+  const ClusterConfig& config() const { return config_; }
+
+  // --- failure detection (docs/FAULT_TOLERANCE.md) --------------------------
+  /// Whether the fault-tolerance layer is running (configured and not
+  /// under virtual time).
+  bool fault_tolerant() const { return ft_active_; }
+
+  /// Declares `node` failed: records it, fails every in-flight graph call
+  /// with Error(kNodeDown), and unblocks local flow-control waiters so no
+  /// thread hangs on traffic that will never arrive. Called by the failure
+  /// detector; also callable by tests/operators.
+  void mark_node_down(NodeId node, const std::string& reason);
+
+  bool node_down(NodeId node) const;
+  std::vector<NodeId> dead_nodes() const;
 
   size_t node_count() const { return config_.nodes.size(); }
 
@@ -124,11 +168,23 @@ class Cluster {
   void shutdown();
 
  private:
+  void fail_all_calls(Errc code, const std::string& message);
+  void monitor_loop();
+
   ClusterConfig config_;
   std::unique_ptr<ExecDomain> domain_;
   std::shared_ptr<Fabric> fabric_;
   std::unique_ptr<NameRegistry> services_;
   std::vector<std::unique_ptr<Controller>> controllers_;
+
+  // Fault-tolerance driver: one wall-clock thread per cluster sending
+  // heartbeats, running retransmit timers, and adjudicating node death.
+  bool ft_active_ = false;
+  std::thread monitor_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::set<NodeId> dead_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::unordered_map<AppId, Application*> apps_;

@@ -1,5 +1,6 @@
 #include "core/controller.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 
@@ -8,6 +9,7 @@
 #include "core/cluster.hpp"
 #include "core/thread_collection.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dps {
 
@@ -36,7 +38,8 @@ struct Controller::Worker {
   std::mutex mu;
   WaitPoint wp;
   std::deque<Envelope> queue;
-  bool poison = false;
+  // Atomic: the worker loop's error handlers test it without taking mu.
+  std::atomic<bool> poison{false};
   std::atomic<uint32_t>* depth_slot = nullptr;
 
   /// Merge/stream collections currently suspended on this thread (the
@@ -62,6 +65,31 @@ struct Controller::FlowAccount {
   uint32_t in_flight = 0;
   bool finished = false;  ///< owning split/stream execution completed
   bool poison = false;
+};
+
+/// Per-peer reliable-delivery state (docs/FAULT_TOLERANCE.md). One link per
+/// (this node, peer) pair, lazily created, guarded by rel_mu_.
+struct Controller::ReliableLink {
+  // --- sender side ---
+  struct Pending {
+    FrameKind kind;
+    std::vector<std::byte> payload;  ///< inner (unwrapped) frame payload
+    double next_due = 0;             ///< wall-clock retransmit deadline
+    double rto = 0;                  ///< current backoff interval
+    int retries = 0;
+  };
+  uint64_t next_seq = 1;               ///< next sequence number to assign
+  std::map<uint64_t, Pending> unacked;  ///< sent, not yet cumulatively acked
+
+  // --- receiver side ---
+  uint64_t rx_contig = 0;          ///< highest seq with all predecessors seen
+  std::set<uint64_t> rx_above;     ///< received out of order, > rx_contig
+  uint64_t acked_sent = 0;         ///< highest cumulative ack we transmitted
+  bool ack_pending = false;        ///< delivery since last ack we sent
+
+  // --- liveness ---
+  double last_heard = 0;  ///< wall clock of last frame from this peer
+  bool dead = false;      ///< peer declared down; link is a black hole
 };
 
 // ---------------------------------------------------------------------------
@@ -622,7 +650,7 @@ void Controller::send(Envelope env) {
   }
   Writer w;
   env.encode(w);
-  cluster_.fabric().send(self_, target, FrameKind::kEnvelope, w.take());
+  fabric_send(target, FrameKind::kEnvelope, w.take());
 }
 
 void Controller::deliver_local(Envelope env) {
@@ -642,34 +670,69 @@ void Controller::send_reply(Envelope env) {
   }
   Writer w;
   env.encode(w);
-  cluster_.fabric().send(self_, env.call_reply_node, FrameKind::kCallReply,
-                         w.take());
+  fabric_send(env.call_reply_node, FrameKind::kCallReply, w.take());
 }
 
 void Controller::on_fabric(NodeMessage&& msg) {
   // Non-blocking by contract: enqueue, update accounts, notify.
   switch (msg.kind) {
-    case FrameKind::kEnvelope: {
+    case FrameKind::kReliable:
+      handle_reliable(std::move(msg));
+      break;
+    case FrameKind::kAck: {
       Reader r(msg.payload.data(), msg.payload.size());
+      handle_ack(msg.from, r.get<uint64_t>());
+      break;
+    }
+    case FrameKind::kHeartbeat: {
+      Reader r(msg.payload.data(), msg.payload.size());
+      handle_ack(msg.from, r.get<uint64_t>());
+      break;
+    }
+    case FrameKind::kPeerDown: {
+      // Transport-level death report (torn TCP stream). Under fault
+      // tolerance the cluster converts it to kNodeDown on in-flight calls;
+      // otherwise it is surfaced loudly as a protocol error.
+      Reader r(msg.payload.data(), msg.payload.size());
+      const std::string reason = r.get_string();
+      if (cluster_.fault_tolerant()) {
+        cluster_.mark_node_down(msg.from, reason);
+      } else {
+        DPS_ERROR("node " << self_ << ": " << to_string(Errc::kProtocol)
+                          << ": " << reason);
+      }
+      break;
+    }
+    default:
+      handle_frame(msg.kind, msg.from, msg.payload.data(),
+                   msg.payload.size());
+  }
+}
+
+void Controller::handle_frame(FrameKind kind, NodeId from,
+                              const std::byte* data, size_t size) {
+  switch (kind) {
+    case FrameKind::kEnvelope: {
+      Reader r(data, size);
       deliver_local(Envelope::decode(r));
       break;
     }
     case FrameKind::kFlowAck: {
-      Reader r(msg.payload.data(), msg.payload.size());
+      Reader r(data, size);
       const ContextId ctx = r.get<ContextId>();
       const uint32_t n = r.get<uint32_t>();
       apply_flow_release(ctx, n);
       break;
     }
     case FrameKind::kCallReply: {
-      Reader r(msg.payload.data(), msg.payload.size());
+      Reader r(data, size);
       Envelope env = Envelope::decode(r);
       cluster_.complete_call(env.call, std::move(env.token));
       break;
     }
     default:
       DPS_WARN("node " << self_ << ": unexpected frame kind "
-                       << static_cast<int>(msg.kind));
+                       << static_cast<int>(kind) << " from node " << from);
   }
 }
 
@@ -739,8 +802,242 @@ void Controller::ack_consumed(const SplitFrame& frame) {
   Writer w;
   w.put<ContextId>(frame.context);
   w.put<uint32_t>(1);
-  cluster_.fabric().send(self_, frame.split_node, FrameKind::kFlowAck,
-                         w.take());
+  fabric_send(frame.split_node, FrameKind::kFlowAck, w.take());
+}
+
+// --- Fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
+//
+// Lock discipline: rel_mu_ is never held across a fabric send. The inproc
+// fabric delivers synchronously on the calling thread, so a send made under
+// rel_mu_ could re-enter this controller (peer's ack) and self-deadlock.
+// Frames are built under the lock and shipped after it is released.
+
+void Controller::enable_fault_tolerance() {
+  const FaultToleranceConfig& ft = cluster_.config().fault;
+  reliable_ = ft.reliable;
+  heartbeat_ = ft.heartbeat;
+  const double now = mono_seconds();
+  std::lock_guard<std::mutex> lock(rel_mu_);
+  for (NodeId peer = 0; peer < cluster_.node_count(); ++peer) {
+    if (peer == self_) continue;
+    rlink_locked(peer).last_heard = now;  // grace period from arming time
+  }
+}
+
+Controller::ReliableLink& Controller::rlink_locked(NodeId peer) {
+  auto it = rlinks_.find(peer);
+  if (it == rlinks_.end()) {
+    it = rlinks_.emplace(peer, std::make_unique<ReliableLink>()).first;
+  }
+  return *it->second;
+}
+
+void Controller::fabric_send(NodeId target, FrameKind kind,
+                             std::vector<std::byte> payload) {
+  if (!reliable_) {
+    cluster_.fabric().send(self_, target, kind, std::move(payload));
+    return;
+  }
+  const FaultToleranceConfig& ft = cluster_.config().fault;
+  Writer w;
+  {
+    std::lock_guard<std::mutex> lock(rel_mu_);
+    ReliableLink& l = rlink_locked(target);
+    if (l.dead) return;  // peer declared down: the link is a black hole
+    const uint64_t seq = l.next_seq++;
+    w.put<uint64_t>(seq);
+    w.put<uint64_t>(l.rx_contig);  // piggybacked cumulative ack
+    w.put<uint16_t>(static_cast<uint16_t>(kind));
+    w.put_raw(payload.data(), payload.size());
+    l.acked_sent = std::max(l.acked_sent, l.rx_contig);
+    l.ack_pending = false;
+    ReliableLink::Pending p;
+    p.kind = kind;
+    p.payload = std::move(payload);
+    p.rto = ft.rto_initial;
+    p.next_due = mono_seconds() + p.rto;
+    l.unacked.emplace(seq, std::move(p));
+  }
+  try {
+    cluster_.fabric().send(self_, target, FrameKind::kReliable, w.take());
+  } catch (const Error& e) {
+    // A torn transport is just a lossy link here: the retransmission timer
+    // retries until the ack arrives or the peer is declared down.
+    DPS_DEBUG("node " << self_ << ": send to " << target
+                      << " failed, will retransmit: " << e.what());
+  }
+}
+
+void Controller::handle_reliable(NodeMessage&& msg) {
+  Reader r(msg.payload.data(), msg.payload.size());
+  const uint64_t seq = r.get<uint64_t>();
+  const uint64_t ack = r.get<uint64_t>();
+  const FrameKind inner = static_cast<FrameKind>(r.get<uint16_t>());
+  const size_t header = msg.payload.size() - r.remaining();
+
+  handle_ack(msg.from, ack);
+
+  bool deliver = false;
+  bool ack_now = false;
+  uint64_t ack_val = 0;
+  {
+    std::lock_guard<std::mutex> lock(rel_mu_);
+    ReliableLink& l = rlink_locked(msg.from);
+    l.last_heard = mono_seconds();
+    if (seq <= l.rx_contig || l.rx_above.count(seq) != 0) {
+      // Duplicate (retransmission that crossed our ack, or an injected
+      // copy): suppress, but re-ack immediately so the sender stops.
+      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      ack_now = true;
+      ack_val = l.rx_contig;
+      l.acked_sent = std::max(l.acked_sent, l.rx_contig);
+      l.ack_pending = false;
+    } else {
+      deliver = true;
+      if (seq == l.rx_contig + 1) {
+        ++l.rx_contig;
+        while (l.rx_above.erase(l.rx_contig + 1) != 0) ++l.rx_contig;
+      } else {
+        l.rx_above.insert(seq);
+      }
+      l.ack_pending = true;  // flushed by the next tick or piggybacked
+    }
+  }
+  if (ack_now) {
+    Writer w;
+    w.put<uint64_t>(ack_val);
+    try {
+      cluster_.fabric().send(self_, msg.from, FrameKind::kAck, w.take());
+    } catch (const Error&) {
+      // ack lost: the duplicate will come again
+    }
+  }
+  if (deliver) {
+    // Frames are self-contained engine messages: out-of-order delivery is
+    // harmless (merge contexts collect by SplitFrame, not arrival order),
+    // so deliver immediately instead of buffering behind the gap.
+    handle_frame(inner, msg.from, msg.payload.data() + header,
+                 msg.payload.size() - header);
+  }
+}
+
+void Controller::handle_ack(NodeId from, uint64_t ack) {
+  std::lock_guard<std::mutex> lock(rel_mu_);
+  ReliableLink& l = rlink_locked(from);
+  l.last_heard = mono_seconds();
+  l.unacked.erase(l.unacked.begin(), l.unacked.upper_bound(ack));
+}
+
+std::vector<NodeId> Controller::reliability_tick(double now) {
+  const FaultToleranceConfig& ft = cluster_.config().fault;
+  struct Out {
+    NodeId to;
+    FrameKind kind;
+    std::vector<std::byte> payload;
+  };
+  std::vector<Out> outs;
+  std::vector<NodeId> suspects;
+  {
+    std::lock_guard<std::mutex> lock(rel_mu_);
+    for (auto& [peer, lp] : rlinks_) {
+      ReliableLink& l = *lp;
+      if (l.dead) continue;
+      if (l.ack_pending && l.rx_contig > l.acked_sent) {
+        Writer w;
+        w.put<uint64_t>(l.rx_contig);
+        outs.push_back({peer, FrameKind::kAck, w.take()});
+        l.acked_sent = l.rx_contig;
+        l.ack_pending = false;
+      }
+      for (auto& [seq, p] : l.unacked) {
+        if (p.next_due > now) continue;
+        if (p.retries >= ft.max_retries) {
+          suspects.push_back(peer);
+          break;
+        }
+        ++p.retries;
+        p.rto = std::min(p.rto * 2, ft.rto_max);
+        // Deterministic jitter (from the seq, not a clock) de-synchronizes
+        // retransmit bursts without breaking run-to-run reproducibility.
+        p.next_due = now + p.rto * (1.0 + 0.25 * static_cast<double>(
+                                              (seq * 2654435761ULL) % 97) / 97.0);
+        Writer w;
+        w.put<uint64_t>(seq);
+        w.put<uint64_t>(l.rx_contig);
+        w.put<uint16_t>(static_cast<uint16_t>(p.kind));
+        w.put_raw(p.payload.data(), p.payload.size());
+        l.acked_sent = std::max(l.acked_sent, l.rx_contig);
+        outs.push_back({peer, FrameKind::kReliable, w.take()});
+        retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (auto& o : outs) {
+    try {
+      cluster_.fabric().send(self_, o.to, o.kind, std::move(o.payload));
+    } catch (const Error&) {
+      // transport refused: indistinguishable from a drop; retry next tick
+    }
+  }
+  return suspects;
+}
+
+void Controller::send_heartbeats(double now) {
+  (void)now;
+  struct Out {
+    NodeId to;
+    std::vector<std::byte> payload;
+  };
+  std::vector<Out> outs;
+  {
+    std::lock_guard<std::mutex> lock(rel_mu_);
+    for (NodeId peer = 0; peer < cluster_.node_count(); ++peer) {
+      if (peer == self_) continue;
+      ReliableLink& l = rlink_locked(peer);
+      if (l.dead) continue;
+      Writer w;
+      w.put<uint64_t>(l.rx_contig);  // heartbeats double as ack carriers
+      l.acked_sent = std::max(l.acked_sent, l.rx_contig);
+      l.ack_pending = false;
+      outs.push_back({peer, w.take()});
+    }
+  }
+  for (auto& o : outs) {
+    try {
+      cluster_.fabric().send(self_, o.to, FrameKind::kHeartbeat,
+                             std::move(o.payload));
+    } catch (const Error&) {
+      // best effort; a missed beacon is exactly what detection measures
+    }
+  }
+}
+
+std::vector<NodeId> Controller::stale_peers(double now, double threshold) {
+  std::vector<NodeId> stale;
+  std::lock_guard<std::mutex> lock(rel_mu_);
+  for (auto& [peer, lp] : rlinks_) {
+    if (lp->dead) continue;
+    if (now - lp->last_heard > threshold) stale.push_back(peer);
+  }
+  return stale;
+}
+
+void Controller::on_node_down(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(rel_mu_);
+    ReliableLink& l = rlink_locked(node);
+    l.dead = true;
+    l.unacked.clear();  // stop retransmitting into the void
+  }
+  // Unblock split/stream executions waiting for flow-control credits the
+  // dead node will never return. The raised kState unwinds the operation;
+  // the graph call itself fails with kNodeDown at the cluster level.
+  std::lock_guard<std::mutex> lock(flow_mu_);
+  for (auto& [ctx, acc] : accounts_) {
+    std::lock_guard<std::mutex> al(acc->mu);
+    acc->poison = true;
+    cluster_.domain().notify_all(acc->wp);
+  }
 }
 
 // --- Checkpointing -------------------------------------------------------------

@@ -17,8 +17,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/envelope.hpp"
 #include "core/flowgraph.hpp"
@@ -69,9 +71,41 @@ class Controller {
   void checkpoint_workers(Writer& w);
   void restore_worker(CollectionId collection, ThreadIndex index, Reader& r);
 
+  // --- fault tolerance (docs/FAULT_TOLERANCE.md) ----------------------------
+  /// Arms reliable delivery / heartbeat state according to the cluster's
+  /// FaultToleranceConfig. Called once by the Cluster before traffic flows.
+  void enable_fault_tolerance();
+
+  /// Retransmits overdue unacked frames and flushes delayed cumulative
+  /// acks. Returns peers whose retry budget is exhausted (suspects for the
+  /// caller — the cluster monitor — to adjudicate). Wall-clock `now` from
+  /// mono_seconds().
+  std::vector<NodeId> reliability_tick(double now);
+
+  /// Beacons every live peer; carries this link's cumulative ack.
+  void send_heartbeats(double now);
+
+  /// Peers not heard from for `threshold` seconds.
+  std::vector<NodeId> stale_peers(double now, double threshold);
+
+  /// Peer was declared dead: stop retransmitting to it, drop its pending
+  /// frames, and poison local flow accounts so no worker blocks on a
+  /// window that can never refill.
+  void on_node_down(NodeId node);
+
+  /// Frames received more than once and dropped (tests).
+  uint64_t duplicates_suppressed() const {
+    return dup_suppressed_.load(std::memory_order_relaxed);
+  }
+  /// Frames re-sent by the retransmission timer (tests).
+  uint64_t retransmissions() const {
+    return retransmissions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker;
   struct FlowAccount;
+  struct ReliableLink;
   class ExecCtx;
 
   // Engine internals.
@@ -94,8 +128,26 @@ class Controller {
   void apply_flow_release(ContextId ctx, uint32_t n);
   void ack_consumed(const SplitFrame& frame);  // from merge/stream side
 
+  // Reliable delivery internals. fabric_send is the single exit point for
+  // engine frames: it either forwards to the fabric directly or wraps the
+  // frame in a sequence-numbered kReliable envelope.
+  void fabric_send(NodeId target, FrameKind kind,
+                   std::vector<std::byte> payload);
+  void handle_frame(FrameKind kind, NodeId from,
+                    const std::byte* data, size_t size);
+  void handle_reliable(NodeMessage&& msg);
+  void handle_ack(NodeId from, uint64_t ack);
+  ReliableLink& rlink_locked(NodeId peer);  // caller holds rel_mu_
+
   Cluster& cluster_;
   NodeId self_;
+
+  bool reliable_ = false;
+  bool heartbeat_ = false;
+  std::mutex rel_mu_;
+  std::map<NodeId, std::unique_ptr<ReliableLink>> rlinks_;
+  std::atomic<uint64_t> dup_suppressed_{0};
+  std::atomic<uint64_t> retransmissions_{0};
 
   std::mutex workers_mu_;
   std::map<std::pair<CollectionId, ThreadIndex>, std::unique_ptr<Worker>>

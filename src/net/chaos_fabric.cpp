@@ -1,0 +1,171 @@
+#include "net/chaos_fabric.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dps {
+
+ChaosFabric::ChaosFabric(std::shared_ptr<Fabric> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  DPS_CHECK(inner_ != nullptr, "ChaosFabric needs an inner fabric");
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+ChaosFabric::~ChaosFabric() { shutdown(); }
+
+void ChaosFabric::attach(NodeId self, Handler handler) {
+  inner_->attach(self, std::move(handler));
+}
+
+ChaosFabric::LinkState& ChaosFabric::link(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    auto ls = std::make_unique<LinkState>();
+    // Per-link seed: the k-th frame of a link always draws the k-th number
+    // of the same stream, independent of other links' traffic.
+    ls->rng.seed(plan_.seed ^ (static_cast<uint64_t>(from + 1) << 32) ^
+                 (to + 1));
+    it = links_.emplace(key, std::move(ls)).first;
+  }
+  return *it->second;
+}
+
+bool ChaosFabric::severed(NodeId from, NodeId to) const {
+  if (killed_.count(from) != 0 || killed_.count(to) != 0) return true;
+  auto key = from < to ? std::make_pair(from, to) : std::make_pair(to, from);
+  return partitions_.count(key) != 0;
+}
+
+void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
+                       std::vector<std::byte> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    if (severed(from, to)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  const LinkFaults& faults = plan_.for_link(from, to);
+  bool drop = false, dup = false;
+  double delay = 0, dup_delay = 0;
+  {
+    LinkState& ls = link(from, to);
+    std::lock_guard<std::mutex> lock(ls.mu);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    ++ls.frame_count;
+    if (faults.drop > 0) drop = uniform(ls.rng) < faults.drop;
+    if (faults.duplicate > 0 && uniform(ls.rng) < faults.duplicate) dup = true;
+    if (faults.duplicate_every > 0 &&
+        ls.frame_count % faults.duplicate_every == 0) {
+      dup = true;
+    }
+    if (faults.delay_max > 0) {
+      delay = faults.delay_min +
+              uniform(ls.rng) * (faults.delay_max - faults.delay_min);
+      dup_delay = faults.delay_min +
+                  uniform(ls.rng) * (faults.delay_max - faults.delay_min);
+    }
+  }
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (dup) {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::byte> copy = payload;
+    if (dup_delay > 0) {
+      enqueue_delayed({mono_seconds() + dup_delay, 0, from, to, kind,
+                       std::move(copy)});
+    } else {
+      inner_->send(from, to, kind, std::move(copy));
+    }
+  }
+  if (delay > 0) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_delayed(
+        {mono_seconds() + delay, 0, from, to, kind, std::move(payload)});
+    return;
+  }
+  inner_->send(from, to, kind, std::move(payload));
+}
+
+void ChaosFabric::enqueue_delayed(Delayed d) {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  if (timer_stop_) return;
+  d.order = delayed_order_++;
+  delayed_queue_.push(std::move(d));
+  timer_cv_.notify_all();
+}
+
+void ChaosFabric::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (delayed_queue_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const double now = mono_seconds();
+    if (delayed_queue_.top().due > now) {
+      timer_cv_.wait_for(lock, std::chrono::duration<double>(
+                                   delayed_queue_.top().due - now));
+      continue;
+    }
+    Delayed d = delayed_queue_.top();
+    delayed_queue_.pop();
+    lock.unlock();
+    bool cut;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      cut = down_ || severed(d.from, d.to);
+    }
+    if (cut) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        inner_->send(d.from, d.to, d.kind, std::move(d.payload));
+      } catch (const Error& e) {
+        DPS_WARN("chaos fabric: delayed delivery failed: " << e.what());
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ChaosFabric::kill_node(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  killed_.insert(node);
+  DPS_INFO("chaos fabric: node " << node << " killed");
+}
+
+void ChaosFabric::partition(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+void ChaosFabric::heal(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+void ChaosFabric::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    down_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+    timer_cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+  inner_->shutdown();
+}
+
+}  // namespace dps

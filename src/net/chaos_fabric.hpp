@@ -1,0 +1,123 @@
+// ChaosFabric: deterministic fault injection around any Fabric.
+//
+// Wraps an inner fabric (inproc, TCP, ...) and perturbs its traffic
+// according to a FaultPlan: per-link frame drop, duplication, delay-based
+// reorder, link partitions, and whole-node kill. Faults are decided by a
+// per-link PRNG seeded from the plan, so a failing run reproduces from its
+// seed. The reliable-delivery layer of the Controller
+// (docs/FAULT_TOLERANCE.md) is what makes split–merge calls survive these
+// faults; ChaosFabric is the adversary the tests exercise it against.
+//
+// Wall-clock only: delayed frames are re-sent by a timer thread, which
+// would freeze a SimDomain's virtual clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace dps {
+
+/// Fault parameters of one directed link (frames from -> to).
+struct LinkFaults {
+  double drop = 0;             ///< per-frame drop probability [0,1]
+  double duplicate = 0;        ///< per-frame duplication probability [0,1]
+  uint32_t duplicate_every = 0;  ///< deterministic: duplicate every Nth
+                                 ///< frame on the link (0 = off)
+  double delay_min = 0;        ///< delivery delay lower bound, seconds
+  double delay_max = 0;        ///< upper bound; > 0 causes reordering
+};
+
+/// Cluster-wide fault schedule. `all` applies to every link unless a
+/// per-link override is present in `links`.
+struct FaultPlan {
+  uint64_t seed = 0x5eed;
+  LinkFaults all;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> links;
+
+  const LinkFaults& for_link(NodeId from, NodeId to) const {
+    auto it = links.find({from, to});
+    return it == links.end() ? all : it->second;
+  }
+};
+
+class ChaosFabric : public Fabric {
+ public:
+  ChaosFabric(std::shared_ptr<Fabric> inner, FaultPlan plan);
+  ~ChaosFabric() override;
+
+  void attach(NodeId self, Handler handler) override;
+  void send(NodeId from, NodeId to, FrameKind kind,
+            std::vector<std::byte> payload) override;
+  void shutdown() override;
+  uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+  uint64_t messages_sent() const override { return inner_->messages_sent(); }
+
+  /// Node failure: every frame from or to `node` is dropped from now on.
+  /// The node's process state survives (this is a network death, like a
+  /// pulled cable); heartbeat detection declares it dead.
+  void kill_node(NodeId node);
+
+  /// Cuts both directions between a and b until heal() is called.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+
+  // Injection statistics, for test assertions.
+  uint64_t frames_dropped() const { return dropped_.load(); }
+  uint64_t frames_duplicated() const { return duplicated_.load(); }
+  uint64_t frames_delayed() const { return delayed_.load(); }
+
+ private:
+  struct LinkState {
+    std::mutex mu;
+    std::mt19937_64 rng;
+    uint64_t frame_count = 0;
+  };
+  struct Delayed {
+    double due;
+    uint64_t order;  // tie-break: preserves injection order at equal due
+    NodeId from, to;
+    FrameKind kind;
+    std::vector<std::byte> payload;
+    bool operator>(const Delayed& o) const {
+      return due != o.due ? due > o.due : order > o.order;
+    }
+  };
+
+  LinkState& link(NodeId from, NodeId to);
+  bool severed(NodeId from, NodeId to) const;  // caller holds mu_
+  void enqueue_delayed(Delayed d);
+  void timer_loop();
+
+  std::shared_ptr<Fabric> inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkState>> links_;
+  std::set<NodeId> killed_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized a < b
+  bool down_ = false;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<Delayed>>
+      delayed_queue_;
+  uint64_t delayed_order_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_;
+
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> delayed_{0};
+};
+
+}  // namespace dps

@@ -23,6 +23,12 @@ enum class FrameKind : uint16_t {
   kHello = 3,      ///< connection handshake: announces the sender's NodeId
   kShutdown = 4,   ///< orderly channel teardown
   kCallReply = 5,  ///< final token of a graph call returning to the caller
+  // Fault-tolerant delivery (docs/FAULT_TOLERANCE.md):
+  kReliable = 6,   ///< seq/ack-wrapped frame carrying one of the kinds above
+  kAck = 7,        ///< pure cumulative acknowledgement (u64 ack)
+  kHeartbeat = 8,  ///< liveness beacon, carries the link's cumulative ack
+  kPeerDown = 9,   ///< synthesized by a fabric: peer channel failed
+                   ///< (payload = human-readable reason)
 };
 
 struct Frame {

@@ -132,7 +132,7 @@ TcpListener TcpListener::bind(uint16_t port) {
 
 TcpConn TcpListener::accept() {
   for (;;) {
-    int fd = ::accept(fd_, nullptr, nullptr);
+    int fd = ::accept(fd_.load(), nullptr, nullptr);
     if (fd >= 0) {
       set_nodelay(fd);
       return TcpConn(fd);
@@ -144,11 +144,11 @@ TcpConn TcpListener::accept() {
 }
 
 void TcpListener::close() noexcept {
-  if (fd_ >= 0) {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() unblocks a thread parked in accept() on Linux.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -7,6 +7,7 @@
 // short reads/writes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -53,16 +54,15 @@ class TcpListener {
   TcpListener() = default;
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
-  TcpListener(TcpListener&& o) noexcept : fd_(o.fd_), port_(o.port_) {
-    o.fd_ = -1;
+  TcpListener(TcpListener&& o) noexcept
+      : fd_(o.fd_.exchange(-1)), port_(o.port_) {
     o.port_ = 0;
   }
   TcpListener& operator=(TcpListener&& o) noexcept {
     if (this != &o) {
       close();
-      fd_ = o.fd_;
+      fd_ = o.fd_.exchange(-1);
       port_ = o.port_;
-      o.fd_ = -1;
       o.port_ = 0;
     }
     return *this;
@@ -77,11 +77,13 @@ class TcpListener {
   TcpConn accept();
 
   uint16_t port() const noexcept { return port_; }
-  bool valid() const noexcept { return fd_ >= 0; }
+  bool valid() const noexcept { return fd_.load() >= 0; }
   void close() noexcept;
 
  private:
-  int fd_ = -1;
+  // Atomic: close() races with a thread parked in accept() by design
+  // (closing the fd is how that thread is unblocked for shutdown).
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 

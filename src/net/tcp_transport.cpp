@@ -1,5 +1,6 @@
 #include "net/tcp_transport.hpp"
 
+#include "serial/wire.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -28,6 +29,18 @@ void TcpFabric::attach(NodeId self, Handler handler) {
   nodes_[self]->handler = std::move(handler);
 }
 
+void TcpFabric::set_node_names(std::vector<std::string> names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  names_ = std::move(names);
+}
+
+std::string TcpFabric::node_label(NodeId node) const {
+  if (node < names_.size()) {
+    return "node '" + names_[node] + "' (id " + std::to_string(node) + ")";
+  }
+  return "node " + std::to_string(node);
+}
+
 uint16_t TcpFabric::port_of(NodeId node) const {
   DPS_CHECK(node < nodes_.size(), "port_of: node id out of range");
   return nodes_[node]->listener.port();
@@ -46,31 +59,54 @@ void TcpFabric::acceptor_loop(NodeId self) {
 }
 
 void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
+  Frame hello;
   try {
-    Frame hello;
     if (!read_frame(*conn, &hello) || hello.kind != FrameKind::kHello) {
       DPS_WARN("tcp fabric: connection without hello, dropping");
       return;
     }
-    const NodeId peer = hello.from;
-    Handler handler;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      handler = nodes_[self]->handler;
-    }
-    DPS_CHECK(static_cast<bool>(handler), "receiver started before attach");
+  } catch (const Error&) {
+    DPS_WARN("tcp fabric: connection torn during hello, dropping");
+    return;
+  }
+  const NodeId peer = hello.from;
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = nodes_[self]->handler;
+  }
+  DPS_CHECK(static_cast<bool>(handler), "receiver started before attach");
+
+  // A healthy peer ends the stream with an explicit kShutdown frame. EOF
+  // without it — at a frame boundary or mid-frame — means the peer died or
+  // the connection broke: surface it instead of going quiet.
+  std::string torn;
+  try {
     Frame f;
-    while (read_frame(*conn, &f)) {
-      if (f.kind == FrameKind::kShutdown) return;
+    for (;;) {
+      if (!read_frame(*conn, &f)) {
+        torn = "connection closed without shutdown frame";
+        break;
+      }
+      if (f.kind == FrameKind::kShutdown) return;  // clean close
       handler(NodeMessage{peer, f.kind, std::move(f.payload)});
     }
   } catch (const Error& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!down_) {
-      DPS_WARN("tcp fabric: receiver for node " << self
-                                                << " ended: " << e.what());
-    }
+    torn = e.what();  // partial frame, bad magic, socket error
   }
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;  // our own shutdown raced the read: not an error
+    reason = to_string(Errc::kProtocol) + std::string(": torn stream from ") +
+             node_label(peer) + " to " + node_label(self) + ": " + torn;
+  }
+  DPS_ERROR("tcp fabric: " << reason);
+  // Hand the failure to the node's controller as a peer-down report so the
+  // engine can fail calls / trigger recovery rather than hang.
+  Writer w;
+  w.put_string(reason);
+  handler(NodeMessage{peer, FrameKind::kPeerDown, w.take()});
 }
 
 TcpFabric::OutConn& TcpFabric::out_conn(NodeId from, NodeId to) {
@@ -104,9 +140,13 @@ void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
   f.kind = kind;
   f.from = from;
   f.payload = std::move(payload);
+  std::lock_guard<std::mutex> lock(oc.mu);
+  // Checked under oc.mu: a send either fully precedes the shutdown frame on
+  // this connection or observes `closed` — it can never interleave bytes
+  // with the close or write into a closed socket.
+  if (oc.closed) raise(Errc::kNetwork, "fabric is shut down");
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(oc.mu);
   write_frame(oc.conn, f);
 }
 
@@ -118,14 +158,27 @@ void TcpFabric::shutdown() {
     down_ = true;
     receivers.swap(receivers_);
   }
-  for (auto& node : nodes_) node->listener.close();
   {
+    // Announce the close on every open connection so peers can tell this
+    // planned shutdown from a torn stream, then close under the same lock
+    // that serializes senders.
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [key, oc] : out_) {
       std::lock_guard<std::mutex> cl(oc->mu);
-      oc->conn.close();  // unblocks the peer's receiver with EOF/error
+      if (oc->closed) continue;
+      Frame bye;
+      bye.kind = FrameKind::kShutdown;
+      bye.from = key.first;
+      try {
+        write_frame(oc->conn, bye);
+      } catch (const Error&) {
+        // peer already gone; its receiver reported the torn stream
+      }
+      oc->closed = true;
+      oc->conn.close();  // unblocks the peer's receiver
     }
   }
+  for (auto& node : nodes_) node->listener.close();
   for (auto& node : nodes_) {
     if (node->acceptor.joinable()) node->acceptor.join();
   }

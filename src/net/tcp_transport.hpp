@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,6 +37,10 @@ class TcpFabric : public Fabric {
   /// Listening port of a node (exposed for tests).
   uint16_t port_of(NodeId node) const;
 
+  /// Human-readable node names for error reports ("torn connection from
+  /// node 'alpha'"); set by the cluster, optional.
+  void set_node_names(std::vector<std::string> names);
+
  private:
   struct NodeEnd {
     TcpListener listener;
@@ -45,13 +50,16 @@ class TcpFabric : public Fabric {
   struct OutConn {
     std::mutex mu;  // serializes writers from one node to one peer
     TcpConn conn;
+    bool closed = false;  // guarded by mu: set by shutdown, checked by send
   };
 
   void acceptor_loop(NodeId self);
   void receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn);
   OutConn& out_conn(NodeId from, NodeId to);
+  std::string node_label(NodeId node) const;  // caller holds mu_
 
   mutable std::mutex mu_;
+  std::vector<std::string> names_;  // empty until set_node_names
   std::vector<std::unique_ptr<NodeEnd>> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<OutConn>> out_;
   std::vector<std::thread> receivers_;

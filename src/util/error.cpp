@@ -15,6 +15,7 @@ const char* to_string(Errc code) noexcept {
     case Errc::kNetwork: return "network";
     case Errc::kState: return "state";
     case Errc::kDeadlock: return "deadlock";
+    case Errc::kNodeDown: return "node_down";
   }
   return "unknown";
 }

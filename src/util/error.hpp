@@ -22,6 +22,7 @@ enum class Errc {
   kNetwork,           ///< socket-level failure
   kState,             ///< operation invalid in the current state
   kDeadlock,          ///< watchdog detected a self-deadlocked mapping
+  kNodeDown,          ///< a cluster node was declared failed mid-run
 };
 
 /// Human-readable name of an error class ("type_mismatch", ...).

@@ -5,6 +5,15 @@
 
 namespace dps {
 
+/// Monotonic seconds since an arbitrary epoch. Shared clock of the
+/// fault-tolerance layer (retransmit timers, heartbeat deadlines), which
+/// runs on wall time regardless of the cluster's ExecDomain.
+inline double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

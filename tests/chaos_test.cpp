@@ -1,0 +1,276 @@
+// Fault-tolerance tests (docs/FAULT_TOLERANCE.md): schedules running over a
+// ChaosFabric that drops, duplicates, delays and severs traffic must produce
+// results byte-identical to a clean run — and a node killed mid-call must
+// surface as Error(kNodeDown) followed by checkpoint-based recovery, never a
+// hang. All fault decisions are seed-pinned for reproducibility.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "apps/life.hpp"
+#include "core/checkpoint.hpp"
+#include "net/chaos_fabric.hpp"
+#include "net/framing.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "serial/wire.hpp"
+#include "tests/toupper_app.hpp"
+
+namespace dps {
+namespace {
+
+using apps::LifeApp;
+using dps_tutorial::build_toupper_graph;
+using dps_tutorial::StringToken;
+
+constexpr const char* kPhrase =
+    "the quick brown fox jumps over the lazy dog 0123456789";
+constexpr const char* kPhraseUpper =
+    "THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG 0123456789";
+
+ClusterConfig chaos_config(int nodes, const FaultPlan& plan,
+                           std::shared_ptr<ChaosFabric>* out = nullptr) {
+  ClusterConfig cfg = ClusterConfig::inproc(nodes);
+  auto chaos = std::make_shared<ChaosFabric>(
+      std::make_shared<InprocFabric>(static_cast<size_t>(nodes)), plan);
+  if (out != nullptr) *out = chaos;
+  cfg.external_fabric = chaos;
+  cfg.fault.reliable = true;
+  return cfg;
+}
+
+std::string run_toupper(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  Application app(cluster, "toupper");
+  auto graph = build_toupper_graph(app, 4);
+  ActorScope scope(cluster.domain(), "main");
+  auto result = token_cast<StringToken>(graph->call(new StringToken(kPhrase)));
+  return std::string(result->str, static_cast<size_t>(result->len));
+}
+
+TEST(Chaos, ToupperSurvivesDropSweep) {
+  for (double drop : {0.0, 0.01, 0.10}) {
+    FaultPlan plan;
+    plan.seed = 0xd20b + static_cast<uint64_t>(drop * 100);
+    plan.all.drop = drop;
+    EXPECT_EQ(run_toupper(chaos_config(3, plan)), kPhraseUpper)
+        << "drop rate " << drop;
+  }
+}
+
+TEST(Chaos, ExactlyOnceUnderDuplication) {
+  FaultPlan plan;
+  plan.seed = 0xd0b1e;
+  plan.all.duplicate = 0.10;
+  plan.all.duplicate_every = 3;
+  plan.all.drop = 0.02;
+  std::shared_ptr<ChaosFabric> chaos;
+  const ClusterConfig cfg = chaos_config(3, plan, &chaos);
+  {
+    Cluster cluster(cfg);
+    Application app(cluster, "toupper");
+    auto graph = build_toupper_graph(app, 4);
+    ActorScope scope(cluster.domain(), "main");
+    auto result =
+        token_cast<StringToken>(graph->call(new StringToken(kPhrase)));
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              kPhraseUpper);
+    uint64_t suppressed = 0;
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      suppressed += cluster.controller(n).duplicates_suppressed();
+    }
+    EXPECT_GT(chaos->frames_duplicated(), 0u);
+    EXPECT_GT(suppressed, 0u)
+        << "injected duplicates must be caught by the receive filter";
+  }
+}
+
+TEST(Chaos, ToupperSurvivesReorderingDelays) {
+  FaultPlan plan;
+  plan.seed = 0x0d3;
+  plan.all.delay_min = 0.0;
+  plan.all.delay_max = 0.002;  // 0–2 ms random per frame: heavy reordering
+  std::shared_ptr<ChaosFabric> chaos;
+  const ClusterConfig cfg = chaos_config(3, plan, &chaos);
+  EXPECT_EQ(run_toupper(cfg), kPhraseUpper);
+  EXPECT_GT(chaos->frames_delayed(), 0u);
+}
+
+// The acceptance scenario: a multi-iteration split–merge schedule under 10%
+// drop plus one duplicate every 50 frames is byte-identical to a fault-free
+// run.
+TEST(Chaos, LifeByteIdenticalUnderDropAndDuplication) {
+  life::Band world(24, 16);
+  world.seed_random(7);
+
+  FaultPlan plan;
+  plan.seed = 0x11fe;
+  plan.all.drop = 0.10;
+  plan.all.duplicate_every = 50;
+  std::shared_ptr<ChaosFabric> chaos;
+  Cluster cluster(chaos_config(2, plan, &chaos));
+  LifeApp app(cluster, 4);
+  ActorScope scope(cluster.domain(), "main");
+  app.scatter(world);
+  for (int i = 0; i < 3; ++i) app.iterate(i % 2 == 0);
+  EXPECT_EQ(app.gather(), life::step_world(world, 3));
+  EXPECT_GT(chaos->frames_dropped(), 0u)
+      << "the sweep must actually have exercised loss";
+}
+
+// Same seed, same traffic => same fault decisions; the chaos layer itself is
+// deterministic so failing runs replay from their seed.
+TEST(Chaos, FaultDecisionsAreSeedPinned) {
+  class RecordingFabric : public Fabric {
+   public:
+    void attach(NodeId, Handler) override {}
+    void send(NodeId, NodeId, FrameKind, std::vector<std::byte>) override {
+      ++delivered;
+    }
+    void shutdown() override {}
+    uint64_t bytes_sent() const override { return 0; }
+    uint64_t messages_sent() const override { return delivered; }
+    uint64_t delivered = 0;
+  };
+
+  auto pattern = [](uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.all.drop = 0.5;
+    plan.all.duplicate = 0.2;
+    auto inner = std::make_shared<RecordingFabric>();
+    ChaosFabric chaos(inner, plan);
+    std::vector<uint8_t> delivered;
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t before = inner->delivered;
+      chaos.send(0, 1, FrameKind::kEnvelope, {});
+      delivered.push_back(static_cast<uint8_t>(inner->delivered - before));
+    }
+    chaos.shutdown();
+    return delivered;
+  };
+
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));
+}
+
+// Acceptance scenario: one node dies mid-call. The in-flight graph call must
+// fail with Error(kNodeDown) — not hang — and a fresh cluster built from
+// degraded_config() + recover_cluster() finishes the computation with the
+// exact result of an uninterrupted run.
+TEST(Chaos, NodeKillFailsCallThenCheckpointRecoveryCompletes) {
+  life::Band world(20, 16);
+  world.seed_random(99);
+  std::vector<std::byte> image;
+  ClusterConfig degraded;
+
+  {
+    FaultPlan plan;  // clean links; the only fault is the kill below
+    std::shared_ptr<ChaosFabric> chaos;
+    ClusterConfig cfg = chaos_config(3, plan, &chaos);
+    cfg.fault.heartbeat = true;
+    cfg.fault.heartbeat_period = 0.01;
+    cfg.fault.heartbeat_miss = 3;
+    Cluster cluster(cfg);
+    LifeApp app(cluster, 3);
+    ActorScope scope(cluster.domain(), "main");
+    app.scatter(world);
+    app.iterate(true);
+    app.iterate(false);
+    image = checkpoint_cluster(cluster);  // quiescent between calls
+
+    chaos->kill_node(2);  // pulled cable: process survives, network dead
+    try {
+      app.iterate(true);
+      FAIL() << "iterate over a dead node must fail, not hang";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kNodeDown) << e.what();
+    }
+    // Heartbeat adjudication must blame exactly the killed node.
+    EXPECT_EQ(cluster.dead_nodes(), std::vector<NodeId>{2});
+    EXPECT_TRUE(cluster.node_down(2));
+    EXPECT_FALSE(cluster.node_down(0));
+    degraded = degraded_config(cluster);
+  }  // the failed cluster (and its chaos fabric) is destroyed
+
+  ASSERT_EQ(degraded.nodes.size(), 2u);
+  EXPECT_EQ(degraded.nodes, (std::vector<std::string>{"node0", "node1"}));
+
+  // Recovery: same collections on the surviving nodes, state rolled back to
+  // the checkpoint, interrupted call simply re-issued.
+  Cluster fresh(degraded);
+  LifeApp app(fresh, 3);
+  ActorScope scope(fresh.domain(), "main");
+  app.scatter(life::Band(20, 16));  // placeholder state, then roll in
+  recover_cluster(fresh, image);
+  app.iterate(true);  // the re-issued interrupted iteration
+  app.iterate(false);
+  EXPECT_EQ(app.gather(), life::step_world(world, 4))
+      << "recovered run must match an uninterrupted one";
+}
+
+// Satellite: a TCP peer that vanishes without a shutdown frame must be
+// surfaced as a named protocol error through a kPeerDown report — silence
+// (the old behavior) turns one lost node into a cluster-wide hang.
+TEST(Chaos, TcpTornStreamSurfacesProtocolErrorNamingTheNode) {
+  TcpFabric fabric(2);
+  fabric.set_node_names({"alpha", "bravo"});
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<NodeMessage> received;
+  fabric.attach(0, [&](NodeMessage&& m) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(std::move(m));
+    cv.notify_all();
+  });
+  fabric.attach(1, [](NodeMessage&&) {});
+
+  {
+    // Pose as node 1, then die mid-frame: header promises 64 payload bytes,
+    // only 8 arrive before the connection closes.
+    TcpConn conn = TcpConn::connect("127.0.0.1", fabric.port_of(0));
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.from = 1;
+    write_frame(conn, hello);
+    Writer w;
+    w.put<uint32_t>(kFrameMagic);
+    w.put<uint16_t>(static_cast<uint16_t>(FrameKind::kEnvelope));
+    w.put<uint16_t>(0);                       // reserved
+    w.put<uint32_t>(1);                       // from
+    w.put<uint32_t>(64);                      // promised payload length
+    const char junk[8] = {};
+    w.put_raw(junk, sizeof(junk));            // ...but deliver only 8 bytes
+    conn.send_all(w.bytes().data(), w.size());
+  }  // close
+
+  std::unique_lock<std::mutex> lock(mu);
+  const bool got = cv.wait_for(lock, std::chrono::seconds(5),
+                               [&] { return !received.empty(); });
+  ASSERT_TRUE(got) << "torn stream must be reported, not swallowed";
+  EXPECT_EQ(received[0].kind, FrameKind::kPeerDown);
+  EXPECT_EQ(received[0].from, 1u);
+  Reader r(received[0].payload.data(), received[0].payload.size());
+  const std::string reason = r.get_string();
+  EXPECT_NE(reason.find(to_string(Errc::kProtocol)), std::string::npos)
+      << reason;
+  EXPECT_NE(reason.find("bravo"), std::string::npos)
+      << "the offending node must be named: " << reason;
+  fabric.shutdown();
+}
+
+// Reliable delivery and heartbeats are wall-clock mechanisms; under virtual
+// time they must disarm rather than freeze the simulation.
+TEST(Chaos, FaultToleranceDisarmsUnderVirtualTime) {
+  ClusterConfig cfg = ClusterConfig::simulated(2);
+  cfg.fault.reliable = true;
+  cfg.fault.heartbeat = true;
+  Cluster cluster(cfg);
+  EXPECT_FALSE(cluster.fault_tolerant());
+  EXPECT_TRUE(cluster.dead_nodes().empty());
+}
+
+}  // namespace
+}  // namespace dps

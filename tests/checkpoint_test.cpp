@@ -59,6 +59,48 @@ TEST(Checkpoint, ResumeInFreshClusterWithDifferentMapping) {
   EXPECT_EQ(app.gather(), life::step_world(world, 5));
 }
 
+// The graceful-degradation pipeline without a fault injector: checkpoint,
+// operator-declared node death, remap onto the survivors, restore, resume.
+TEST(Checkpoint, KillRemapRestoreIntoDegradedCluster) {
+  std::vector<std::byte> image;
+  ClusterConfig degraded;
+  life::Band world = seeded_world(16, 12);
+  {
+    Cluster cluster(ClusterConfig::inproc(3));
+    LifeApp app(cluster, 3);
+    ActorScope scope(cluster.domain(), "main");
+    app.scatter(world);
+    app.iterate(false);
+    image = checkpoint_cluster(cluster);
+
+    cluster.mark_node_down(1, "operator kill (test)");
+    EXPECT_TRUE(cluster.node_down(1));
+    // A failed cluster rejects new calls instead of stalling on the dead
+    // node's threads.
+    try {
+      app.iterate(true);
+      FAIL() << "calls on a degraded cluster must fail fast";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kNodeDown);
+    }
+    degraded = degraded_config(cluster);
+  }
+  EXPECT_EQ(degraded.nodes, (std::vector<std::string>{"node0", "node2"}));
+
+  Cluster fresh(degraded);
+  LifeApp app(fresh, 3);
+  ActorScope scope(fresh.domain(), "main");
+  app.scatter(life::Band(16, 12));  // placeholder state, then roll in
+  recover_cluster(fresh, image);
+  for (int i = 0; i < 2; ++i) app.iterate(i == 0);
+  EXPECT_EQ(app.gather(), life::step_world(world, 3));
+}
+
+TEST(Checkpoint, DegradedConfigRequiresADeadNode) {
+  Cluster cluster(ClusterConfig::inproc(2));
+  EXPECT_THROW(degraded_config(cluster), Error);
+}
+
 TEST(Checkpoint, ImageRoundTripsThroughBytes) {
   Cluster cluster(ClusterConfig::inproc(1));
   LifeApp app(cluster, 2);
