@@ -4,13 +4,22 @@
 // individual characters, routing them round-robin over a thread collection
 // spread across the cluster, and merging them back in order.
 //
-// Usage: quickstart [nodes] [text...]
+// Usage: quickstart [--trace out.json] [nodes] [text...]
+//
+// With --trace (and a build configured with -DDPS_TRACE=ON, e.g. the
+// `trace` CMake preset) the run is recorded by the flight recorder and
+// written as Chrome tracing JSON: open chrome://tracing or
+// https://ui.perfetto.dev and load the file to see the split, the
+// round-robin leaf executions, and the collecting merge overlap in time.
 #include <cctype>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "core/application.hpp"
 #include "core/controller.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_format.hpp"
 #include "util/mapping.hpp"
 
 using namespace dps;
@@ -100,12 +109,25 @@ class MergeString
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int nodes = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+  std::string trace_path;
+  int arg = 1;
+  if (arg + 1 < argc && std::strcmp(argv[arg], "--trace") == 0) {
+    trace_path = argv[arg + 1];
+    arg += 2;
+    if (!dps::obs::kTraceCompiled) {
+      std::cerr << "warning: built without DPS_TRACE; the trace will only "
+                   "contain events from always-on sites (configure with the "
+                   "`trace` preset for full instrumentation)\n";
+    }
+    dps::obs::Trace::instance().configure(
+        {/*enabled=*/true, /*sample_every=*/1, /*buffer_capacity=*/1u << 16});
+  }
+  const int nodes = argc > arg ? std::max(1, std::atoi(argv[arg])) : 3;
   std::string text = "hello, dynamic parallel schedules!";
-  if (argc > 2) {
+  if (argc > arg + 1) {
     text.clear();
-    for (int i = 2; i < argc; ++i) {
-      if (i > 2) text += ' ';
+    for (int i = arg + 1; i < argc; ++i) {
+      if (i > arg + 1) text += ' ';
       text += argv[i];
     }
   }
@@ -145,5 +167,18 @@ int main(int argc, char** argv) {
   std::cout << "(" << nodes << " nodes, " << nodes * 2
             << " compute threads, " << cluster.fabric().messages_sent()
             << " inter-node messages)\n";
+
+  if (!trace_path.empty()) {
+    auto events = dps::obs::Trace::instance().collect();
+    dps::obs::Trace::instance().set_enabled(false);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    dps::obs::write_chrome_trace(out, events);
+    std::cout << "trace : " << events.size() << " events -> " << trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
   return 0;
 }

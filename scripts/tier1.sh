@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrency-heavy
 # net/core subset rebuilt and re-run under ThreadSanitizer (the tsan test
-# preset selects that subset; see CMakePresets.json).
+# preset selects that subset; see CMakePresets.json), then the observability
+# subset rebuilt with the flight recorder compiled in (DPS_TRACE=ON) so the
+# trace-driven assertions — pipeline overlap, retransmit accounting — run
+# instead of skipping.
 #
 # Usage: scripts/tier1.sh            # everything
-#        DPS_SKIP_TSAN=1 scripts/tier1.sh   # plain build+test only
+#        DPS_SKIP_TSAN=1 scripts/tier1.sh    # skip the TSan stage
+#        DPS_SKIP_TRACE=1 scripts/tier1.sh   # skip the DPS_TRACE=ON stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -17,4 +21,10 @@ if [ "${DPS_SKIP_TSAN:-0}" != "1" ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS"
   ctest --preset tsan -j "$JOBS"
+fi
+
+if [ "${DPS_SKIP_TRACE:-0}" != "1" ]; then
+  cmake --preset trace
+  cmake --build --preset trace -j "$JOBS"
+  ctest --preset trace -j "$JOBS"
 fi

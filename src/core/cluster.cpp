@@ -12,6 +12,10 @@
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
+#ifdef DPS_TRACE
+#include "obs/trace.hpp"
+#endif
+
 namespace dps {
 
 namespace {
@@ -217,6 +221,10 @@ void Cluster::mark_node_down(NodeId node, const std::string& reason) {
     if (down_ || !dead_.insert(node).second) return;
   }
   DPS_WARN("node '" << node_name(node) << "' declared down: " << reason);
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(obs::EventKind::kNodeDown, node, node, 0, 0,
+                                0);
+#endif
   for (NodeId i = 0; i < controllers_.size(); ++i) {
     if (is_local(i)) controllers_[i]->on_node_down(node);
   }

@@ -11,6 +11,11 @@
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
+#ifdef DPS_TRACE
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#endif
+
 namespace dps {
 
 namespace {
@@ -110,6 +115,21 @@ class Controller::ExecCtx : public detail::OpServices {
   void run() {
     const Flowgraph::Vertex& v = graph_.vertex(vertex_);
     kind_ = v.kind;
+#ifdef DPS_TRACE
+    // Identity fields for kOpStart/kOpEnd pairing (obs::TraceQuery keys
+    // intervals on thread/vertex/context/seq).
+    const bool t_on = obs::tracing_active();
+    uint64_t t_ctx = 0, t_seq = 0, t_begin = 0;
+    if (t_on) {
+      t_ctx = env_.frames.empty() ? 0 : env_.frames.back().context;
+      t_seq = env_.frames.empty() ? 0 : env_.frames.back().seq;
+      t_begin = obs::trace_clock_ns();
+      obs::Trace::instance().record(obs::EventKind::kOpStart,
+                                    controller_.self(), vertex_,
+                                    static_cast<uint64_t>(kind_), t_ctx,
+                                    t_seq);
+    }
+#endif
     std::unique_ptr<Operation> op(v.op->create());
     op->services_ = this;
 
@@ -194,6 +214,13 @@ class Controller::ExecCtx : public detail::OpServices {
       held_.reset();
       send_now(std::move(last));
       controller_.finish_flow_account(split_ctx_);
+#ifdef DPS_TRACE
+      if (t_on) {
+        static obs::Histogram& fanout =
+            obs::Metrics::instance().histogram("dps.split.fanout");
+        fanout.observe(posted_);
+      }
+#endif
     }
     if (kind_ == OpKind::kLeaf && posted_ != 1) {
       raise(Errc::kState, "leaf operation must post exactly one token, got " +
@@ -203,6 +230,17 @@ class Controller::ExecCtx : public detail::OpServices {
       raise(Errc::kState, "merge operation must post exactly one token, got " +
                               std::to_string(posted_));
     }
+#ifdef DPS_TRACE
+    if (t_on) {
+      obs::Trace::instance().record(obs::EventKind::kOpEnd,
+                                    controller_.self(), vertex_,
+                                    static_cast<uint64_t>(kind_), t_ctx,
+                                    t_seq);
+      static obs::Histogram& op_latency =
+          obs::Metrics::instance().histogram("dps.op.latency_ns");
+      op_latency.observe(obs::trace_clock_ns() - t_begin);
+    }
+#endif
   }
 
   // --- OpServices -----------------------------------------------------------
@@ -283,6 +321,9 @@ class Controller::ExecCtx : public detail::OpServices {
     for (;;) {
       Envelope env2;
       bool matched = false;
+#ifdef DPS_TRACE
+      uint64_t t_depth = 0;
+#endif
       {
         std::unique_lock<std::mutex> lock(worker_.mu);
         size_t match_pos = 0, other_pos = 0;
@@ -305,7 +346,15 @@ class Controller::ExecCtx : public detail::OpServices {
         if (worker_.depth_slot != nullptr) {
           worker_.depth_slot->fetch_sub(1, std::memory_order_relaxed);
         }
+#ifdef DPS_TRACE
+        t_depth = worker_.queue.size();
+#endif
       }
+#ifdef DPS_TRACE
+      obs::Trace::instance().record(obs::EventKind::kDequeue,
+                                    controller_.self(), env2.vertex,
+                                    worker_.collection, worker_.index, t_depth);
+#endif
       if (matched) {
         const SplitFrame f = env2.frames.back();
         ++received_;
@@ -475,10 +524,18 @@ Controller::Worker& Controller::worker(CollectionId collection,
 void Controller::worker_loop(Worker& w) {
   ExecDomain& domain = cluster_.domain();
   domain.actor_started(w.label.c_str());
+#ifdef DPS_TRACE
+  if (obs::Trace::instance().enabled()) {
+    obs::Trace::instance().set_thread_name(w.label);
+  }
+#endif
   // Under virtual time, this DPS thread competes for its node's CPUs.
   domain.bind_cpu(static_cast<int>(self_));
   for (;;) {
     Envelope env;
+#ifdef DPS_TRACE
+    uint64_t t_depth = 0;
+#endif
     {
       std::unique_lock<std::mutex> lock(w.mu);
       try {
@@ -493,7 +550,14 @@ void Controller::worker_loop(Worker& w) {
       if (w.depth_slot != nullptr) {
         w.depth_slot->fetch_sub(1, std::memory_order_relaxed);
       }
+#ifdef DPS_TRACE
+      t_depth = w.queue.size();
+#endif
     }
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kDequeue, self_, env.vertex,
+                                  w.collection, w.index, t_depth);
+#endif
     try {
       dispatch(w, std::move(env));
     } catch (const Error& e) {
@@ -515,6 +579,13 @@ void Controller::worker_loop(Worker& w) {
 
 void Controller::dispatch(Worker& w, Envelope env) {
   dispatched_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+  if (obs::tracing_active()) {
+    static obs::Counter& tokens =
+        obs::Metrics::instance().counter("dps.tokens.dispatched");
+    tokens.inc();
+  }
+#endif
   Application* app = cluster_.app(env.app);
   std::shared_ptr<Flowgraph> graph = app->graph(env.graph);
   DPS_CHECK(graph != nullptr, "envelope names an unknown graph");
@@ -655,11 +726,29 @@ void Controller::send(Envelope env) {
 
 void Controller::deliver_local(Envelope env) {
   Worker& w = worker(env.collection, env.thread);
+#ifdef DPS_TRACE
+  const bool t_on = obs::tracing_active();
+  const uint64_t t_vertex = env.vertex;
+  const uint64_t t_coll = env.collection;
+  const uint64_t t_thread = env.thread;
+  uint64_t t_depth = 0;
+#endif
   std::lock_guard<std::mutex> lock(w.mu);
   w.queue.push_back(std::move(env));
   if (w.depth_slot != nullptr) {
     w.depth_slot->fetch_add(1, std::memory_order_relaxed);
   }
+#ifdef DPS_TRACE
+  if (t_on) {
+    t_depth = w.queue.size();
+    obs::Trace::instance().record(obs::EventKind::kEnqueue, self_, t_vertex,
+                                  t_coll, t_thread, t_depth);
+    static obs::Gauge& depth_gauge =
+        obs::Metrics::instance().gauge("dps.queue.depth");
+    depth_gauge.set(static_cast<int64_t>(t_depth));
+    depth_gauge.update_max(static_cast<int64_t>(t_depth));
+  }
+#endif
   cluster_.domain().notify_all(w.wp);
 }
 
@@ -704,6 +793,17 @@ void Controller::on_fabric(NodeMessage&& msg) {
       break;
     }
     default:
+#ifdef DPS_TRACE
+      if (obs::tracing_active()) {
+        obs::Trace::instance().record(obs::EventKind::kFabricRecv, self_,
+                                      msg.from,
+                                      static_cast<uint64_t>(msg.kind), 0,
+                                      msg.payload.size());
+        static obs::Counter& received_raw =
+            obs::Metrics::instance().counter("dps.fabric.frames_received");
+        received_raw.inc();
+      }
+#endif
       handle_frame(msg.kind, msg.from, msg.payload.data(),
                    msg.payload.size());
   }
@@ -764,6 +864,10 @@ void Controller::flow_acquire(ContextId ctx) {
     raise(Errc::kState, "shutdown while waiting for flow-control window");
   }
   ++acc->in_flight;
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(obs::EventKind::kFlowAcquire, self_, ctx, 0, 0,
+                                acc->in_flight);
+#endif
 }
 
 void Controller::finish_flow_account(ContextId ctx) {
@@ -788,6 +892,10 @@ void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
     std::lock_guard<std::mutex> al(it->second->mu);
     FlowAccount& acc = *it->second;
     acc.in_flight = (acc.in_flight >= n) ? acc.in_flight - n : 0;
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kFlowRelease, self_, ctx, 0,
+                                  n, acc.in_flight);
+#endif
     cluster_.domain().notify_all(acc.wp);
     drained = acc.finished && acc.in_flight == 0;
   }
@@ -835,16 +943,33 @@ Controller::ReliableLink& Controller::rlink_locked(NodeId peer) {
 void Controller::fabric_send(NodeId target, FrameKind kind,
                              std::vector<std::byte> payload) {
   if (!reliable_) {
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kFabricSend, self_,
+                                    target, static_cast<uint64_t>(kind), 0,
+                                    payload.size());
+      static obs::Counter& sent_raw =
+          obs::Metrics::instance().counter("dps.fabric.frames_sent");
+      sent_raw.inc();
+    }
+#endif
     cluster_.fabric().send(self_, target, kind, std::move(payload));
     return;
   }
   const FaultToleranceConfig& ft = cluster_.config().fault;
   Writer w;
+#ifdef DPS_TRACE
+  uint64_t t_seq = 0;
+  const uint64_t t_size = payload.size();
+#endif
   {
     std::lock_guard<std::mutex> lock(rel_mu_);
     ReliableLink& l = rlink_locked(target);
     if (l.dead) return;  // peer declared down: the link is a black hole
     const uint64_t seq = l.next_seq++;
+#ifdef DPS_TRACE
+    t_seq = seq;
+#endif
     w.put<uint64_t>(seq);
     w.put<uint64_t>(l.rx_contig);  // piggybacked cumulative ack
     w.put<uint16_t>(static_cast<uint16_t>(kind));
@@ -858,6 +983,15 @@ void Controller::fabric_send(NodeId target, FrameKind kind,
     p.next_due = mono_seconds() + p.rto;
     l.unacked.emplace(seq, std::move(p));
   }
+#ifdef DPS_TRACE
+  if (obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kFabricSend, self_, target,
+                                  static_cast<uint64_t>(kind), t_seq, t_size);
+    static obs::Counter& sent =
+        obs::Metrics::instance().counter("dps.fabric.frames_sent");
+    sent.inc();
+  }
+#endif
   try {
     cluster_.fabric().send(self_, target, FrameKind::kReliable, w.take());
   } catch (const Error& e) {
@@ -888,6 +1022,16 @@ void Controller::handle_reliable(NodeMessage&& msg) {
       // Duplicate (retransmission that crossed our ack, or an injected
       // copy): suppress, but re-ack immediately so the sender stops.
       dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+      if (obs::tracing_active()) {
+        obs::Trace::instance().record(obs::EventKind::kDupSuppressed, self_,
+                                      msg.from, static_cast<uint64_t>(inner),
+                                      seq, 0);
+        static obs::Counter& dups =
+            obs::Metrics::instance().counter("dps.fabric.dup_suppressed");
+        dups.inc();
+      }
+#endif
       ack_now = true;
       ack_val = l.rx_contig;
       l.acked_sent = std::max(l.acked_sent, l.rx_contig);
@@ -906,6 +1050,10 @@ void Controller::handle_reliable(NodeMessage&& msg) {
   if (ack_now) {
     Writer w;
     w.put<uint64_t>(ack_val);
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kAckSend, self_, msg.from, 0,
+                                  ack_val, 0);
+#endif
     try {
       cluster_.fabric().send(self_, msg.from, FrameKind::kAck, w.take());
     } catch (const Error&) {
@@ -913,6 +1061,16 @@ void Controller::handle_reliable(NodeMessage&& msg) {
     }
   }
   if (deliver) {
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kFabricRecv, self_,
+                                    msg.from, static_cast<uint64_t>(inner),
+                                    seq, msg.payload.size() - header);
+      static obs::Counter& received =
+          obs::Metrics::instance().counter("dps.fabric.frames_received");
+      received.inc();
+    }
+#endif
     // Frames are self-contained engine messages: out-of-order delivery is
     // harmless (merge contexts collect by SplitFrame, not arrival order),
     // so deliver immediately instead of buffering behind the gap.
@@ -922,6 +1080,10 @@ void Controller::handle_reliable(NodeMessage&& msg) {
 }
 
 void Controller::handle_ack(NodeId from, uint64_t ack) {
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(obs::EventKind::kAckRecv, self_, from, 0, ack,
+                                0);
+#endif
   std::lock_guard<std::mutex> lock(rel_mu_);
   ReliableLink& l = rlink_locked(from);
   l.last_heard = mono_seconds();
@@ -945,6 +1107,10 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
       if (l.ack_pending && l.rx_contig > l.acked_sent) {
         Writer w;
         w.put<uint64_t>(l.rx_contig);
+#ifdef DPS_TRACE
+        obs::Trace::instance().record(obs::EventKind::kAckSend, self_, peer, 0,
+                                      l.rx_contig, 0);
+#endif
         outs.push_back({peer, FrameKind::kAck, w.take()});
         l.acked_sent = l.rx_contig;
         l.ack_pending = false;
@@ -969,6 +1135,17 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
         l.acked_sent = std::max(l.acked_sent, l.rx_contig);
         outs.push_back({peer, FrameKind::kReliable, w.take()});
         retransmissions_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+        if (obs::tracing_active()) {
+          obs::Trace::instance().record(obs::EventKind::kRetransmit, self_,
+                                        peer, static_cast<uint64_t>(p.kind),
+                                        seq,
+                                        static_cast<uint64_t>(p.retries));
+          static obs::Counter& rtx =
+              obs::Metrics::instance().counter("dps.fabric.retransmits");
+          rtx.inc();
+        }
+#endif
       }
     }
   }
@@ -999,6 +1176,10 @@ void Controller::send_heartbeats(double now) {
       w.put<uint64_t>(l.rx_contig);  // heartbeats double as ack carriers
       l.acked_sent = std::max(l.acked_sent, l.rx_contig);
       l.ack_pending = false;
+#ifdef DPS_TRACE
+      obs::Trace::instance().record(obs::EventKind::kHeartbeat, self_, peer, 0,
+                                    l.rx_contig, 0);
+#endif
       outs.push_back({peer, w.take()});
     }
   }

@@ -4,6 +4,10 @@
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
+#ifdef DPS_TRACE
+#include "obs/trace.hpp"
+#endif
+
 namespace dps {
 
 ChaosFabric::ChaosFabric(std::shared_ptr<Fabric> inner, FaultPlan plan)
@@ -33,6 +37,20 @@ ChaosFabric::LinkState& ChaosFabric::link(NodeId from, NodeId to) {
   return *it->second;
 }
 
+void ChaosFabric::note_drop(FrameKind kind, NodeId from, NodeId to,
+                            size_t bytes) {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  dropped_by_kind_[kind_index(kind)].fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(obs::EventKind::kChaosDrop, from, to,
+                                static_cast<uint64_t>(kind), 0, bytes);
+#else
+  (void)from;
+  (void)to;
+  (void)bytes;
+#endif
+}
+
 bool ChaosFabric::severed(NodeId from, NodeId to) const {
   if (killed_.count(from) != 0 || killed_.count(to) != 0) return true;
   auto key = from < to ? std::make_pair(from, to) : std::make_pair(to, from);
@@ -45,7 +63,7 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
     std::lock_guard<std::mutex> lock(mu_);
     if (down_) return;
     if (severed(from, to)) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      note_drop(kind, from, to, payload.size());
       return;
     }
   }
@@ -72,11 +90,16 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
     }
   }
   if (drop) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    note_drop(kind, from, to, payload.size());
     return;
   }
   if (dup) {
     duplicated_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kChaosDup, from, to,
+                                  static_cast<uint64_t>(kind), 0,
+                                  payload.size());
+#endif
     std::vector<std::byte> copy = payload;
     if (dup_delay > 0) {
       enqueue_delayed({mono_seconds() + dup_delay, 0, from, to, kind,
@@ -87,6 +110,12 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
   }
   if (delay > 0) {
     delayed_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kChaosDelay, from, to,
+                                  static_cast<uint64_t>(kind),
+                                  static_cast<uint64_t>(delay * 1e9),
+                                  payload.size());
+#endif
     enqueue_delayed(
         {mono_seconds() + delay, 0, from, to, kind, std::move(payload)});
     return;
@@ -125,7 +154,7 @@ void ChaosFabric::timer_loop() {
       cut = down_ || severed(d.from, d.to);
     }
     if (cut) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      note_drop(d.kind, d.from, d.to, d.payload.size());
     } else {
       try {
         inner_->send(d.from, d.to, d.kind, std::move(d.payload));

@@ -76,6 +76,14 @@ class ChaosFabric : public Fabric {
   uint64_t frames_duplicated() const { return duplicated_.load(); }
   uint64_t frames_delayed() const { return delayed_.load(); }
 
+  /// Drops of one frame kind only (e.g. FrameKind::kReliable). Every
+  /// dropped kReliable data frame forces the sender's reliability layer to
+  /// retransmit it, so tests can assert
+  ///   sum(retransmissions) >= frames_dropped(FrameKind::kReliable).
+  uint64_t frames_dropped(FrameKind kind) const {
+    return dropped_by_kind_[kind_index(kind)].load();
+  }
+
  private:
   struct LinkState {
     std::mutex mu;
@@ -97,6 +105,13 @@ class ChaosFabric : public Fabric {
   bool severed(NodeId from, NodeId to) const;  // caller holds mu_
   void enqueue_delayed(Delayed d);
   void timer_loop();
+  void note_drop(FrameKind kind, NodeId from, NodeId to, size_t bytes);
+
+  static constexpr size_t kKindSlots = 16;
+  static size_t kind_index(FrameKind kind) {
+    const auto k = static_cast<size_t>(kind);
+    return k < kKindSlots ? k : 0;
+  }
 
   std::shared_ptr<Fabric> inner_;
   FaultPlan plan_;
@@ -118,6 +133,7 @@ class ChaosFabric : public Fabric {
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> duplicated_{0};
   std::atomic<uint64_t> delayed_{0};
+  std::atomic<uint64_t> dropped_by_kind_[kKindSlots] = {};
 };
 
 }  // namespace dps

@@ -4,6 +4,10 @@
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
+#ifdef DPS_TRACE
+#include "obs/trace.hpp"
+#endif
+
 namespace dps {
 
 TcpFabric::TcpFabric(size_t node_count) {
@@ -89,6 +93,11 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
         break;
       }
       if (f.kind == FrameKind::kShutdown) return;  // clean close
+#ifdef DPS_TRACE
+      obs::Trace::instance().record(obs::EventKind::kTransportRecv, self, peer,
+                                    static_cast<uint64_t>(f.kind), 0,
+                                    f.payload.size());
+#endif
       handler(NodeMessage{peer, f.kind, std::move(f.payload)});
     }
   } catch (const Error& e) {
@@ -147,6 +156,11 @@ void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
   if (oc.closed) raise(Errc::kNetwork, "fabric is shut down");
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(obs::EventKind::kTransportSend, from, to,
+                                static_cast<uint64_t>(kind), 0,
+                                frame_wire_size(f));
+#endif
   write_frame(oc.conn, f);
 }
 

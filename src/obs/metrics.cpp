@@ -1,0 +1,150 @@
+#include "obs/metrics.hpp"
+
+#include <memory>
+#include <mutex>
+#include <variant>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace dps::obs {
+
+uint64_t Histogram::bucket_bound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t Histogram::quantile_bound(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank || (seen == total && seen != 0)) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = values.find(name);
+  return it == values.end() ? 0 : it->second.counter;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = values.find(name);
+  return it == values.end() ? 0 : it->second.gauge;
+}
+
+struct Metrics::Impl {
+  using Instrument =
+      std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                   std::unique_ptr<Histogram>>;
+  mutable std::mutex mu;
+  std::map<std::string, Instrument> instruments;
+};
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics();  // leaked: usable during static teardown
+  return *m;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl* i = new Impl();
+  return *i;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.instruments.find(name);
+  if (it == i.instruments.end()) {
+    it = i.instruments.emplace(name, std::make_unique<Counter>()).first;
+  }
+  auto* p = std::get_if<std::unique_ptr<Counter>>(&it->second);
+  if (p == nullptr) {
+    raise(Errc::kState, "metric '" + name + "' exists with another type");
+  }
+  return **p;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.instruments.find(name);
+  if (it == i.instruments.end()) {
+    it = i.instruments.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  auto* p = std::get_if<std::unique_ptr<Gauge>>(&it->second);
+  if (p == nullptr) {
+    raise(Errc::kState, "metric '" + name + "' exists with another type");
+  }
+  return **p;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.instruments.find(name);
+  if (it == i.instruments.end()) {
+    it = i.instruments.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  auto* p = std::get_if<std::unique_ptr<Histogram>>(&it->second);
+  if (p == nullptr) {
+    raise(Errc::kState, "metric '" + name + "' exists with another type");
+  }
+  return **p;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  snap.t_ns = trace_clock_ns();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (const auto& [name, inst] : i.instruments) {
+    MetricValue v;
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+      v.type = MetricValue::Type::kCounter;
+      v.counter = (*c)->value();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+      v.type = MetricValue::Type::kGauge;
+      v.gauge = (*g)->value();
+      v.gauge_max = (*g)->max_value();
+    } else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&inst)) {
+      v.type = MetricValue::Type::kHistogram;
+      v.hist_count = (*h)->count();
+      v.hist_sum = (*h)->sum();
+      v.hist_buckets.resize(Histogram::kBuckets);
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        v.hist_buckets[static_cast<size_t>(b)] = (*h)->bucket(b);
+      }
+    }
+    snap.values.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+void Metrics::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, inst] : i.instruments) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+      (*c)->reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+      (*g)->reset();
+    } else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&inst)) {
+      (*h)->reset();
+    }
+  }
+}
+
+}  // namespace dps::obs

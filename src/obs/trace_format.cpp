@@ -1,0 +1,260 @@
+#include "obs/trace_format.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dps::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_args(std::ostream& os, const TaggedEvent& ev) {
+  os << "\"args\":{\"k\":" << ev.e.kind << ",\"n\":" << ev.e.node
+     << ",\"a\":" << ev.e.a << ",\"b\":" << ev.e.b << ",\"c\":" << ev.e.c
+     << ",\"d\":" << ev.e.d << ",\"t\":" << ev.e.t_ns
+     << ",\"th\":" << ev.thread << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TaggedEvent>& events) {
+  os << "{\"traceEvents\":[\n";
+  // Thread-name metadata first, so tracks are labeled with worker names.
+  std::map<uint32_t, std::string> names;
+  for (const TaggedEvent& ev : events) names[ev.thread] = ev.thread_name;
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const TaggedEvent& ev : events) {
+    if (!first) os << ",\n";
+    first = false;
+    const auto kind = static_cast<EventKind>(ev.e.kind);
+    const double ts_us = static_cast<double>(ev.e.t_ns) / 1000.0;
+    const char* ph = kind == EventKind::kOpStart ? "B"
+                     : kind == EventKind::kOpEnd ? "E"
+                                                 : "i";
+    std::string name;
+    if (kind == EventKind::kOpStart || kind == EventKind::kOpEnd) {
+      name = "op:v" + std::to_string(ev.e.a);
+    } else {
+      name = to_string(kind);
+    }
+    os << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\"dps\",\"ph\":\""
+       << ph << "\",\"ts\":" << ts_us << ",\"pid\":" << ev.e.node
+       << ",\"tid\":" << ev.thread << ",";
+    if (ph[0] == 'i') os << "\"s\":\"t\",";
+    emit_args(os, ev);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_json(const std::vector<TaggedEvent>& events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+namespace {
+
+/// Extracts the unsigned integer following `key` in `line`, e.g.
+/// key = "\"k\":". Returns false when the key is absent.
+bool find_u64(const std::string& line, const char* key, uint64_t* out) {
+  const size_t pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  size_t i = pos + std::string(key).size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  uint64_t v = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(line[i] - '0');
+    ++i;
+  }
+  *out = v;
+  return true;
+}
+
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  const size_t pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  size_t i = pos + std::string(key).size();
+  if (i >= line.size() || line[i] != '"') return false;
+  ++i;
+  std::string v;
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      ++i;
+      switch (line[i]) {
+        case 'n': v += '\n'; break;
+        case 'r': v += '\r'; break;
+        case 't': v += '\t'; break;
+        case 'u':
+          // \uXXXX from json_escape is always a control byte.
+          if (i + 4 < line.size()) {
+            v += static_cast<char>(
+                std::stoi(line.substr(i + 1, 4), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: v += line[i];
+      }
+    } else {
+      v += line[i];
+    }
+    ++i;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<TaggedEvent> parse_chrome_trace(const std::string& json) {
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    raise(Errc::kProtocol, "not a chrome trace: missing traceEvents");
+  }
+  std::vector<TaggedEvent> out;
+  std::map<uint64_t, std::string> names;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"ph\":\"M\"") != std::string::npos) {
+      uint64_t tid = 0;
+      std::string name;
+      if (find_u64(line, "\"tid\":", &tid)) {
+        const size_t args = line.find("\"args\"");
+        if (args != std::string::npos &&
+            find_string(line.substr(args), "\"name\":", &name)) {
+          names[tid] = name;
+        }
+      }
+      continue;
+    }
+    uint64_t k = 0;
+    if (!find_u64(line, "\"k\":", &k)) continue;  // not an event line
+    TaggedEvent ev;
+    uint64_t v = 0;
+    ev.e.kind = static_cast<uint16_t>(k);
+    if (find_u64(line, "\"n\":", &v)) ev.e.node = static_cast<uint32_t>(v);
+    find_u64(line, "\"a\":", &ev.e.a);
+    find_u64(line, "\"b\":", &ev.e.b);
+    find_u64(line, "\"c\":", &ev.e.c);
+    find_u64(line, "\"d\":", &ev.e.d);
+    if (!find_u64(line, "\"t\":", &ev.e.t_ns)) {
+      raise(Errc::kProtocol, "chrome trace event without raw timestamp");
+    }
+    if (find_u64(line, "\"th\":", &v)) ev.thread = static_cast<uint32_t>(v);
+    out.push_back(std::move(ev));
+  }
+  for (TaggedEvent& ev : out) {
+    auto it = names.find(ev.thread);
+    ev.thread_name = it == names.end()
+                         ? "thread-" + std::to_string(ev.thread)
+                         : it->second;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kRecordBytes = sizeof(uint32_t) + sizeof(TraceEvent);  // 52
+constexpr uint16_t kMaxKind = static_cast<uint16_t>(EventKind::kTransportRecv);
+}  // namespace
+
+void encode_trace(Writer& w, const std::vector<TaggedEvent>& events) {
+  w.put<uint32_t>(kTraceMagic);
+  w.put<uint16_t>(kTraceVersion);
+  w.put<uint16_t>(0);  // reserved
+  std::map<uint32_t, std::string> names;
+  for (const TaggedEvent& ev : events) names[ev.thread] = ev.thread_name;
+  w.put<uint32_t>(static_cast<uint32_t>(names.size()));
+  for (const auto& [tid, name] : names) {
+    w.put<uint32_t>(tid);
+    w.put_string(name);
+  }
+  w.put<uint64_t>(events.size());
+  for (const TaggedEvent& ev : events) {
+    w.put<uint32_t>(ev.thread);
+    TraceEvent e = ev.e;
+    e.pad = 0;
+    w.put(e);
+  }
+}
+
+std::vector<TaggedEvent> decode_trace(Reader& r) {
+  if (r.get<uint32_t>() != kTraceMagic) {
+    raise(Errc::kProtocol, "binary trace: bad magic");
+  }
+  const uint16_t version = r.get<uint16_t>();
+  if (version != kTraceVersion) {
+    raise(Errc::kProtocol,
+          "binary trace: unsupported version " + std::to_string(version));
+  }
+  (void)r.get<uint16_t>();  // reserved
+  const uint32_t thread_count = r.get<uint32_t>();
+  // Each table entry needs at least an index and an empty-string prefix.
+  r.require_count(thread_count, sizeof(uint32_t) + sizeof(uint32_t));
+  std::map<uint32_t, std::string> names;
+  for (uint32_t i = 0; i < thread_count; ++i) {
+    const uint32_t tid = r.get<uint32_t>();
+    names[tid] = r.get_string();
+  }
+  const uint64_t event_count = r.get<uint64_t>();
+  r.require_count(event_count, kRecordBytes);
+  std::vector<TaggedEvent> out;
+  out.reserve(static_cast<size_t>(event_count));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    TaggedEvent ev;
+    ev.thread = r.get<uint32_t>();
+    ev.e = r.get<TraceEvent>();
+    if (ev.e.kind == 0 || ev.e.kind > kMaxKind) {
+      raise(Errc::kProtocol, "binary trace: unknown event kind " +
+                                 std::to_string(ev.e.kind));
+    }
+    auto it = names.find(ev.thread);
+    ev.thread_name = it == names.end()
+                         ? "thread-" + std::to_string(ev.thread)
+                         : it->second;
+    out.push_back(std::move(ev));
+  }
+  if (!r.at_end()) {
+    raise(Errc::kProtocol, "binary trace: trailing bytes after last record");
+  }
+  return out;
+}
+
+}  // namespace dps::obs

@@ -1,0 +1,47 @@
+// Trace serialization: Chrome chrome://tracing JSON and a compact binary
+// format (docs/OBSERVABILITY.md).
+//
+// The JSON writer emits the Trace Event Format Chrome's about://tracing and
+// Perfetto load directly: operation executions become duration ("B"/"E")
+// pairs per thread track, everything else becomes instants. Every event
+// also carries its raw fields under "args" so `parse_chrome_trace` can
+// round-trip exactly what was recorded.
+//
+// The binary format is the archival/fuzz-hardened one: a magic/version
+// header, a thread-name table, then fixed 52-byte records. Decoding goes
+// through serial/wire.hpp Reader, so truncated or corrupted files raise
+// Error(kProtocol) instead of crashing or over-allocating.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serial/wire.hpp"
+
+namespace dps::obs {
+
+/// chrome://tracing JSON ("Load" the file, or drag it into Perfetto).
+void write_chrome_trace(std::ostream& os, const std::vector<TaggedEvent>& events);
+std::string chrome_trace_json(const std::vector<TaggedEvent>& events);
+
+/// Parses JSON produced by write_chrome_trace back into tagged events
+/// (order preserved; "E" phase records are markers re-derived from the
+/// paired event and are not returned twice). Throws Error(kProtocol) on
+/// input this writer cannot have produced.
+std::vector<TaggedEvent> parse_chrome_trace(const std::string& json);
+
+inline constexpr uint32_t kTraceMagic = 0x54535044;  // "DPST"
+inline constexpr uint16_t kTraceVersion = 1;
+
+/// Compact binary encoding of a drained trace.
+void encode_trace(Writer& w, const std::vector<TaggedEvent>& events);
+
+/// Decodes a binary trace. Malformed, truncated, or absurd input (bad
+/// magic, unknown version, claimed counts exceeding the payload) raises
+/// Error(kProtocol); it never crashes and never allocates for a count the
+/// buffer cannot hold.
+std::vector<TaggedEvent> decode_trace(Reader& r);
+
+}  // namespace dps::obs

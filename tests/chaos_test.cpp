@@ -15,6 +15,9 @@
 #include "net/framing.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_query.hpp"
 #include "serial/wire.hpp"
 #include "tests/toupper_app.hpp"
 
@@ -57,6 +60,75 @@ TEST(Chaos, ToupperSurvivesDropSweep) {
     plan.all.drop = drop;
     EXPECT_EQ(run_toupper(chaos_config(3, plan)), kPhraseUpper)
         << "drop rate " << drop;
+  }
+}
+
+// Accounting soundness of the reliability layer: every injected drop of a
+// kReliable data frame leaves that frame unacked, so the sender's timer must
+// eventually resend it — at quiescence sum(retransmissions) >=
+// frames_dropped(kReliable). The counters converge rather than match at any
+// instant (a drop near the end of the run is only resent one RTO later), so
+// the test polls both to a deadline before asserting. With DPS_TRACE
+// compiled in, the same bound must hold for the dps.fabric.retransmits
+// metric and the kRetransmit events in the flight recorder.
+TEST(Chaos, RetransmitsAccountForInjectedDrops) {
+  FaultPlan plan;
+  plan.seed = 0x5e7a;
+  plan.all.drop = 0.15;
+  std::shared_ptr<ChaosFabric> chaos;
+  Cluster cluster(chaos_config(3, plan, &chaos));
+
+  if (obs::kTraceCompiled) {
+    obs::Metrics::instance().reset();
+    obs::Trace::instance().reset();
+    obs::Trace::instance().configure(
+        {/*enabled=*/true, /*sample_every=*/1, /*buffer_capacity=*/1u << 15});
+  }
+
+  Application app(cluster, "toupper");
+  auto graph = build_toupper_graph(app, 4);
+  ActorScope scope(cluster.domain(), "main");
+  for (int i = 0; i < 3; ++i) {
+    auto result =
+        token_cast<StringToken>(graph->call(new StringToken(kPhrase)));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              kPhraseUpper);
+  }
+
+  // Poll to quiescence. Drops are sampled before retransmissions so the
+  // compared pair is conservative: anything dropped after the first sample
+  // can only raise the retransmit side.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  uint64_t drops = 0, retrans = 0;
+  for (;;) {
+    drops = chaos->frames_dropped(FrameKind::kReliable);
+    retrans = 0;
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      retrans += cluster.controller(n).retransmissions();
+    }
+    if (drops > 0 && retrans >= drops) break;
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(drops, 0u)
+      << "15% loss over three graph calls must drop reliable frames";
+  EXPECT_GE(retrans, drops)
+      << "every dropped reliable frame must be retransmitted";
+
+  if (obs::kTraceCompiled) {
+    const obs::MetricsSnapshot snap = obs::Metrics::instance().snapshot();
+    obs::TraceQuery q(obs::Trace::instance().collect());
+    obs::Trace::instance().set_enabled(false);
+    obs::Trace::instance().reset();
+    // The metric is bumped at the same site as the controller counter and
+    // sampled later, so it bounds both the counter and the injected drops.
+    EXPECT_GE(snap.counter("dps.fabric.retransmits"), retrans);
+    EXPECT_GE(snap.counter("dps.fabric.retransmits"), drops);
+    EXPECT_GE(q.count(obs::EventKind::kRetransmit), drops)
+        << "each retransmission must appear in the flight recorder";
+    EXPECT_GT(q.count(obs::EventKind::kFabricSend), 0u);
   }
 }
 

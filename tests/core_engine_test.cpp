@@ -3,6 +3,12 @@
 // collection spread over the cluster, merge them back in order.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_query.hpp"
 #include "tests/toupper_app.hpp"
 
 namespace dps {
@@ -95,6 +101,68 @@ TEST(ToUpper, ThreadStatePersistsAcrossExecutions) {
   // 4 + 2 executions on the single compute thread; verified indirectly: a
   // third call still works and the engine dispatched 6 leaf executions.
   EXPECT_GE(cluster.controller(0).dispatched(), 6u);
+}
+
+// A leaf slow enough (~2 ms per token) that its executions are visible next
+// to the merge's collection window in the flight recorder.
+class SlowUpper
+    : public LeafOperation<ComputeThread, TV1(CharToken), TV1(CharToken)> {
+ public:
+  void execute(CharToken* in) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    postToken(new CharToken(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(in->chr))),
+        in->pos));
+  }
+  DPS_IDENTIFY_OPERATION(SlowUpper);
+};
+
+// The paper's Table 1 claim — DPS pipelines implicitly, overlapping the
+// collecting merge with still-running compute — proven from the trace: the
+// merge's kOpStart..kOpEnd interval must overlap leaf execution intervals
+// by a nonzero window.
+TEST(ToUpper, TraceProvesComputeMergeOverlap) {
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "built without DPS_TRACE; use the trace preset";
+  }
+  obs::Trace::instance().reset();
+  obs::Trace::instance().configure(
+      {/*enabled=*/true, /*sample_every=*/1, /*buffer_capacity=*/1u << 15});
+  {
+    Cluster cluster(ClusterConfig::inproc(1));
+    Application app(cluster, "overlap");
+    auto main_threads = app.thread_collection<MainThread>("main");
+    main_threads->map("node0");
+    auto compute = app.thread_collection<ComputeThread>("proc");
+    compute->map(round_robin_mapping({"node0"}, 2));
+    FlowgraphBuilder b =
+        FlowgraphNode<SplitString, MainRoute>(main_threads) >>
+        FlowgraphNode<SlowUpper, RoundRobinRoute>(compute) >>
+        FlowgraphNode<MergeString, MainCharRoute>(main_threads);
+    auto graph = app.build_graph(b, "overlap");
+    ActorScope scope(cluster.domain(), "test-main");
+    auto result = token_cast<StringToken>(
+        graph->call(new StringToken("pipelining overlap probe")));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              "PIPELINING OVERLAP PROBE");
+  }
+  obs::TraceQuery q(obs::Trace::instance().collect());
+  obs::Trace::instance().set_enabled(false);
+  obs::Trace::instance().reset();
+
+  std::vector<obs::TraceQuery::Interval> leaves, merges;
+  for (const auto& iv : q.intervals()) {
+    if (iv.opkind == static_cast<uint64_t>(OpKind::kLeaf)) {
+      leaves.push_back(iv);
+    } else if (iv.opkind == static_cast<uint64_t>(OpKind::kMerge)) {
+      merges.push_back(iv);
+    }
+  }
+  ASSERT_FALSE(leaves.empty()) << "leaf executions must be recorded";
+  ASSERT_FALSE(merges.empty()) << "the merge execution must be recorded";
+  EXPECT_GT(obs::TraceQuery::overlap_ns(merges, leaves), 0u)
+      << "the merge must collect while leaves still compute";
 }
 
 class EmptySplit

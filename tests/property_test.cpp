@@ -10,6 +10,7 @@
 
 #include "core/application.hpp"
 #include "core/controller.hpp"
+#include "test_seed.hpp"
 #include "util/mapping.hpp"
 
 namespace dps {
@@ -150,9 +151,14 @@ RandomConfig config_for_seed(uint32_t seed) {
 class RandomPipeline : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(RandomPipeline, ConservesEveryToken) {
-  const RandomConfig cfg = config_for_seed(GetParam());
+  // DPS_TEST_SEED overrides the swept seed so one failing configuration can
+  // be replayed alone: DPS_TEST_SEED=<seed> ./dps_tests
+  // --gtest_filter='Seeds/RandomPipeline.*'
+  const uint32_t seed = dps_testing::effective_seed(GetParam());
+  const RandomConfig cfg = config_for_seed(seed);
   SCOPED_TRACE(::testing::Message()
-               << "nodes=" << cfg.nodes << " workers=" << cfg.workers
+               << "seed=" << seed << " (replay: DPS_TEST_SEED=" << seed
+               << ") nodes=" << cfg.nodes << " workers=" << cfg.workers
                << " total=" << cfg.total << " chunk=" << cfg.chunk
                << " window=" << cfg.window << " sim=" << cfg.simulated);
 

@@ -5,8 +5,11 @@
 // these tests deadlocks.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/application.hpp"
 #include "core/controller.hpp"
+#include "test_seed.hpp"
 
 namespace dps {
 namespace {
@@ -128,6 +131,29 @@ TEST(Reentrancy, ManySequentialCalls) {
     auto result = token_cast<RSumToken>(graph->call(new RStartToken(i)));
     ASSERT_TRUE(result);
     EXPECT_EQ(result->sum, i * (i + 1) / 2);
+  }
+}
+
+// Randomized ping counts hammer the single shared worker thread with
+// varying collection sizes. DPS_TEST_SEED overrides the base seed so a
+// failing sequence replays exactly:
+//   DPS_TEST_SEED=<seed> ./dps_tests --gtest_filter=Reentrancy.RandomizedPingCounts
+TEST(Reentrancy, RandomizedPingCounts) {
+  const uint32_t seed = dps_testing::effective_seed(0xd15bu);
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << seed << " (replay: DPS_TEST_SEED=" << seed << ")");
+  std::mt19937 rng(seed);
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application app(cluster, "reentrant-rand");
+  auto graph = build(app);
+  ActorScope scope(cluster.domain(), "main");
+  for (int round = 0; round < 12; ++round) {
+    const int pings = 1 + static_cast<int>(rng() % 200);
+    SCOPED_TRACE(::testing::Message() << "round=" << round
+                                      << " pings=" << pings);
+    auto result = token_cast<RSumToken>(graph->call(new RStartToken(pings)));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->sum, int64_t(pings) * (pings + 1) / 2);
   }
 }
 

@@ -1,0 +1,32 @@
+// Seed plumbing for randomized tests. Every randomized test derives its RNG
+// seed through effective_seed() and prints it via SCOPED_TRACE, so a failure
+// report always names the seed that reproduces it:
+//
+//   DPS_TEST_SEED=1234 ./dps_tests --gtest_filter=Seeds/RandomPipeline.*
+//
+// When DPS_TEST_SEED is set it overrides the per-instance base seed, making
+// every instance replay the one failing configuration.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dps_testing {
+
+/// True when DPS_TEST_SEED is set in the environment; *out receives it
+/// (decimal, or hex with a 0x prefix).
+inline bool env_seed(uint32_t* out) {
+  const char* s = std::getenv("DPS_TEST_SEED");
+  if (s == nullptr || *s == '\0') return false;
+  *out = static_cast<uint32_t>(std::strtoul(s, nullptr, 0));
+  return true;
+}
+
+/// The seed a randomized test should actually use: DPS_TEST_SEED when set,
+/// otherwise the test's own base seed.
+inline uint32_t effective_seed(uint32_t base) {
+  uint32_t env = 0;
+  return env_seed(&env) ? env : base;
+}
+
+}  // namespace dps_testing
