@@ -10,10 +10,12 @@
 #include <iostream>
 
 #include "apps/matmul.hpp"
+#include "bench_json.hpp"
 
 using namespace dps;
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   const int n = argc > 1 ? std::atoi(argv[1]) : 512;
   const int s = 8;
   const int workers = 4;
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
     const double dt = cluster.domain().now() - t0;
     if (base < 0) base = dt;
     std::printf("%-8u %-19.1f %.2fx\n", window, dt * 1e3, base / dt);
+    json.record("ablation_flowctl", "window=" + std::to_string(window),
+                dt * 1e6, base / dt);
   }
   std::cout << "\nExpected shape: throughput rises with the window and "
                "saturates once enough tokens circulate to cover the "

@@ -1,0 +1,72 @@
+// Machine-readable results for the experiment harnesses.
+//
+// Every bench binary accepts `--json <path>`; when given, it appends one
+// NDJSON record per measured configuration:
+//
+//   {"bench":"fig6_throughput","config":"dps/size=1000",
+//    "median_us":1234.5,"throughput":85.0}
+//
+// `median_us` is the wall (or virtual) time of the measured region in
+// microseconds; `throughput` is the bench's natural rate (MB/s for the
+// transfer benches, speedup for the scaling figures, items- or
+// bytes-per-second for the micro benches). scripts/tier1.sh's optional
+// bench-smoke stage concatenates these files into BENCH_pr3.json so runs
+// can be diffed across commits.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dps::bench {
+
+class JsonWriter {
+ public:
+  /// Strips `--json <path>` out of argv (so downstream flag parsers — e.g.
+  /// google-benchmark's — never see it) and opens the file for writing.
+  JsonWriter(int* argc, char** argv) {
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 <= *argc; ++j) argv[j] = argv[j + 2];
+        *argc -= 2;
+        break;
+      }
+    }
+    if (!path_.empty()) out_ = std::fopen(path_.c_str(), "w");
+  }
+  ~JsonWriter() {
+    if (out_ != nullptr) std::fclose(out_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool enabled() const { return out_ != nullptr; }
+
+  void record(const std::string& bench, const std::string& config,
+              double median_us, double throughput) {
+    if (out_ == nullptr) return;
+    std::fprintf(out_,
+                 "{\"bench\":\"%s\",\"config\":\"%s\",\"median_us\":%.3f,"
+                 "\"throughput\":%.3f}\n",
+                 escape(bench).c_str(), escape(config).c_str(), median_us,
+                 throughput);
+    std::fflush(out_);  // rows survive a crashed or interrupted run
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace dps::bench

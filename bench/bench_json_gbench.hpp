@@ -1,0 +1,55 @@
+// --json bridge for the google-benchmark micros.
+//
+// The custom harnesses (fig6, table1, ...) call JsonWriter::record by hand;
+// the gbench binaries instead install this reporter, which mirrors every
+// finished run into the NDJSON file: median_us is the per-iteration real
+// time, throughput is gbench's bytes/s or items/s counter when the bench
+// sets one.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace dps::bench {
+
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonReporter(JsonWriter* json, std::string bench)
+      : json_(json), bench_(std::move(bench)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double per_iter_us = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e6;
+      double throughput = 0;
+      auto it = run.counters.find("bytes_per_second");
+      if (it == run.counters.end()) it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) throughput = it->second;
+      json_->record(bench_, run.benchmark_name(), per_iter_us, throughput);
+    }
+  }
+
+ private:
+  JsonWriter* json_;
+  std::string bench_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: strips --json, then
+/// runs all registered benchmarks through the mirroring reporter.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const std::string& bench) {
+  JsonWriter json(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonReporter reporter(&json, bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}
+
+}  // namespace dps::bench

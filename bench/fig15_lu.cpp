@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "apps/lu.hpp"
+#include "bench_json.hpp"
 
 using namespace dps;
 
@@ -39,6 +40,7 @@ double run(int n, int blocks, int nodes, bool pipelined, double rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
   const double rate = (argc > 2 ? std::atof(argv[2]) : 110.0) * 1e6;
   const int blocks = argc > 3 ? std::atoi(argv[3]) : 32;
@@ -57,6 +59,9 @@ int main(int argc, char** argv) {
     const double barrier = run(n, blocks, nodes, false, rate);
     std::printf("%-7d %6.2f               %6.2f\n", nodes, base / piped,
                 base / barrier);
+    const std::string cfg = "nodes=" + std::to_string(nodes);
+    json.record("fig15_lu", cfg + "/pipelined", piped * 1e6, base / piped);
+    json.record("fig15_lu", cfg + "/barrier", barrier * 1e6, base / barrier);
   }
   std::cout << "\nExpected shape (paper): the pipelined curve sits clearly "
                "above the non-pipelined one at every node count; both are "

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "apps/ring.hpp"
+#include "bench_json.hpp"
 #include "net/socket.hpp"
 #include "util/stopwatch.hpp"
 
@@ -108,6 +109,7 @@ double sim_ring_throughput(int64_t total_bytes, int block_size) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   // Default 16 MB per point keeps the whole figure under a minute on one
   // core; pass a larger budget (MB) to approach the paper's 100 MB.
   const int64_t budget_mb = argc > 1 ? std::atoll(argv[1]) : 16;
@@ -120,10 +122,18 @@ int main(int argc, char** argv) {
   for (int size : {1000, 3000, 10000, 30000, 100000, 300000, 1000000}) {
     const double raw = socket_ring_throughput(total, size);
     const double dps_t = dps_ring_throughput(total, size);
-    const double sim = sim_ring_throughput(
-        std::min<int64_t>(total, 8 * 1000 * 1000), size);
+    const int64_t sim_total = std::min<int64_t>(total, 8 * 1000 * 1000);
+    const double sim = sim_ring_throughput(sim_total, size);
     std::printf("%-11d %-14.1f %-11.1f %-12.2f %-10.1f\n", size, raw, dps_t,
                 dps_t / raw, sim);
+    // elapsed_us = bytes / (MB/s) since 1 MB/s == 1 byte/us.
+    const std::string cfg = "size=" + std::to_string(size);
+    json.record("fig6_throughput", "sockets/" + cfg,
+                static_cast<double>(total) / raw, raw);
+    json.record("fig6_throughput", "dps/" + cfg,
+                static_cast<double>(total) / dps_t, dps_t);
+    json.record("fig6_throughput", "sim/" + cfg,
+                static_cast<double>(sim_total) / sim, sim);
   }
   std::cout << "\nExpected shape (paper): DPS well below sockets at 1 kB, "
                "converging within ~10% for large blocks; the simulated "

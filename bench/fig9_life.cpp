@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "apps/life.hpp"
+#include "bench_json.hpp"
 
 using namespace dps;
 
@@ -35,6 +36,7 @@ double run(int rows, int cols, int nodes, bool improved, int iterations,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 3;
   const double cell_rate = 8e6;  // cells/s per worker
   const int max_nodes = 8;
@@ -68,6 +70,12 @@ int main(int argc, char** argv) {
       const double std_t = run(worlds[wi].rows, worlds[wi].cols, nodes,
                                false, iterations, cell_rate);
       std::printf("  %-10.2f  %-10.2f", base[wi] / imp, base[wi] / std_t);
+      const std::string cfg = "world=" + std::to_string(worlds[wi].rows) +
+                              "x" + std::to_string(worlds[wi].cols) +
+                              "/nodes=" + std::to_string(nodes);
+      json.record("fig9_life", cfg + "/improved", imp * 1e6, base[wi] / imp);
+      json.record("fig9_life", cfg + "/simple", std_t * 1e6,
+                  base[wi] / std_t);
     }
     std::printf("\n");
   }

@@ -3,6 +3,7 @@
 // (pointer-passing path) and across in-process nodes (serialization path).
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.hpp"
 #include "core/application.hpp"
 #include "core/controller.hpp"
 
@@ -146,4 +147,6 @@ BENCHMARK(BM_AsyncCallPipelining);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dps::bench::run_benchmarks_with_json(argc, argv, "micro_engine");
+}

@@ -3,6 +3,11 @@
 // and payload scaling — the costs behind Figure 6's per-token overhead.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_json_gbench.hpp"
+#include "core/envelope.hpp"
+#include "serial/buffer_pool.hpp"
 #include "serial/registry.hpp"
 
 namespace {
@@ -83,6 +88,65 @@ void BM_TokenClone(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenClone);
 
+/// Locks in the PR-3 send-path invariant: an envelope encode into an
+/// exact-size pooled buffer never reallocates, and released buffers are
+/// recycled. Runs after the benchmarks; a violation fails the binary (and
+/// with it the tier-1 bench-smoke stage).
+int check_zero_realloc_encode() {
+  using dps::BufferPool;
+  BenchComplexToken* tok = new BenchComplexToken;
+  tok->id = 7;
+  tok->name = std::string("zero-realloc-check");
+  tok->payload.resize(64 * 1024);
+
+  dps::Envelope env;
+  env.app = 1;
+  env.graph = 1;
+  env.vertex = 2;
+  env.collection = 3;
+  env.thread = 4;
+  env.call = 5;
+  env.call_reply_node = 0;
+  env.frames.push_back(dps::SplitFrame{9, 0, 0, 0, 0});
+  env.token = tok;
+
+  BufferPool& pool = BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+  constexpr int kEnvelopes = 256;
+  for (int i = 0; i < kEnvelopes; ++i) {
+    env.top_frame().seq = static_cast<uint32_t>(i);
+    dps::Writer w(pool.acquire(env.encoded_size()));
+    env.encode(w);
+    pool.note_growth(w.growth_count());
+    pool.release(w.take());
+  }
+  const BufferPool::Stats st = pool.stats();
+  std::printf(
+      "zero-realloc check: %d envelopes, acquires=%llu reuses=%llu "
+      "encode_growths=%llu\n",
+      kEnvelopes, static_cast<unsigned long long>(st.acquires),
+      static_cast<unsigned long long>(st.reuses),
+      static_cast<unsigned long long>(st.encode_growths));
+  if (st.encode_growths != 0) {
+    std::fprintf(stderr,
+                 "FAIL: envelope encode reallocated %llu time(s) despite "
+                 "exact-size buffers\n",
+                 static_cast<unsigned long long>(st.encode_growths));
+    return 1;
+  }
+  if (st.reuses == 0) {
+    std::fprintf(stderr, "FAIL: buffer pool never recycled a buffer\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc =
+      dps::bench::run_benchmarks_with_json(argc, argv, "micro_serialization");
+  if (rc != 0) return rc;
+  return check_zero_realloc_encode();
+}

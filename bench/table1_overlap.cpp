@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "apps/matmul.hpp"
+#include "bench_json.hpp"
 
 using namespace dps;
 
@@ -51,6 +52,7 @@ RunResult run(int n, int s, int workers, bool overlapped, double flops_rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
   const double rate = 220e6;  // flops/s per worker (PIII 733 calibration)
   const double bw = LinkModel::gigabit_ethernet().bandwidth_bytes_per_s;
@@ -100,6 +102,10 @@ int main(int argc, char** argv) {
           "%5.1f%%\n",
           block, workers, reduction, paper_red[si][workers - 1], ratio,
           paper_ratio[si][workers - 1], g * 100, thr_reduction);
+      json.record("table1_overlap",
+                  "s=" + std::to_string(s) +
+                      "/workers=" + std::to_string(workers),
+                  piped.time * 1e6, piped.comm_bytes / piped.time / 1e6);
     }
     ++si;
   }

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "apps/life.hpp"
+#include "bench_json.hpp"
 
 using namespace dps;
 
@@ -101,6 +102,7 @@ Row run(int world, int nodes, int bw_, int bh_, int iterations,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json(&argc, argv);
   setvbuf(stdout, nullptr, _IONBF, 0);  // rows appear as they are measured
   const int world = argc > 1 ? std::atoi(argv[1]) : 5620;
   const int nodes = 4;
@@ -142,6 +144,10 @@ int main(int argc, char** argv) {
         "%4dx%-6d %7.2f ms [%6.2f]  %6.0f ms [%4.0f]   %6.1f [%4.1f]\n",
         row.bw, row.bh, row.median_call_ms, paper[i].call_ms, row.iter_ms,
         paper[i].iter_ms, row.calls_per_s, paper[i].calls);
+    json.record("table2_services",
+                "block=" + std::to_string(row.bw) + "x" +
+                    std::to_string(row.bh),
+                row.median_call_ms * 1e3, row.calls_per_s);
   }
   std::cout << "\nExpected shape (paper): small blocks -> millisecond calls "
                "at high rate with a mild iteration slowdown; large blocks "

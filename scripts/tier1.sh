@@ -9,6 +9,10 @@
 # Usage: scripts/tier1.sh            # everything
 #        DPS_SKIP_TSAN=1 scripts/tier1.sh    # skip the TSan stage
 #        DPS_SKIP_TRACE=1 scripts/tier1.sh   # skip the DPS_TRACE=ON stage
+#        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
+#            every bench binary with --json and concatenate the records
+#            into BENCH_pr3.json (includes micro_serialization's
+#            zero-realloc assertion)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -28,3 +32,27 @@ if [ "${DPS_SKIP_TRACE:-0}" != "1" ]; then
   cmake --build --preset trace -j "$JOBS"
   ctest --preset trace -j "$JOBS"
 fi
+
+if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
+  exit 0
+fi
+
+# Bench smoke: tiny configurations of every harness, machine-readable
+# results concatenated into BENCH_pr3.json for cross-commit diffing.
+# micro_serialization exits nonzero if an envelope encode reallocates, so
+# the zero-realloc invariant is enforced here too.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+b=build/bench
+"$b/fig6_throughput"    4    --json "$smoke_dir/fig6.json"
+"$b/table1_overlap"     256  --json "$smoke_dir/table1.json"
+"$b/fig9_life"          1    --json "$smoke_dir/fig9.json"
+"$b/fig15_lu"           512  --json "$smoke_dir/fig15.json"
+"$b/table2_services"    1024 1 --json "$smoke_dir/table2.json"
+"$b/ablation_flowctl"   256  --json "$smoke_dir/ablation.json"
+"$b/micro_engine"        --json "$smoke_dir/micro_engine.json" \
+  --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256'
+"$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
+  --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
+cat "$smoke_dir"/*.json > BENCH_pr3.json
+echo "bench smoke: $(wc -l < BENCH_pr3.json) records -> BENCH_pr3.json"

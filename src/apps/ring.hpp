@@ -55,9 +55,19 @@ class RingThread : public Thread {
   DPS_IDENTIFY_THREAD(RingThread);
 };
 
+/// Home of the merge: a one-thread collection on the split's node. Routing
+/// the merge back onto ring thread 0 (hop % n == 0) would put it on the
+/// split's own worker — once the flow-control window fills, the split
+/// blocks that worker and the merge envelope behind it can never run.
+class RingSinkThread : public Thread {
+ public:
+  DPS_IDENTIFY_THREAD(RingSinkThread);
+};
+
 DPS_ROUTE(RingStartRoute, RingThread, RingStartToken, 0);
 DPS_ROUTE(RingHopRoute, RingThread, RingBlockToken,
           currentToken->hop % threadCount());
+DPS_ROUTE(RingSinkRoute, RingSinkThread, RingBlockToken, 0);
 
 class RingSplit
     : public SplitOperation<RingThread, TV1(RingStartToken),
@@ -95,7 +105,7 @@ class RingForward
 };
 
 class RingMerge
-    : public MergeOperation<RingThread, TV1(RingBlockToken),
+    : public MergeOperation<RingSinkThread, TV1(RingBlockToken),
                             TV1(RingDoneToken)> {
  public:
   void execute(RingBlockToken* first) override {
@@ -127,9 +137,13 @@ inline std::shared_ptr<Flowgraph> build_ring_graph(Application& app,
     mapping += cluster.node_name(static_cast<NodeId>(i));
   }
   ring->map(mapping);
+  // The merge collects on its own worker so it keeps draining (and
+  // acknowledging) blocks while the split's worker blocks on flow control.
+  auto sink = app.thread_collection<RingSinkThread>("ring_sink");
+  sink->map(cluster.node_name(0));
 
   FlowgraphNode<RingSplit, RingStartRoute> split(ring);
-  FlowgraphNode<RingMerge, RingHopRoute> merge(ring);
+  FlowgraphNode<RingMerge, RingSinkRoute> merge(sink);
   // First hop; then grow the chain one forwarding vertex at a time.
   auto chain = split >> FlowgraphNode<RingForward, RingHopRoute>(ring);
   for (int h = 2; h < hops; ++h) {

@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <optional>
 
+#include <cstring>
+
 #include "core/application.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cluster.hpp"
 #include "core/thread_collection.hpp"
+#include "serial/buffer_pool.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -25,6 +28,17 @@ bool accepts(const Flowgraph::Vertex& v, uint64_t type_id) {
     if (id == type_id) return true;
   }
   return false;
+}
+
+/// Wire prefix of a kReliable frame: [u64 seq][u64 cumulative ack][u16
+/// inner kind]. Written as a placeholder at encode time and patched once
+/// the link assigns the sequence number (single-buffer reliable path).
+constexpr size_t kRelSeqOffset = 0;
+constexpr size_t kRelAckOffset = sizeof(uint64_t);
+constexpr size_t kRelHeaderSize = 2 * sizeof(uint64_t) + sizeof(uint16_t);
+
+void patch_u64(std::vector<std::byte>& buf, size_t offset, uint64_t value) {
+  std::memcpy(buf.data() + offset, &value, sizeof(value));
 }
 
 }  // namespace
@@ -78,7 +92,10 @@ struct Controller::ReliableLink {
   // --- sender side ---
   struct Pending {
     FrameKind kind;
-    std::vector<std::byte> payload;  ///< inner (unwrapped) frame payload
+    /// The full kReliable frame ([seq|ack|kind|payload]) as first sent.
+    /// Kept whole so a retransmit only patches the ack field and copies —
+    /// no re-wrap, and the buffer recycles through the pool once acked.
+    std::vector<std::byte> wrapped;
     double next_due = 0;             ///< wall-clock retransmit deadline
     double rto = 0;                  ///< current backoff interval
     int retries = 0;
@@ -164,7 +181,13 @@ class Controller::ExecCtx : public detail::OpServices {
           total_ = first.total;
           total_known_ = true;
         }
-        controller_.ack_consumed(first);
+        // Batch flow acks: one kFlowAck per ~quarter window instead of one
+        // per token keeps the remote split pipelining while cutting ack
+        // frames; flush points below guarantee no credit is withheld while
+        // this collection blocks.
+        ack_batch_ = std::max<uint32_t>(
+            1, std::min<uint32_t>(controller_.cluster_.flow_window() / 4, 16));
+        note_consumed(first);
         if (kind_ == OpKind::kStream) {
           split_ctx_ = controller_.new_context_id();
           controller_.create_flow_account(split_ctx_);
@@ -195,6 +218,7 @@ class Controller::ExecCtx : public detail::OpServices {
         }
         (void)wait_next();
       }
+      flush_acks();  // covers contexts whose user code never blocked
       if (claimed_) {
         unclaim();
       }
@@ -312,7 +336,10 @@ class Controller::ExecCtx : public detail::OpServices {
   Ptr<Token> wait_next() override {
     DPS_CHECK(kind_ == OpKind::kMerge || kind_ == OpKind::kStream,
               "waitForNextToken outside a merge/stream operation");
-    if (merge_done()) return {};
+    if (merge_done()) {
+      flush_acks();
+      return {};
+    }
     // While this collection waits, the DPS thread keeps working: envelopes
     // for other operations are dispatched re-entrantly (the paper's threads
     // process their queues; a waiting merge does not idle the thread — the
@@ -327,6 +354,15 @@ class Controller::ExecCtx : public detail::OpServices {
       {
         std::unique_lock<std::mutex> lock(worker_.mu);
         size_t match_pos = 0, other_pos = 0;
+        if (acks_pending_ > 0 && !worker_.poison &&
+            !find_matching_locked(&match_pos) &&
+            !find_dispatchable_locked(&other_pos)) {
+          // About to block: return every withheld flow credit first, or the
+          // remote split could stall on a window this batch still owes.
+          lock.unlock();
+          flush_acks();
+          lock.lock();
+        }
         controller_.cluster_.domain().wait_until(
             worker_.wp, lock, [&] {
               return worker_.poison || find_matching_locked(&match_pos) ||
@@ -362,7 +398,7 @@ class Controller::ExecCtx : public detail::OpServices {
           total_ = f.total;
           total_known_ = true;
         }
-        controller_.ack_consumed(f);
+        note_consumed(f);
         return env2.token;
       }
       // Nested execution of an unrelated operation on this thread. Its
@@ -447,7 +483,29 @@ class Controller::ExecCtx : public detail::OpServices {
     controller_.route_and_send(graph_, std::move(e));
   }
 
+  /// Records one consumed token of the merge/stream input context; credits
+  /// to remote splits are batched and flushed by flush_acks().
+  void note_consumed(const SplitFrame& frame) {
+    if (frame.split_node == controller_.self_) {
+      controller_.apply_flow_release(frame.context, 1);
+      return;
+    }
+    if (acks_pending_ == 0) ack_frame_ = frame;
+    ++acks_pending_;
+    if (acks_pending_ >= ack_batch_) flush_acks();
+  }
+
+  void flush_acks() {
+    if (acks_pending_ == 0) return;
+    const uint32_t n = acks_pending_;
+    acks_pending_ = 0;
+    // All tokens of one merge context share the split's context id and
+    // node, so the whole batch collapses into one frame.
+    controller_.send_flow_ack(ack_frame_, n);
+  }
+
   void cleanup_after_failure() {
+    flush_acks();  // consumed tokens still owe their credits
     if (claimed_) {
       unclaim();
     }
@@ -473,6 +531,9 @@ class Controller::ExecCtx : public detail::OpServices {
   uint32_t total_ = 0;
   bool total_known_ = false;
   bool drain_warned_ = false;
+  uint32_t acks_pending_ = 0;  ///< consumed tokens not yet acked upstream
+  uint32_t ack_batch_ = 1;     ///< flush threshold (derived from the window)
+  SplitFrame ack_frame_{};     ///< context/split_node of the pending batch
 };
 
 // ---------------------------------------------------------------------------
@@ -719,9 +780,7 @@ void Controller::send(Envelope env) {
     deliver_local(std::move(env));
     return;
   }
-  Writer w;
-  env.encode(w);
-  fabric_send(target, FrameKind::kEnvelope, w.take());
+  send_envelope(target, FrameKind::kEnvelope, env);
 }
 
 void Controller::deliver_local(Envelope env) {
@@ -757,9 +816,7 @@ void Controller::send_reply(Envelope env) {
     cluster_.complete_call(env.call, std::move(env.token));
     return;
   }
-  Writer w;
-  env.encode(w);
-  fabric_send(env.call_reply_node, FrameKind::kCallReply, w.take());
+  send_envelope(env.call_reply_node, FrameKind::kCallReply, env);
 }
 
 void Controller::on_fabric(NodeMessage&& msg) {
@@ -902,14 +959,15 @@ void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
   if (drained) accounts_.erase(it);
 }
 
-void Controller::ack_consumed(const SplitFrame& frame) {
+void Controller::send_flow_ack(const SplitFrame& frame, uint32_t n) {
+  if (n == 0) return;
   if (frame.split_node == self_) {
-    apply_flow_release(frame.context, 1);
+    apply_flow_release(frame.context, n);
     return;
   }
   Writer w;
   w.put<ContextId>(frame.context);
-  w.put<uint32_t>(1);
+  w.put<uint32_t>(n);
   fabric_send(frame.split_node, FrameKind::kFlowAck, w.take());
 }
 
@@ -956,31 +1014,77 @@ void Controller::fabric_send(NodeId target, FrameKind kind,
     cluster_.fabric().send(self_, target, kind, std::move(payload));
     return;
   }
+  Writer w(BufferPool::instance().acquire(kRelHeaderSize + payload.size()));
+  w.put<uint64_t>(0);  // seq placeholder, patched under rel_mu_
+  w.put<uint64_t>(0);  // cumulative-ack placeholder
+  w.put<uint16_t>(static_cast<uint16_t>(kind));
+  w.put_raw(payload.data(), payload.size());
+  send_reliable_wrapped(target, kind, w.take());
+}
+
+void Controller::send_envelope(NodeId target, FrameKind kind,
+                               const Envelope& env) {
+  // One exact-size pooled allocation per cross-node envelope: encoded_size
+  // is arithmetic, so Writer never reallocates mid-encode, and in reliable
+  // mode the kReliable header shares the same buffer instead of re-wrapping
+  // the encoded payload through a second writer (the old double copy).
+  const size_t body = env.encoded_size();
+  if (!reliable_) {
+    Writer w(BufferPool::instance().acquire(body));
+    env.encode(w);
+    BufferPool::instance().note_growth(w.growth_count());
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kFabricSend, self_,
+                                    target, static_cast<uint64_t>(kind), 0,
+                                    w.size());
+      static obs::Counter& sent_raw =
+          obs::Metrics::instance().counter("dps.fabric.frames_sent");
+      sent_raw.inc();
+    }
+#endif
+    cluster_.fabric().send(self_, target, kind, w.take());
+    return;
+  }
+  Writer w(BufferPool::instance().acquire(kRelHeaderSize + body));
+  w.put<uint64_t>(0);  // seq placeholder, patched under rel_mu_
+  w.put<uint64_t>(0);  // cumulative-ack placeholder
+  w.put<uint16_t>(static_cast<uint16_t>(kind));
+  env.encode(w);
+  BufferPool::instance().note_growth(w.growth_count());
+  send_reliable_wrapped(target, kind, w.take());
+}
+
+void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
+                                       std::vector<std::byte> wrapped) {
   const FaultToleranceConfig& ft = cluster_.config().fault;
-  Writer w;
+  std::vector<std::byte> out;
 #ifdef DPS_TRACE
   uint64_t t_seq = 0;
-  const uint64_t t_size = payload.size();
+  const uint64_t t_size = wrapped.size() - kRelHeaderSize;
 #endif
   {
     std::lock_guard<std::mutex> lock(rel_mu_);
     ReliableLink& l = rlink_locked(target);
-    if (l.dead) return;  // peer declared down: the link is a black hole
+    if (l.dead) {
+      // Peer declared down: the link is a black hole.
+      BufferPool::instance().release(std::move(wrapped));
+      return;
+    }
     const uint64_t seq = l.next_seq++;
 #ifdef DPS_TRACE
     t_seq = seq;
 #endif
-    w.put<uint64_t>(seq);
-    w.put<uint64_t>(l.rx_contig);  // piggybacked cumulative ack
-    w.put<uint16_t>(static_cast<uint16_t>(kind));
-    w.put_raw(payload.data(), payload.size());
+    patch_u64(wrapped, kRelSeqOffset, seq);
+    patch_u64(wrapped, kRelAckOffset, l.rx_contig);  // piggybacked ack
     l.acked_sent = std::max(l.acked_sent, l.rx_contig);
     l.ack_pending = false;
     ReliableLink::Pending p;
     p.kind = kind;
-    p.payload = std::move(payload);
+    p.wrapped = std::move(wrapped);
     p.rto = ft.rto_initial;
     p.next_due = mono_seconds() + p.rto;
+    out = p.wrapped;  // the in-flight copy; the original arms retransmission
     l.unacked.emplace(seq, std::move(p));
   }
 #ifdef DPS_TRACE
@@ -993,7 +1097,8 @@ void Controller::fabric_send(NodeId target, FrameKind kind,
   }
 #endif
   try {
-    cluster_.fabric().send(self_, target, FrameKind::kReliable, w.take());
+    cluster_.fabric().send(self_, target, FrameKind::kReliable,
+                           std::move(out));
   } catch (const Error& e) {
     // A torn transport is just a lossy link here: the retransmission timer
     // retries until the ack arrives or the peer is declared down.
@@ -1087,7 +1192,11 @@ void Controller::handle_ack(NodeId from, uint64_t ack) {
   std::lock_guard<std::mutex> lock(rel_mu_);
   ReliableLink& l = rlink_locked(from);
   l.last_heard = mono_seconds();
-  l.unacked.erase(l.unacked.begin(), l.unacked.upper_bound(ack));
+  auto end = l.unacked.upper_bound(ack);
+  for (auto it = l.unacked.begin(); it != end; ++it) {
+    BufferPool::instance().release(std::move(it->second.wrapped));
+  }
+  l.unacked.erase(l.unacked.begin(), end);
 }
 
 std::vector<NodeId> Controller::reliability_tick(double now) {
@@ -1127,13 +1236,12 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
         // retransmit bursts without breaking run-to-run reproducibility.
         p.next_due = now + p.rto * (1.0 + 0.25 * static_cast<double>(
                                               (seq * 2654435761ULL) % 97) / 97.0);
-        Writer w;
-        w.put<uint64_t>(seq);
-        w.put<uint64_t>(l.rx_contig);
-        w.put<uint16_t>(static_cast<uint16_t>(p.kind));
-        w.put_raw(p.payload.data(), p.payload.size());
+        // The pending buffer is already the full kReliable frame; refresh
+        // its piggybacked ack in place and send a copy (the original stays
+        // armed for the next timeout).
+        patch_u64(p.wrapped, kRelAckOffset, l.rx_contig);
         l.acked_sent = std::max(l.acked_sent, l.rx_contig);
-        outs.push_back({peer, FrameKind::kReliable, w.take()});
+        outs.push_back({peer, FrameKind::kReliable, p.wrapped});
         retransmissions_.fetch_add(1, std::memory_order_relaxed);
 #ifdef DPS_TRACE
         if (obs::tracing_active()) {
@@ -1208,7 +1316,11 @@ void Controller::on_node_down(NodeId node) {
     std::lock_guard<std::mutex> lock(rel_mu_);
     ReliableLink& l = rlink_locked(node);
     l.dead = true;
-    l.unacked.clear();  // stop retransmitting into the void
+    // Stop retransmitting into the void; recycle the armed frames.
+    for (auto& [seq, p] : l.unacked) {
+      BufferPool::instance().release(std::move(p.wrapped));
+    }
+    l.unacked.clear();
   }
   // Unblock split/stream executions waiting for flow-control credits the
   // dead node will never return. The raised kState unwinds the operation;

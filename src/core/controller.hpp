@@ -126,13 +126,23 @@ class Controller {
   void flow_acquire(ContextId ctx);           // blocks until window slot free
   void finish_flow_account(ContextId ctx);    // split done; erase when drained
   void apply_flow_release(ContextId ctx, uint32_t n);
-  void ack_consumed(const SplitFrame& frame);  // from merge/stream side
+  /// Returns `n` consumed-token credits to the split's flow account —
+  /// locally, or as one batched kFlowAck frame (ExecCtx coalesces).
+  void send_flow_ack(const SplitFrame& frame, uint32_t n);
 
   // Reliable delivery internals. fabric_send is the single exit point for
   // engine frames: it either forwards to the fabric directly or wraps the
   // frame in a sequence-numbered kReliable envelope.
   void fabric_send(NodeId target, FrameKind kind,
                    std::vector<std::byte> payload);
+  /// Encodes `env` into one exact-size pooled buffer and ships it — in
+  /// reliable mode the kReliable header and envelope share that single
+  /// buffer (no double-wrap copy).
+  void send_envelope(NodeId target, FrameKind kind, const Envelope& env);
+  /// Assigns a sequence number into the pre-encoded [seq|ack|kind|payload]
+  /// buffer, records it for retransmission, and ships it.
+  void send_reliable_wrapped(NodeId target, FrameKind kind,
+                             std::vector<std::byte> wrapped);
   void handle_frame(FrameKind kind, NodeId from,
                     const std::byte* data, size_t size);
   void handle_reliable(NodeMessage&& msg);

@@ -46,9 +46,13 @@ Envelope Envelope::decode(Reader& r) {
 }
 
 size_t Envelope::encoded_size() const {
-  Writer w;
-  encode(w);
-  return w.size();
+  // Arithmetic mirror of encode(): the send path sizes one exact-capacity
+  // buffer from this, so the two functions must stay in lockstep.
+  DPS_CHECK(token.get() != nullptr, "sizing an envelope without a token");
+  return sizeof(AppId) + sizeof(GraphId) + sizeof(VertexId) +
+         sizeof(CollectionId) + sizeof(ThreadIndex) + sizeof(CallId) +
+         sizeof(NodeId) + sizeof(uint32_t) +
+         frames.size() * sizeof(SplitFrame) + serialized_token_size(*token);
 }
 
 }  // namespace dps

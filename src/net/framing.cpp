@@ -1,5 +1,7 @@
 #include "net/framing.hpp"
 
+#include <sys/uio.h>
+
 #include <cstring>
 
 #include "util/error.hpp"
@@ -15,6 +17,16 @@ struct WireHeader {
   uint32_t length;
 };
 static_assert(sizeof(WireHeader) == 16);
+
+WireHeader make_header(const Frame& frame) {
+  WireHeader h{};
+  h.magic = kFrameMagic;
+  h.kind = static_cast<uint16_t>(frame.kind);
+  h.reserved = 0;
+  h.from = frame.from;
+  h.length = static_cast<uint32_t>(frame.payload.size());
+  return h;
+}
 }  // namespace
 
 size_t frame_wire_size(const Frame& frame) {
@@ -22,19 +34,35 @@ size_t frame_wire_size(const Frame& frame) {
 }
 
 void write_frame(TcpConn& conn, const Frame& frame) {
-  WireHeader h{};
-  h.magic = kFrameMagic;
-  h.kind = static_cast<uint16_t>(frame.kind);
-  h.reserved = 0;
-  h.from = frame.from;
-  h.length = static_cast<uint32_t>(frame.payload.size());
-  // One send for the header and one for the payload; TCP_NODELAY is set, but
-  // the payload send immediately follows so coalescing still happens for
-  // small frames on loopback.
-  conn.send_all(&h, sizeof(h));
+  WireHeader h = make_header(frame);
+  iovec iov[2];
+  iov[0].iov_base = &h;
+  iov[0].iov_len = sizeof(h);
+  size_t cnt = 1;
   if (!frame.payload.empty()) {
-    conn.send_all(frame.payload.data(), frame.payload.size());
+    iov[1].iov_base = const_cast<std::byte*>(frame.payload.data());
+    iov[1].iov_len = frame.payload.size();
+    cnt = 2;
   }
+  conn.writev_all(iov, cnt);
+}
+
+void write_frames(TcpConn& conn, const Frame* frames, size_t count) {
+  if (count == 0) return;
+  // Headers live in one contiguous array so their iovecs stay valid for the
+  // whole scatter-gather write; payload iovecs point into the frames.
+  std::vector<WireHeader> headers(count);
+  std::vector<iovec> iov;
+  iov.reserve(2 * count);
+  for (size_t i = 0; i < count; ++i) {
+    headers[i] = make_header(frames[i]);
+    iov.push_back({&headers[i], sizeof(WireHeader)});
+    if (!frames[i].payload.empty()) {
+      iov.push_back({const_cast<std::byte*>(frames[i].payload.data()),
+                     frames[i].payload.size()});
+    }
+  }
+  conn.writev_all(iov.data(), iov.size());
 }
 
 bool read_frame(TcpConn& conn, Frame* out) {

@@ -1,10 +1,14 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <cerrno>
 #include <cstring>
@@ -64,6 +68,31 @@ void TcpConn::send_all(const void* data, size_t size) {
     }
     p += n;
     size -= static_cast<size_t>(n);
+  }
+}
+
+void TcpConn::writev_all(iovec* iov, size_t iovcnt) {
+  // sendmsg rather than writev: we need MSG_NOSIGNAL so a dead peer yields
+  // EPIPE instead of killing the process, matching send_all.
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = std::min<size_t>(iovcnt, IOV_MAX);
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      net_fail("sendmsg");
+    }
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (left > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
   }
 }
 

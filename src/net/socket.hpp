@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+struct iovec;  // <sys/uio.h>
+
 namespace dps {
 
 /// An established, owned TCP connection.
@@ -33,6 +35,12 @@ class TcpConn {
 
   /// Sends the whole buffer; throws Error(kNetwork) on failure.
   void send_all(const void* data, size_t size);
+
+  /// Scatter-gather send of every iovec in order; handles partial writes
+  /// and EINTR, throws Error(kNetwork) on failure. `iov` is adjusted in
+  /// place while draining (caller's array is consumed). Accepts any count —
+  /// batches larger than the kernel's IOV_MAX are sent in chunks.
+  void writev_all(iovec* iov, size_t iovcnt);
 
   /// Receives exactly `size` bytes. Returns false on clean EOF at a frame
   /// boundary (size bytes into the buffer, zero read so far); throws on

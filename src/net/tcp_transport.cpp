@@ -1,10 +1,12 @@
 #include "net/tcp_transport.hpp"
 
+#include "serial/buffer_pool.hpp"
 #include "serial/wire.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 #ifdef DPS_TRACE
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #endif
 
@@ -55,8 +57,11 @@ void TcpFabric::acceptor_loop(NodeId self) {
     TcpConn conn = nodes_[self]->listener.accept();
     if (!conn.valid()) return;  // listener closed: shutting down
     auto shared = std::make_shared<TcpConn>(std::move(conn));
+    // Registered even while shutting down: a sender draining its queue may
+    // have a connection waiting in the backlog, and its frames must still
+    // be delivered. shutdown() joins this acceptor before it collects
+    // receivers_, so no registration races the final join.
     std::lock_guard<std::mutex> lock(mu_);
-    if (down_) return;
     receivers_.emplace_back(
         [this, self, shared] { receiver_loop(self, shared); });
   }
@@ -118,27 +123,144 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
   handler(NodeMessage{peer, FrameKind::kPeerDown, w.take()});
 }
 
+void TcpFabric::sender_loop(OutConn& oc) {
+#ifdef DPS_TRACE
+  if (obs::tracing_active()) {
+    obs::Trace::instance().set_thread_name(
+        "tx " + std::to_string(oc.from) + "->" + std::to_string(oc.to));
+  }
+#endif
+  // Lazy connect (the paper's delayed connection strategy), off the
+  // producer's thread: the first enqueue created this link, the connect and
+  // hello happen here while the producer continues computing.
+  try {
+    oc.conn = TcpConn::connect("127.0.0.1", oc.port);
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.from = oc.from;
+    write_frame(oc.conn, hello);
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(oc.mu);
+    if (!oc.closed) {
+      DPS_WARN("tcp fabric: connect " << oc.from << "->" << oc.to
+                                      << " failed: " << e.what());
+    }
+    oc.failed = true;
+    oc.queue.clear();
+    oc.queued_bytes = 0;
+    oc.space.notify_all();
+  }
+  std::deque<Frame> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(oc.mu);
+      oc.data.wait(lock, [&] { return !oc.queue.empty() || oc.closed; });
+      if (oc.queue.empty()) break;  // closed and drained
+      batch.swap(oc.queue);
+      oc.queued_bytes = 0;
+    }
+    // Budget freed: wake every producer blocked on backpressure.
+    oc.space.notify_all();
+#ifdef DPS_TRACE
+    size_t batch_bytes = 0;
+    const bool t_on = obs::tracing_active();
+    if (t_on) {
+      for (const Frame& f : batch) batch_bytes += frame_wire_size(f);
+      obs::Trace::instance().record(obs::EventKind::kTxBatchStart, oc.from,
+                                    oc.to, batch.size(), batch_bytes, 0);
+    }
+#endif
+    bool wrote = false;
+    try {
+      // The coalesced write: every pending frame for this peer leaves in
+      // one scatter-gather batch. deque storage is chunked, so frames are
+      // handed over as a contiguous copy of Frame headers — the payloads
+      // themselves are not copied (iovecs point at them).
+      std::vector<Frame> contiguous(std::make_move_iterator(batch.begin()),
+                                    std::make_move_iterator(batch.end()));
+      write_frames(oc.conn, contiguous.data(), contiguous.size());
+      wrote = true;
+      // Encode buffers go back to the pool now that the bytes are on the
+      // wire (docs/PERFORMANCE.md: buffer-pool lifecycle).
+      for (Frame& f : contiguous) {
+        BufferPool::instance().release(std::move(f.payload));
+      }
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(oc.mu);
+      if (!oc.closed && !oc.failed) {
+        DPS_WARN("tcp fabric: send " << oc.from << "->" << oc.to
+                                     << " failed: " << e.what());
+      }
+      oc.failed = true;
+      oc.queue.clear();  // undeliverable; peer's receiver reports the tear
+      oc.queued_bytes = 0;
+      oc.space.notify_all();
+    }
+#ifdef DPS_TRACE
+    if (t_on) {
+      obs::Trace::instance().record(obs::EventKind::kTxBatchEnd, oc.from,
+                                    oc.to, batch.size(), batch_bytes,
+                                    wrote ? 1 : 0);
+      static obs::Counter& writevs =
+          obs::Metrics::instance().counter("dps.tx.writev_batches");
+      writevs.inc();
+      static obs::Histogram& frames_hist =
+          obs::Metrics::instance().histogram("dps.tx.batch_frames");
+      frames_hist.observe(batch.size());
+      static obs::Histogram& bytes_hist =
+          obs::Metrics::instance().histogram("dps.tx.batch_bytes");
+      bytes_hist.observe(batch_bytes);
+    }
+#else
+    (void)wrote;
+#endif
+    batch.clear();
+  }
+  // Closed and fully drained: announce the planned close so the peer's
+  // receiver can tell it from a torn stream, then close the socket.
+  bool announce;
+  {
+    std::lock_guard<std::mutex> lock(oc.mu);
+    announce = !oc.failed;
+  }
+  if (announce) {
+    Frame bye;
+    bye.kind = FrameKind::kShutdown;
+    bye.from = oc.from;
+    try {
+      write_frame(oc.conn, bye);
+      // Wait for the peer to close: its receiver only closes the socket
+      // after it has read — and delivered — every frame up to the bye, so
+      // this EOF is the drain barrier shutdown() joins on. Written bytes
+      // alone prove nothing (they may still sit in a socket buffer or an
+      // unaccepted backlog connection).
+      char sink;
+      while (oc.conn.recv_all(&sink, 1)) {
+      }
+    } catch (const Error&) {
+      // peer already gone; its receiver reported the torn stream
+    }
+  }
+  oc.conn.close();  // unblocks the peer's receiver
+}
+
 TcpFabric::OutConn& TcpFabric::out_conn(NodeId from, NodeId to) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto key = std::make_pair(from, to);
   auto it = out_.find(key);
   if (it != out_.end()) return *it->second;
   if (down_) raise(Errc::kNetwork, "fabric is shut down");
-  const uint16_t port = nodes_[to]->listener.port();
-  lock.unlock();
-  // Lazy connect outside mu_ (connect can block); racing senders may both
-  // connect, the loser's socket is discarded below.
-  TcpConn conn = TcpConn::connect("127.0.0.1", port);
-  Frame hello;
-  hello.kind = FrameKind::kHello;
-  hello.from = from;
-  write_frame(conn, hello);
-  lock.lock();
-  it = out_.find(key);
-  if (it != out_.end()) return *it->second;  // lost the race; drop ours
+  // The sender thread performs the (possibly blocking) connect and hello,
+  // so the link is registered atomically under mu_: concurrent first sends
+  // can never race two half-open connections against each other.
   auto oc = std::make_unique<OutConn>();
-  oc->conn = std::move(conn);
+  oc->from = from;
+  oc->to = to;
+  oc->port = nodes_[to]->listener.port();
+  oc->queue_limit = queue_limit_.load(std::memory_order_relaxed);
+  OutConn* raw = oc.get();
   it = out_.emplace(key, std::move(oc)).first;
+  raw->sender = std::thread([this, raw] { sender_loop(*raw); });
   return *it->second;
 }
 
@@ -149,52 +271,74 @@ void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
   f.kind = kind;
   f.from = from;
   f.payload = std::move(payload);
-  std::lock_guard<std::mutex> lock(oc.mu);
-  // Checked under oc.mu: a send either fully precedes the shutdown frame on
-  // this connection or observes `closed` — it can never interleave bytes
-  // with the close or write into a closed socket.
-  if (oc.closed) raise(Errc::kNetwork, "fabric is shut down");
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
+  const size_t wire = frame_wire_size(f);
+  {
+    std::unique_lock<std::mutex> lock(oc.mu);
+    // Backpressure: block while the byte budget is exhausted. The budget is
+    // a soft bound (one frame may overshoot it) so frames larger than the
+    // whole budget still make progress.
+    oc.space.wait(lock, [&] {
+      return oc.queued_bytes < oc.queue_limit || oc.closed || oc.failed;
+    });
+    // Checked under oc.mu: a send either fully precedes the queue close or
+    // observes `closed` — the sender thread drains everything enqueued
+    // before the shutdown frame, so accepted frames are never lost.
+    if (oc.closed) raise(Errc::kNetwork, "fabric is shut down");
+    if (oc.failed) {
+      raise(Errc::kNetwork, "connection " + std::to_string(from) + "->" +
+                                std::to_string(to) + " failed");
+    }
+    oc.queue.push_back(std::move(f));
+    oc.queued_bytes += wire;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(wire, std::memory_order_relaxed);
 #ifdef DPS_TRACE
-  obs::Trace::instance().record(obs::EventKind::kTransportSend, from, to,
-                                static_cast<uint64_t>(kind), 0,
-                                frame_wire_size(f));
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kTransportSend, from, to,
+                                    static_cast<uint64_t>(kind),
+                                    oc.queue.size(), wire);
+      static obs::Gauge& depth =
+          obs::Metrics::instance().gauge("dps.tx.queue_bytes");
+      depth.set(static_cast<int64_t>(oc.queued_bytes));
+      depth.update_max(static_cast<int64_t>(oc.queued_bytes));
+    }
 #endif
-  write_frame(oc.conn, f);
+  }
+  oc.data.notify_one();
 }
 
 void TcpFabric::shutdown() {
-  std::vector<std::thread> receivers;
+  std::vector<OutConn*> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (down_) return;
-    down_ = true;
-    receivers.swap(receivers_);
+    down_ = true;  // no new out-connections; torn-stream reports go quiet
+    for (auto& [key, oc] : out_) conns.push_back(oc.get());
   }
-  {
-    // Announce the close on every open connection so peers can tell this
-    // planned shutdown from a torn stream, then close under the same lock
-    // that serializes senders.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [key, oc] : out_) {
-      std::lock_guard<std::mutex> cl(oc->mu);
-      if (oc->closed) continue;
-      Frame bye;
-      bye.kind = FrameKind::kShutdown;
-      bye.from = key.first;
-      try {
-        write_frame(oc->conn, bye);
-      } catch (const Error&) {
-        // peer already gone; its receiver reported the torn stream
-      }
+  // Stop accepting new frames; senders drain what is queued, append the
+  // shutdown announcement, and block until the peer's receiver has consumed
+  // the stream (EOF barrier in sender_loop). Listeners and acceptors stay
+  // up throughout so a connection still sitting in a backlog is accepted,
+  // read, and delivered rather than torn down.
+  for (OutConn* oc : conns) {
+    {
+      std::lock_guard<std::mutex> lock(oc->mu);
       oc->closed = true;
-      oc->conn.close();  // unblocks the peer's receiver
     }
+    oc->data.notify_all();
+    oc->space.notify_all();
+  }
+  for (OutConn* oc : conns) {
+    if (oc->sender.joinable()) oc->sender.join();
   }
   for (auto& node : nodes_) node->listener.close();
   for (auto& node : nodes_) {
     if (node->acceptor.joinable()) node->acceptor.join();
+  }
+  std::vector<std::thread> receivers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    receivers.swap(receivers_);
   }
   for (auto& r : receivers) {
     if (r.joinable()) r.join();

@@ -7,9 +7,19 @@
 // needs to reach that node"). A hello frame announces the sender's node id;
 // afterwards the socket carries frames one way, read by a per-connection
 // receiver thread that feeds the destination node's handler.
+//
+// Transmission is asynchronous and batched (docs/PERFORMANCE.md): send()
+// enqueues the frame on the connection's bounded byte-budget queue and
+// returns; a per-peer sender thread drains the queue and coalesces every
+// pending frame into one scatter-gather writev. The producing worker only
+// blocks when the queue budget is exhausted (backpressure), so compute on
+// the sending node overlaps the wire time of earlier tokens. Per-link FIFO
+// is preserved: one queue, one sender thread, one socket per (from, to).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +51,10 @@ class TcpFabric : public Fabric {
   /// node 'alpha'"); set by the cluster, optional.
   void set_node_names(std::vector<std::string> names);
 
+  /// Shrinks the per-connection queue budget (tests exercise backpressure
+  /// without queueing megabytes). Applies to connections opened afterwards.
+  void set_send_queue_limit(size_t bytes) { queue_limit_ = bytes; }
+
  private:
   struct NodeEnd {
     TcpListener listener;
@@ -48,15 +62,33 @@ class TcpFabric : public Fabric {
     std::thread acceptor;
   };
   struct OutConn {
-    std::mutex mu;  // serializes writers from one node to one peer
-    TcpConn conn;
-    bool closed = false;  // guarded by mu: set by shutdown, checked by send
+    NodeId from = 0;
+    NodeId to = 0;
+    uint16_t port = 0;  ///< the peer's listener; connected by the sender
+    size_t queue_limit = 0;
+
+    std::mutex mu;
+    std::condition_variable space;  ///< producers wait here (backpressure)
+    std::condition_variable data;   ///< the sender thread waits here
+    std::deque<Frame> queue;        ///< pending frames, FIFO
+    size_t queued_bytes = 0;        ///< wire bytes represented by `queue`
+    bool closed = false;  ///< no new sends accepted (shutdown started)
+    bool failed = false;  ///< a write failed; the link is dead
+
+    TcpConn conn;         ///< written only by the sender thread after setup
+    std::thread sender;
   };
 
   void acceptor_loop(NodeId self);
   void receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn);
+  void sender_loop(OutConn& oc);
   OutConn& out_conn(NodeId from, NodeId to);
   std::string node_label(NodeId node) const;  // caller holds mu_
+
+  // Default per-connection queue budget: deep enough to decouple a worker
+  // from the wire across many small tokens, small enough to bound memory
+  // and keep backpressure meaningful for large ones.
+  static constexpr size_t kDefaultQueueLimit = 4 << 20;  // 4 MB
 
   mutable std::mutex mu_;
   std::vector<std::string> names_;  // empty until set_node_names
@@ -64,6 +96,7 @@ class TcpFabric : public Fabric {
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<OutConn>> out_;
   std::vector<std::thread> receivers_;
   bool down_ = false;
+  std::atomic<size_t> queue_limit_{kDefaultQueueLimit};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};
 };

@@ -30,6 +30,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kCollectionMap: return "collection_map";
     case EventKind::kTransportSend: return "transport_send";
     case EventKind::kTransportRecv: return "transport_recv";
+    case EventKind::kTxBatchStart: return "tx_batch_start";
+    case EventKind::kTxBatchEnd: return "tx_batch_end";
   }
   return "unknown";
 }

@@ -65,6 +65,8 @@ enum class EventKind : uint16_t {
   kCollectionMap = 20,  ///< thread collection mapped onto nodes
   kTransportSend = 21,  ///< bytes written to a TCP connection
   kTransportRecv = 22,  ///< bytes read from a TCP connection
+  kTxBatchStart = 23,   ///< async sender begins a coalesced writev batch
+  kTxBatchEnd = 24,     ///< coalesced batch fully on the wire
 };
 
 const char* to_string(EventKind kind) noexcept;

@@ -126,6 +126,40 @@ std::vector<TraceQuery::Interval> TraceQuery::intervals(
   return out;
 }
 
+std::vector<TraceQuery::Interval> TraceQuery::paired_intervals(
+    EventKind start, EventKind end, uint32_t node) const {
+  std::map<uint32_t, TaggedEvent> open;  // per recording thread
+  std::vector<Interval> out;
+  for (const TaggedEvent& ev : events_) {
+    const auto kind = static_cast<EventKind>(ev.e.kind);
+    if (kind != start && kind != end) continue;
+    if (node != UINT32_MAX && ev.e.node != node) continue;
+    if (kind == start) {
+      open.insert_or_assign(ev.thread, ev);  // lost end: keep the newest
+      continue;
+    }
+    auto it = open.find(ev.thread);
+    if (it == open.end()) continue;  // lost start (ring overwrote it)
+    const TaggedEvent& s = it->second;
+    Interval iv;
+    iv.begin_ns = s.e.t_ns;
+    iv.end_ns = ev.e.t_ns;
+    iv.vertex = s.e.a;
+    iv.opkind = s.e.b;
+    iv.context = s.e.c;
+    iv.seq = s.e.d;
+    iv.node = s.e.node;
+    iv.thread = s.thread;
+    iv.thread_name = s.thread_name;
+    out.push_back(std::move(iv));
+    open.erase(it);
+  }
+  std::sort(out.begin(), out.end(), [](const Interval& x, const Interval& y) {
+    return x.begin_ns < y.begin_ns;
+  });
+  return out;
+}
+
 uint64_t TraceQuery::overlap_ns(const std::vector<Interval>& xs,
                                 const std::vector<Interval>& ys) {
   // Sweep the union coverage of each set, then intersect: +1/-1 deltas per

@@ -89,6 +89,24 @@ class TraceQuery {
   /// vertex == UINT64_MAX returns every execution.
   std::vector<Interval> intervals(uint64_t vertex = UINT64_MAX) const;
 
+  /// Generic start/end pairing for non-operation interval events: each
+  /// `start` event on a thread opens an interval closed by the next `end`
+  /// event on the same thread (the async sender's kTxBatchStart/kTxBatchEnd
+  /// are strictly sequential per sender thread). `node` filters to one
+  /// node's events; UINT32_MAX keeps all. Interval a/b/c/d fields come from
+  /// the start event (vertex=a, opkind=b, context=c, seq=d).
+  std::vector<Interval> paired_intervals(EventKind start, EventKind end,
+                                         uint32_t node = UINT32_MAX) const;
+
+  /// Transmit batches recorded by TcpFabric's async senders: the windows
+  /// during which `node`'s sender threads had a coalesced writev in flight.
+  /// The compute/communication-overlap assertion intersects these with
+  /// operation intervals on the same node.
+  std::vector<Interval> transmit_intervals(uint32_t node = UINT32_MAX) const {
+    return paired_intervals(EventKind::kTxBatchStart, EventKind::kTxBatchEnd,
+                            node);
+  }
+
   /// Total wall/virtual time during which at least one interval of `xs` and
   /// one of `ys` run concurrently — the overlap window the paper's Table 1
   /// credits DPS's implicit pipelining with.

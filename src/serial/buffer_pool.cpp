@@ -1,0 +1,81 @@
+#include "serial/buffer_pool.hpp"
+
+namespace dps {
+
+BufferPool& BufferPool::instance() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::vector<std::byte> BufferPool::acquire(size_t size_hint) {
+  std::vector<std::byte> buf;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    // Prefer the smallest retained buffer that already fits the hint;
+    // fall back to the largest one (one reserve call tops it up).
+    size_t best = free_.size();
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity() < size_hint) continue;
+      if (best == free_.size() ||
+          free_[i].capacity() < free_[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best == free_.size() && !free_.empty()) {
+      best = 0;
+      for (size_t i = 1; i < free_.size(); ++i) {
+        if (free_[i].capacity() > free_[best].capacity()) best = i;
+      }
+    }
+    if (best < free_.size()) {
+      buf = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
+      if (buf.capacity() >= size_hint) {
+        reused = true;
+        ++stats_.reuses;
+      }
+    }
+  }
+  buf.clear();
+  if (!reused && buf.capacity() < size_hint) buf.reserve(size_hint);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::byte> buf) {
+  if (buf.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= kMaxFreeBuffers ||
+      buf.capacity() > kMaxRetainedCapacity) {
+    ++stats_.dropped;
+    return;  // buf destructs outside the pool
+  }
+  ++stats_.releases;
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void BufferPool::note_growth(uint32_t growths) {
+  if (growths == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.encode_growths += growths;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  free_.shrink_to_fit();
+}
+
+}  // namespace dps

@@ -1,0 +1,68 @@
+// Free-list pool for the transmit path's encode buffers.
+//
+// Every envelope crossing a node boundary is encoded into one exact-size
+// byte vector (Envelope::encoded_size() + Writer::reserve). On the TCP
+// fabric the asynchronous sender owns that vector until the writev that
+// ships it completes, then returns it here; the next encode on any thread
+// reuses the capacity instead of hitting the allocator. The pool is a
+// process-wide singleton because buffers migrate between threads (worker
+// encodes, sender releases) and between in-process "nodes".
+//
+// The pool is deliberately small and bounded: it is a capacity cache, not
+// an arena. Dropping a buffer on the floor (e.g. the inproc fabric hands
+// payloads straight to the receiving controller, which frees them normally)
+// is always correct — acquire/release need not pair up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dps {
+
+class BufferPool {
+ public:
+  static BufferPool& instance();
+
+  /// An empty vector with capacity >= size_hint, recycled when possible.
+  std::vector<std::byte> acquire(size_t size_hint);
+
+  /// Returns a buffer's capacity to the free list (contents are discarded).
+  /// Buffers beyond the retention caps are simply freed.
+  void release(std::vector<std::byte> buf);
+
+  struct Stats {
+    uint64_t acquires = 0;  ///< total acquire() calls
+    uint64_t reuses = 0;    ///< acquires satisfied without an allocation
+    uint64_t releases = 0;  ///< buffers returned to the free list
+    uint64_t dropped = 0;   ///< releases rejected by the retention caps
+    uint64_t encode_growths = 0;  ///< Writer reallocations noted via
+                                  ///< note_growth — zero when every encode
+                                  ///< got an exact-size buffer
+  };
+  Stats stats() const;
+  void reset_stats();
+
+  /// Folds a Writer::growth_count() into the stats; callers report it after
+  /// finishing an encode so tests can assert the zero-realloc invariant.
+  void note_growth(uint32_t growths);
+
+  /// Frees every retained buffer (tests; leak-checker hygiene).
+  void trim();
+
+ private:
+  BufferPool() = default;
+
+  // Caps chosen for the engine's working set: a handful of in-flight
+  // frames per peer link. Oversized one-off buffers (multi-MB tokens) are
+  // not retained so a single huge transfer can't pin memory forever.
+  static constexpr size_t kMaxFreeBuffers = 64;
+  static constexpr size_t kMaxRetainedCapacity = 1 << 20;  // 1 MB each
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::byte>> free_;
+  Stats stats_;
+};
+
+}  // namespace dps

@@ -39,6 +39,10 @@ namespace detail {
 struct FieldOps {
   void (*serialize)(const void* field, Writer& w);
   void (*deserialize)(void* field, Reader& r);
+  /// Exact number of bytes serialize() would emit for this field value —
+  /// lets Envelope::encoded_size() size the encode buffer arithmetically
+  /// instead of doing a throwaway encode.
+  size_t (*wire_size)(const void* field);
 };
 
 struct FieldDescriptor {
@@ -91,6 +95,14 @@ class FieldTable {
   void deserialize(void* object, Reader& r) const {
     char* base = static_cast<char*>(object);
     for (const auto& f : fields_) f.ops->deserialize(base + f.offset, r);
+  }
+
+  /// Exact serialized size of `object`'s fields.
+  size_t wire_size(const void* object) const {
+    const char* base = static_cast<const char*>(object);
+    size_t n = 0;
+    for (const auto& f : fields_) n += f.ops->wire_size(base + f.offset);
+    return n;
   }
 
   size_t field_count() const { return fields_.size(); }
@@ -165,7 +177,8 @@ class CT {
     }
   }
   static const detail::FieldOps* ops() {
-    static const detail::FieldOps o{&serialize_fn, &deserialize_fn};
+    static const detail::FieldOps o{&serialize_fn, &deserialize_fn,
+                                    &wire_size_fn};
     return &o;
   }
   static void serialize_fn(const void* field, Writer& w) {
@@ -182,6 +195,14 @@ class CT {
       v = r.get_string();
     } else {
       v = r.get<T>();
+    }
+  }
+  static size_t wire_size_fn(const void* field) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return sizeof(uint32_t) +
+             static_cast<const CT*>(field)->value_.size();
+    } else {
+      return sizeof(T);
     }
   }
 
@@ -225,13 +246,18 @@ class Buffer {
 
  private:
   static const detail::FieldOps* ops() {
-    static const detail::FieldOps o{&serialize_fn, &deserialize_fn};
+    static const detail::FieldOps o{&serialize_fn, &deserialize_fn,
+                                    &wire_size_fn};
     return &o;
   }
   static void serialize_fn(const void* field, Writer& w) {
     const auto& v = static_cast<const Buffer*>(field)->v_;
     w.put(static_cast<uint64_t>(v.size()));
     w.put_raw(v.data(), v.size() * sizeof(T));
+  }
+  static size_t wire_size_fn(const void* field) {
+    const auto& v = static_cast<const Buffer*>(field)->v_;
+    return sizeof(uint64_t) + v.size() * sizeof(T);
   }
   static void deserialize_fn(void* field, Reader& r) {
     auto& v = static_cast<Buffer*>(field)->v_;
@@ -281,7 +307,8 @@ class Vector {
 
  private:
   static const detail::FieldOps* ops() {
-    static const detail::FieldOps o{&serialize_fn, &deserialize_fn};
+    static const detail::FieldOps o{&serialize_fn, &deserialize_fn,
+                                    &wire_size_fn};
     return &o;
   }
   static void serialize_fn(const void* field, Writer& w) {
@@ -289,6 +316,13 @@ class Vector {
     w.put(static_cast<uint64_t>(v.size()));
     const FieldTable& table = FieldTable::of<T>();
     for (const T& e : v) table.serialize(&e, w);
+  }
+  static size_t wire_size_fn(const void* field) {
+    const auto& v = static_cast<const Vector*>(field)->v_;
+    const FieldTable& table = FieldTable::of<T>();
+    size_t n = sizeof(uint64_t);
+    for (const T& e : v) n += table.wire_size(&e);
+    return n;
   }
   static void deserialize_fn(void* field, Reader& r) {
     auto& v = static_cast<Vector*>(field)->v_;

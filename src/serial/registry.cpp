@@ -81,6 +81,11 @@ void serialize_token(const Token& token, Writer& w) {
   info.serialize(token, w);
 }
 
+size_t serialized_token_size(const Token& token) {
+  const TokenTypeInfo& info = token.typeInfo();
+  return sizeof(info.id) + info.wire_size(token);
+}
+
 Ptr<Token> deserialize_token(Reader& r) {
   const uint64_t id = r.get<uint64_t>();
   const TokenTypeInfo& info = TokenRegistry::instance().find(id);

@@ -40,6 +40,8 @@ struct TokenTypeInfo {
   Token* (*create)() = nullptr;
   void (*serialize)(const Token&, Writer&) = nullptr;
   void (*deserialize)(Token&, Reader&) = nullptr;
+  /// Exact payload size serialize() would emit (excludes the type-id tag).
+  size_t (*wire_size)(const Token&) = nullptr;
 };
 
 /// Process-wide id -> TokenTypeInfo map. Thread safe.
@@ -65,6 +67,10 @@ class TokenRegistry {
 
 /// Serializes a token (dynamic type tag + payload) into the writer.
 void serialize_token(const Token& token, Writer& w);
+
+/// Exact number of bytes serialize_token(token, w) appends — the type-id
+/// tag plus the payload. Computed arithmetically (no throwaway encode).
+size_t serialized_token_size(const Token& token);
 
 /// Reconstructs a token previously written by serialize_token. Throws
 /// Error(kNotFound) for unregistered types and Error(kProtocol) for
@@ -103,6 +109,16 @@ void complex_deserialize(Token& t, Reader& r) {
 }
 
 template <class T>
+size_t simple_wire_size(const Token&) {
+  return sizeof(T) - sizeof(SimpleToken);
+}
+
+template <class T>
+size_t complex_wire_size(const Token& t) {
+  return FieldTable::of<T>().wire_size(static_cast<const T*>(&t));
+}
+
+template <class T>
 const TokenTypeInfo& register_token(const char* name) {
   static_assert(std::is_base_of_v<Token, T>,
                 "DPS_IDENTIFY is for Token-derived classes");
@@ -121,9 +137,11 @@ const TokenTypeInfo& register_token(const char* name) {
     if constexpr (simple) {
       i.serialize = &simple_serialize<T>;
       i.deserialize = &simple_deserialize<T>;
+      i.wire_size = &simple_wire_size<T>;
     } else {
       i.serialize = &complex_serialize<T>;
       i.deserialize = &complex_deserialize<T>;
+      i.wire_size = &complex_wire_size<T>;
     }
     return i;
   }();

@@ -27,8 +27,20 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Adopts `buf` as backing storage, keeping its capacity but discarding
+  /// its contents — the constructor the buffer pool hands recycled
+  /// allocations through. Combined with Envelope::encoded_size(), an
+  /// exact-capacity buffer makes the whole encode allocation-free.
+  explicit Writer(std::vector<std::byte> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
+  /// Pre-sizes the backing buffer so subsequent puts don't reallocate.
+  void reserve(size_t n) { buf_.reserve(n); }
+
   /// Raw bytes, no length prefix.
   void put_raw(const void* data, size_t size) {
+    if (buf_.size() + size > buf_.capacity()) ++growths_;
     const auto* bytes = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), bytes, bytes + size);
   }
@@ -54,9 +66,16 @@ class Writer {
   const std::vector<std::byte>& bytes() const { return buf_; }
   std::vector<std::byte> take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
+  size_t capacity() const { return buf_.capacity(); }
+
+  /// Number of puts that outgrew the backing buffer's capacity (each one a
+  /// reallocation + copy). Zero for a writer seeded with an exact-size
+  /// reserve — the invariant bench/micro_serialization locks in.
+  uint32_t growth_count() const { return growths_; }
 
  private:
   std::vector<std::byte> buf_;
+  uint32_t growths_ = 0;
 };
 
 /// Reads primitive values back out of a byte buffer. Every accessor checks

@@ -165,6 +165,52 @@ TEST(ToUpper, TraceProvesComputeMergeOverlap) {
       << "the merge must collect while leaves still compute";
 }
 
+// The asynchronous transmit path's reason to exist: on the sending node,
+// operation executions (split posting tokens, leaves computing) must overlap
+// the sender thread's writev batches — with the old synchronous path the
+// worker sat inside send_all and the two could never overlap.
+TEST(ToUpper, TraceProvesComputeTransmitOverlap) {
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "built without DPS_TRACE; use the trace preset";
+  }
+  obs::Trace::instance().reset();
+  obs::Trace::instance().configure(
+      {/*enabled=*/true, /*sample_every=*/1, /*buffer_capacity=*/1u << 15});
+  {
+    Cluster cluster(ClusterConfig::tcp(2));
+    Application app(cluster, "tx-overlap");
+    auto main_threads = app.thread_collection<MainThread>("main");
+    main_threads->map("node0");
+    auto compute = app.thread_collection<ComputeThread>("proc");
+    compute->map(round_robin_mapping({"node0", "node1"}, 4));
+    FlowgraphBuilder b =
+        FlowgraphNode<SplitString, MainRoute>(main_threads) >>
+        FlowgraphNode<SlowUpper, RoundRobinRoute>(compute) >>
+        FlowgraphNode<MergeString, MainCharRoute>(main_threads);
+    auto graph = app.build_graph(b, "tx-overlap");
+    ActorScope scope(cluster.domain(), "test-main");
+    const std::string input(96, 'q');
+    auto result =
+        token_cast<StringToken>(graph->call(new StringToken(input.c_str())));
+    ASSERT_TRUE(result);
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              std::string(96, 'Q'));
+  }
+  obs::TraceQuery q(obs::Trace::instance().collect());
+  obs::Trace::instance().set_enabled(false);
+  obs::Trace::instance().reset();
+
+  std::vector<obs::TraceQuery::Interval> compute0;
+  for (const auto& iv : q.intervals()) {
+    if (iv.node == 0) compute0.push_back(iv);
+  }
+  const auto transmit0 = q.transmit_intervals(/*node=*/0);
+  ASSERT_FALSE(compute0.empty()) << "node-0 executions must be recorded";
+  ASSERT_FALSE(transmit0.empty()) << "node-0 writev batches must be recorded";
+  EXPECT_GT(obs::TraceQuery::overlap_ns(compute0, transmit0), 0u)
+      << "the sender thread must transmit while node-0 operations execute";
+}
+
 class EmptySplit
     : public SplitOperation<MainThread, TV1(StringToken), TV1(CharToken)> {
  public:

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "serial/buffer_pool.hpp"
 #include "serial/registry.hpp"
 
 namespace dps {
@@ -311,6 +312,102 @@ TEST(Fnv, KnownVectorsAndDistinctness) {
   EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
   EXPECT_NE(fnv1a("SCharToken"), fnv1a("charToken"));
   EXPECT_EQ(fnv1a("SCharToken"), SCharToken::staticTypeInfo().id);
+}
+
+// --- Arithmetic sizing + the encode buffer pool ----------------------------
+//
+// The transmit path sizes every encode up front (serialized_token_size) and
+// draws an exact-size buffer from the pool, so a serialize must never grow
+// the writer. These tests pin the size arithmetic to the actual bytes
+// produced for every token family.
+
+size_t actual_serialized_size(const Token& t) {
+  Writer w;
+  serialize_token(t, w);
+  return w.size();
+}
+
+TEST(SizedEncode, SimpleTokenSizeMatchesBytes) {
+  SCharToken t('x', 99);
+  EXPECT_EQ(serialized_token_size(t), actual_serialized_size(t));
+  SEmptyToken e;
+  EXPECT_EQ(serialized_token_size(e), actual_serialized_size(e));
+}
+
+TEST(SizedEncode, ComplexTokenSizeMatchesBytes) {
+  SComplexTok t;
+  t.id = 7;
+  t.name = std::string("a complex token with a heap string");
+  t.children.resize(3);
+  for (size_t i = 0; i < 3; ++i) {
+    t.children[i].id = static_cast<int>(i);
+    t.children[i].label = "child-" + std::to_string(i);
+  }
+  t.numbers.resize(17);
+  EXPECT_EQ(serialized_token_size(t), actual_serialized_size(t));
+
+  SDerivedTok d;
+  d.id = 1;
+  d.name = std::string("derived");
+  d.extra = 2.5;
+  EXPECT_EQ(serialized_token_size(d), actual_serialized_size(d));
+
+  SNestingTok n;
+  n.direct.label = std::string("direct");
+  n.wrapped.get().label = std::string("wrapped");
+  EXPECT_EQ(serialized_token_size(n), actual_serialized_size(n));
+}
+
+TEST(SizedEncode, ReservedWriterNeverGrows) {
+  SComplexTok t;
+  t.name = std::string(200, 'n');
+  t.numbers.resize(64);
+  const size_t need = serialized_token_size(t);
+  Writer w;
+  w.reserve(need);
+  serialize_token(t, w);
+  EXPECT_EQ(w.size(), need);
+  EXPECT_EQ(w.growth_count(), 0u)
+      << "an exact reserve must absorb the whole encode";
+
+  Writer tight;  // no reserve: the growth counter must notice
+  serialize_token(t, tight);
+  EXPECT_GT(tight.growth_count(), 0u);
+}
+
+TEST(BufferPoolTest, RecyclesCapacityAndCountsStats) {
+  BufferPool& pool = BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+
+  std::vector<std::byte> a = pool.acquire(512);
+  EXPECT_GE(a.capacity(), 512u);
+  EXPECT_TRUE(a.empty());
+  pool.release(std::move(a));
+
+  // The freed capacity must satisfy the next fitting request without a
+  // fresh allocation.
+  std::vector<std::byte> b = pool.acquire(256);
+  EXPECT_GE(b.capacity(), 256u);
+  const BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.releases, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.encode_growths, 0u);
+  pool.release(std::move(b));
+  pool.trim();
+  pool.reset_stats();
+}
+
+TEST(BufferPoolTest, OversizedBuffersAreNotRetained) {
+  BufferPool& pool = BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+  std::vector<std::byte> huge;
+  huge.reserve((1 << 20) + 1);  // beyond the per-buffer retention cap
+  pool.release(std::move(huge));
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  pool.reset_stats();
 }
 
 }  // namespace
