@@ -1,37 +1,114 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrency-heavy
 # net/core subset rebuilt and re-run under ThreadSanitizer (the tsan test
-# preset selects that subset; see CMakePresets.json), then the observability
-# subset rebuilt with the flight recorder compiled in (DPS_TRACE=ON) so the
-# trace-driven assertions — pipeline overlap, retransmit accounting — run
-# instead of skipping.
+# preset selects that subset; see CMakePresets.json), the full suite under
+# AddressSanitizer+UBSan, the observability subset with the flight recorder
+# compiled in (DPS_TRACE=ON), the DPS-specific lint pass, and — when clang
+# is installed — the Clang Thread Safety Analysis build (-Werror) and a
+# warn-only clang-tidy sweep. docs/STATIC_ANALYSIS.md describes each stage.
 #
 # Usage: scripts/tier1.sh            # everything
 #        DPS_SKIP_TSAN=1 scripts/tier1.sh    # skip the TSan stage
+#        DPS_SKIP_ASAN=1 scripts/tier1.sh    # skip the ASan+UBSan stage
 #        DPS_SKIP_TRACE=1 scripts/tier1.sh   # skip the DPS_TRACE=ON stage
+#        DPS_SKIP_ANALYZE=1 scripts/tier1.sh # skip -Wthread-safety (clang)
+#        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
 #            every bench binary with --json and concatenate the records
 #            into BENCH_pr3.json (includes micro_serialization's
 #            zero-realloc assertion)
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-cmake --preset default
-cmake --build --preset default -j "$JOBS"
-ctest --preset default -j "$JOBS"
+failures=0
+pass() { echo "== PASS: $1"; }
+fail() { echo "== FAIL: $1"; failures=$((failures + 1)); }
+skip() { echo "== SKIP: $1 ($2)"; }
 
-if [ "${DPS_SKIP_TSAN:-0}" != "1" ]; then
-  cmake --preset tsan
-  cmake --build --preset tsan -j "$JOBS"
-  ctest --preset tsan -j "$JOBS"
+run_preset() {  # run_preset <name> — configure + build + ctest one preset
+  cmake --preset "$1" &&
+    cmake --build --preset "$1" -j "$JOBS" &&
+    ctest --preset "$1" -j "$JOBS"
+}
+
+# --- default build + full suite (includes Lint.DpsLint and the
+# --- negative-compile checks, which run at configure time) ------------------
+if run_preset default; then
+  pass "default build + full ctest suite"
+else
+  fail "default build + full ctest suite"
 fi
 
-if [ "${DPS_SKIP_TRACE:-0}" != "1" ]; then
-  cmake --preset trace
-  cmake --build --preset trace -j "$JOBS"
-  ctest --preset trace -j "$JOBS"
+# --- dps_lint standalone (also a ctest above; run it visibly here) ----------
+if python3 scripts/dps_lint.py; then
+  pass "dps_lint (token registration, trace gating, raw primitives, tsan coverage)"
+else
+  fail "dps_lint"
 fi
+
+# --- ThreadSanitizer over the concurrency subset ----------------------------
+if [ "${DPS_SKIP_TSAN:-0}" = "1" ]; then
+  skip "tsan" "DPS_SKIP_TSAN=1"
+elif run_preset tsan; then
+  pass "tsan (concurrency subset)"
+else
+  fail "tsan (concurrency subset)"
+fi
+
+# --- AddressSanitizer + UBSan over the full suite ---------------------------
+if [ "${DPS_SKIP_ASAN:-0}" = "1" ]; then
+  skip "asan-ubsan" "DPS_SKIP_ASAN=1"
+elif run_preset asan-ubsan; then
+  pass "asan-ubsan (full suite)"
+else
+  fail "asan-ubsan (full suite)"
+fi
+
+# --- flight recorder compiled in -------------------------------------------
+if [ "${DPS_SKIP_TRACE:-0}" = "1" ]; then
+  skip "trace" "DPS_SKIP_TRACE=1"
+elif run_preset trace; then
+  pass "trace (DPS_TRACE=ON subset)"
+else
+  fail "trace (DPS_TRACE=ON subset)"
+fi
+
+# --- Clang Thread Safety Analysis (build-only, -Werror=thread-safety) -------
+if [ "${DPS_SKIP_ANALYZE:-0}" = "1" ]; then
+  skip "analyze" "DPS_SKIP_ANALYZE=1"
+elif ! command -v clang++ >/dev/null 2>&1; then
+  skip "analyze" "clang++ not installed; annotations are no-ops under gcc"
+elif cmake --preset analyze && cmake --build --preset analyze -j "$JOBS"; then
+  pass "analyze (-Wthread-safety clean)"
+else
+  fail "analyze (-Wthread-safety)"
+fi
+
+# --- clang-tidy (warn-only: findings are printed, never fatal) --------------
+if [ "${DPS_SKIP_TIDY:-0}" = "1" ]; then
+  skip "clang-tidy" "DPS_SKIP_TIDY=1"
+elif ! command -v clang-tidy >/dev/null 2>&1; then
+  skip "clang-tidy" "clang-tidy not installed"
+else
+  # Needs a compile database; the default preset build dir has one once
+  # CMAKE_EXPORT_COMPILE_COMMANDS is on (set here without reconfiguring the
+  # whole tree when already present).
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  if clang-tidy -p build "${tidy_sources[@]}"; then
+    pass "clang-tidy (no findings)"
+  else
+    pass "clang-tidy (ran; findings above are advisory, not fatal)"
+  fi
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "tier1: $failures stage(s) FAILED"
+  exit 1
+fi
+echo "tier1: all stages passed (or were skipped explicitly)"
 
 if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
   exit 0
@@ -41,6 +118,7 @@ fi
 # results concatenated into BENCH_pr3.json for cross-commit diffing.
 # micro_serialization exits nonzero if an envelope encode reallocates, so
 # the zero-realloc invariant is enforced here too.
+set -e
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 b=build/bench

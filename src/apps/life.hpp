@@ -23,8 +23,9 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
 
 #include "core/application.hpp"
 #include "core/checkpoint.hpp"
@@ -49,15 +50,15 @@ class LifeBandRegistry {
     return reg;
   }
   void add(uint64_t world, int band, LifeWorkerThread* state) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     map_[{world, band}] = state;
   }
   void remove(uint64_t world, int band) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     map_.erase({world, band});
   }
   LifeWorkerThread* find(uint64_t world, int band) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find({world, band});
     return it == map_.end() ? nullptr : it->second;
   }
@@ -67,8 +68,9 @@ class LifeBandRegistry {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::pair<uint64_t, int>, LifeWorkerThread*> map_;
+  Mutex mu_;
+  std::map<std::pair<uint64_t, int>, LifeWorkerThread*> map_
+      DPS_GUARDED_BY(mu_);
 };
 
 // --- Tokens ------------------------------------------------------------------

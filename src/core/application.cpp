@@ -17,13 +17,13 @@ Application::~Application() { cluster_.unregister_app(id_); }
 
 void Application::remember_collection(
     std::shared_ptr<ThreadCollectionBase> coll) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collections_.push_back(std::move(coll));
 }
 
 std::shared_ptr<Flowgraph> Application::build_graph(
     const FlowgraphBuilder& builder, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const GraphId id = static_cast<GraphId>(graphs_.size());
   // Flowgraph's constructor is private; std::make_shared cannot reach it.
   std::shared_ptr<Flowgraph> graph(
@@ -33,7 +33,7 @@ std::shared_ptr<Flowgraph> Application::build_graph(
 }
 
 std::shared_ptr<Flowgraph> Application::graph(GraphId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= graphs_.size()) {
     raise(Errc::kNotFound, "application '" + name_ + "' has no graph " +
                                std::to_string(id));

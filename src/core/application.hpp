@@ -72,9 +72,10 @@ class Application {
   AppId id_;
   NodeId home_;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Flowgraph>> graphs_;
-  std::vector<std::shared_ptr<ThreadCollectionBase>> collections_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Flowgraph>> graphs_ DPS_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<ThreadCollectionBase>> collections_
+      DPS_GUARDED_BY(mu_);
 };
 
 }  // namespace dps

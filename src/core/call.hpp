@@ -3,13 +3,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/ids.hpp"
 #include "serial/token.hpp"
 #include "sim/domain.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 namespace detail {
@@ -19,17 +19,17 @@ namespace detail {
 /// (graph-call vertices, which must never block).
 struct CallState {
   ExecDomain* domain = nullptr;
-  std::mutex mu;
-  WaitPoint wp;
-  Ptr<Token> result;
-  bool done = false;
+  Mutex mu;
+  WaitPoint wp DPS_GUARDED_BY(mu);
+  Ptr<Token> result DPS_GUARDED_BY(mu);
+  bool done DPS_GUARDED_BY(mu) = false;
   /// Failure delivery (node death, docs/FAULT_TOLERANCE.md): when set, the
   /// waiter rethrows instead of returning a result.
-  bool failed = false;
-  Errc err = Errc::kState;
-  std::string err_msg;
+  bool failed DPS_GUARDED_BY(mu) = false;
+  Errc err DPS_GUARDED_BY(mu) = Errc::kState;
+  std::string err_msg DPS_GUARDED_BY(mu);
   /// If set, invoked with the result instead of storing it.
-  std::function<void(Ptr<Token>)> continuation;
+  std::function<void(Ptr<Token>)> continuation DPS_GUARDED_BY(mu);
 };
 
 }  // namespace detail

@@ -120,19 +120,19 @@ Controller& Cluster::controller(NodeId node) {
 }
 
 AppId Cluster::register_app(Application* app) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const AppId id = next_app_++;
   apps_.emplace(id, app);
   return id;
 }
 
 void Cluster::unregister_app(AppId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   apps_.erase(id);
 }
 
 Application* Cluster::app(AppId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = apps_.find(id);
   if (it == apps_.end()) {
     raise(Errc::kNotFound, "no application " + std::to_string(id) +
@@ -143,13 +143,13 @@ Application* Cluster::app(AppId id) const {
 
 CollectionId Cluster::register_collection(
     std::shared_ptr<ThreadCollectionBase> collection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collections_.push_back(std::move(collection));
   return static_cast<CollectionId>(collections_.size() - 1);
 }
 
 ThreadCollectionBase* Cluster::collection(CollectionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= collections_.size()) {
     raise(Errc::kNotFound, "unknown thread collection " + std::to_string(id));
   }
@@ -163,7 +163,7 @@ CallId Cluster::new_call_id() {
 std::shared_ptr<detail::CallState> Cluster::create_call(CallId id) {
   auto state = std::make_shared<detail::CallState>();
   state->domain = domain_.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!dead_.empty()) {
     // Fail fast: a degraded cluster stays failed until recovered into a
     // fresh one (docs/FAULT_TOLERANCE.md); new calls would stall on the
@@ -182,7 +182,7 @@ std::shared_ptr<detail::CallState> Cluster::create_call(CallId id) {
 void Cluster::complete_call(CallId id, Ptr<Token> result) {
   std::shared_ptr<detail::CallState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = calls_.find(id);
     if (it == calls_.end()) {
       DPS_WARN("stray result for unknown call " << id);
@@ -197,7 +197,7 @@ void Cluster::complete_call(CallId id, Ptr<Token> result) {
     continuation(std::move(result));
     return;
   }
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   state->result = std::move(result);
   state->done = true;
   domain_->notify_all(state->wp);
@@ -206,18 +206,18 @@ void Cluster::complete_call(CallId id, Ptr<Token> result) {
 // --- Fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
 
 bool Cluster::node_down(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dead_.count(node) != 0;
 }
 
 std::vector<NodeId> Cluster::dead_nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {dead_.begin(), dead_.end()};
 }
 
 void Cluster::mark_node_down(NodeId node, const std::string& reason) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_ || !dead_.insert(node).second) return;
   }
   DPS_WARN("node '" << node_name(node) << "' declared down: " << reason);
@@ -235,7 +235,7 @@ void Cluster::mark_node_down(NodeId node, const std::string& reason) {
 void Cluster::fail_all_calls(Errc code, const std::string& message) {
   std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     calls.swap(calls_);
   }
   for (auto& [id, state] : calls) {
@@ -244,7 +244,7 @@ void Cluster::fail_all_calls(Errc code, const std::string& message) {
       // graph's own call is in the same table and fails directly.
       continue;
     }
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->failed = true;
     state->err = code;
     state->err_msg = message;
@@ -259,9 +259,9 @@ void Cluster::monitor_loop() {
   double next_beacon = 0;  // beacon immediately so last_heard stays fresh
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(monitor_mu_);
+      MutexLock lock(monitor_mu_);
       monitor_cv_.wait_for(
-          lock, std::chrono::duration<double>(ft.tick_interval),
+          monitor_mu_, std::chrono::duration<double>(ft.tick_interval),
           [&] { return monitor_stop_; });
       if (monitor_stop_) return;
     }
@@ -343,7 +343,7 @@ void Cluster::monitor_loop() {
 }
 
 void Cluster::claim_context(ContextId ctx, const void* claimant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = claims_.emplace(ctx, claimant);
   if (!inserted && it->second != claimant) {
     raise(Errc::kState,
@@ -354,20 +354,20 @@ void Cluster::claim_context(ContextId ctx, const void* claimant) {
 }
 
 void Cluster::release_context(ContextId ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   claims_.erase(ctx);
 }
 
 void Cluster::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;
     down_ = true;
   }
   DPS_DEBUG("cluster shutting down");
   if (monitor_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(monitor_mu_);
+      MutexLock lock(monitor_mu_);
       monitor_stop_ = true;
     }
     monitor_cv_.notify_all();

@@ -21,7 +21,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -32,6 +31,7 @@
 #include "core/call.hpp"
 #include "core/ids.hpp"
 #include "net/fabric.hpp"
+#include "util/thread_annotations.hpp"
 #include "net/name_registry.hpp"
 #include "sim/link.hpp"
 
@@ -181,19 +181,21 @@ class Cluster {
   // heartbeats, running retransmit timers, and adjudicating node death.
   bool ft_active_ = false;
   std::thread monitor_;
-  std::mutex monitor_mu_;
-  std::condition_variable monitor_cv_;
-  bool monitor_stop_ = false;
-  std::set<NodeId> dead_;  // guarded by mu_
+  Mutex monitor_mu_;
+  CondVar monitor_cv_;
+  bool monitor_stop_ DPS_GUARDED_BY(monitor_mu_) = false;
+  std::set<NodeId> dead_ DPS_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<AppId, Application*> apps_;
-  AppId next_app_ = 1;
-  std::vector<std::shared_ptr<ThreadCollectionBase>> collections_;
+  mutable Mutex mu_;
+  std::unordered_map<AppId, Application*> apps_ DPS_GUARDED_BY(mu_);
+  AppId next_app_ DPS_GUARDED_BY(mu_) = 1;
+  std::vector<std::shared_ptr<ThreadCollectionBase>> collections_
+      DPS_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_call_{1};
-  std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls_;
-  std::unordered_map<ContextId, const void*> claims_;
-  bool down_ = false;
+  std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls_
+      DPS_GUARDED_BY(mu_);
+  std::unordered_map<ContextId, const void*> claims_ DPS_GUARDED_BY(mu_);
+  bool down_ DPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dps

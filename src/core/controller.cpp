@@ -54,9 +54,9 @@ struct Controller::Worker {
   std::string label;
   std::unique_ptr<Thread> user_thread;
 
-  std::mutex mu;
-  WaitPoint wp;
-  std::deque<Envelope> queue;
+  Mutex mu;
+  WaitPoint wp DPS_GUARDED_BY(mu);
+  std::deque<Envelope> queue DPS_GUARDED_BY(mu);
   // Atomic: the worker loop's error handlers test it without taking mu.
   std::atomic<bool> poison{false};
   std::atomic<uint32_t>* depth_slot = nullptr;
@@ -65,11 +65,12 @@ struct Controller::Worker {
   /// innermost is the running one). While a collection waits, the thread
   /// keeps executing other queued operations (re-entrant dispatch), but
   /// envelopes belonging to a suspended collection stay queued for it.
-  std::vector<std::pair<VertexId, ContextId>> active_contexts;
+  std::vector<std::pair<VertexId, ContextId>> active_contexts
+      DPS_GUARDED_BY(mu);
 
   std::thread os_thread;
 
-  bool belongs_to_active_locked(const Envelope& e) const {
+  bool belongs_to_active_locked(const Envelope& e) const DPS_REQUIRES(mu) {
     if (e.frames.empty()) return false;
     for (const auto& [v, ctx] : active_contexts) {
       if (e.vertex == v && e.frames.back().context == ctx) return true;
@@ -79,11 +80,12 @@ struct Controller::Worker {
 };
 
 struct Controller::FlowAccount {
-  std::mutex mu;
-  WaitPoint wp;
-  uint32_t in_flight = 0;
-  bool finished = false;  ///< owning split/stream execution completed
-  bool poison = false;
+  Mutex mu;
+  WaitPoint wp DPS_GUARDED_BY(mu);
+  uint32_t in_flight DPS_GUARDED_BY(mu) = 0;
+  /// Owning split/stream execution completed.
+  bool finished DPS_GUARDED_BY(mu) = false;
+  bool poison DPS_GUARDED_BY(mu) = false;
 };
 
 /// Per-peer reliable-delivery state (docs/FAULT_TOLERANCE.md). One link per
@@ -171,7 +173,7 @@ class Controller::ExecCtx : public detail::OpServices {
         controller_.cluster_.claim_context(merge_ctx_, &worker_);
         claimed_ = true;
         {
-          std::lock_guard<std::mutex> lock(worker_.mu);
+          MutexLock lock(worker_.mu);
           worker_.active_contexts.emplace_back(vertex_, merge_ctx_);
         }
         out_frames_ = env_.frames;
@@ -352,7 +354,7 @@ class Controller::ExecCtx : public detail::OpServices {
       uint64_t t_depth = 0;
 #endif
       {
-        std::unique_lock<std::mutex> lock(worker_.mu);
+        MutexLock lock(worker_.mu);
         size_t match_pos = 0, other_pos = 0;
         if (acks_pending_ > 0 && !worker_.poison &&
             !find_matching_locked(&match_pos) &&
@@ -364,7 +366,7 @@ class Controller::ExecCtx : public detail::OpServices {
           lock.lock();
         }
         controller_.cluster_.domain().wait_until(
-            worker_.wp, lock, [&] {
+            worker_.wp, worker_.mu, [&] {
               return worker_.poison || find_matching_locked(&match_pos) ||
                      find_dispatchable_locked(&other_pos);
             });
@@ -431,7 +433,8 @@ class Controller::ExecCtx : public detail::OpServices {
     }
   }
 
-  bool find_matching_locked(size_t* pos) const {
+  bool find_matching_locked(size_t* pos) const
+      DPS_REQUIRES(worker_.mu) {
     for (size_t i = 0; i < worker_.queue.size(); ++i) {
       const Envelope& e = worker_.queue[i];
       if (e.vertex == vertex_ && !e.frames.empty() &&
@@ -450,7 +453,8 @@ class Controller::ExecCtx : public detail::OpServices {
   /// stage opener/collector pair on one column thread is exactly that
   /// shape). Leaves, splits and graph calls run to completion, so they are
   /// always safe.
-  bool find_dispatchable_locked(size_t* pos) const {
+  bool find_dispatchable_locked(size_t* pos) const
+      DPS_REQUIRES(worker_.mu) {
     for (size_t i = 0; i < worker_.queue.size(); ++i) {
       const Envelope& e = worker_.queue[i];
       if (worker_.belongs_to_active_locked(e)) continue;
@@ -464,7 +468,7 @@ class Controller::ExecCtx : public detail::OpServices {
   void unclaim() {
     controller_.cluster_.release_context(merge_ctx_);
     {
-      std::lock_guard<std::mutex> lock(worker_.mu);
+      MutexLock lock(worker_.mu);
       auto& ac = worker_.active_contexts;
       for (size_t i = ac.size(); i-- > 0;) {
         if (ac[i] == std::make_pair(vertex_, merge_ctx_)) {
@@ -558,7 +562,7 @@ void Controller::spawn_worker(ThreadCollectionBase& collection,
   w->depth_slot = collection.mutable_queue_depths() + index;
   Worker* raw = w.get();
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    MutexLock lock(workers_mu_);
     DPS_CHECK(!down_, "spawn_worker on a shut-down controller");
     auto key = std::make_pair(collection.id(), index);
     DPS_CHECK(workers_.find(key) == workers_.end(),
@@ -571,7 +575,7 @@ void Controller::spawn_worker(ThreadCollectionBase& collection,
 
 Controller::Worker& Controller::worker(CollectionId collection,
                                        ThreadIndex index) {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(workers_mu_);
   auto it = workers_.find(std::make_pair(collection, index));
   if (it == workers_.end()) {
     raise(Errc::kNotFound,
@@ -598,9 +602,9 @@ void Controller::worker_loop(Worker& w) {
     uint64_t t_depth = 0;
 #endif
     {
-      std::unique_lock<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       try {
-        domain.wait_until(w.wp, lock,
+        domain.wait_until(w.wp, w.mu,
                           [&] { return w.poison || !w.queue.empty(); });
       } catch (const Error&) {
         break;  // simulation stopped or stalled while idle
@@ -792,7 +796,7 @@ void Controller::deliver_local(Envelope env) {
   const uint64_t t_thread = env.thread;
   uint64_t t_depth = 0;
 #endif
-  std::lock_guard<std::mutex> lock(w.mu);
+  MutexLock lock(w.mu);
   w.queue.push_back(std::move(env));
   if (w.depth_slot != nullptr) {
     w.depth_slot->fetch_add(1, std::memory_order_relaxed);
@@ -901,22 +905,23 @@ ContextId Controller::new_context_id() {
 }
 
 void Controller::create_flow_account(ContextId ctx) {
-  std::lock_guard<std::mutex> lock(flow_mu_);
+  MutexLock lock(flow_mu_);
   accounts_.emplace(ctx, std::make_unique<FlowAccount>());
 }
 
 void Controller::flow_acquire(ContextId ctx) {
   FlowAccount* acc = nullptr;
   {
-    std::lock_guard<std::mutex> lock(flow_mu_);
+    MutexLock lock(flow_mu_);
     auto it = accounts_.find(ctx);
     DPS_CHECK(it != accounts_.end(), "flow_acquire on unknown account");
     acc = it->second.get();
   }
   const uint32_t window = cluster_.flow_window();
-  std::unique_lock<std::mutex> lock(acc->mu);
+  MutexLock lock(acc->mu);
   cluster_.domain().wait_until(
-      acc->wp, lock, [&] { return acc->poison || acc->in_flight < window; });
+      acc->wp, acc->mu,
+      [&] { return acc->poison || acc->in_flight < window; });
   if (acc->poison) {
     raise(Errc::kState, "shutdown while waiting for flow-control window");
   }
@@ -928,12 +933,12 @@ void Controller::flow_acquire(ContextId ctx) {
 }
 
 void Controller::finish_flow_account(ContextId ctx) {
-  std::lock_guard<std::mutex> lock(flow_mu_);
+  MutexLock lock(flow_mu_);
   auto it = accounts_.find(ctx);
   if (it == accounts_.end()) return;
   bool drained = false;
   {
-    std::lock_guard<std::mutex> al(it->second->mu);
+    MutexLock al(it->second->mu);
     it->second->finished = true;
     drained = (it->second->in_flight == 0);
   }
@@ -941,12 +946,12 @@ void Controller::finish_flow_account(ContextId ctx) {
 }
 
 void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
-  std::lock_guard<std::mutex> lock(flow_mu_);
+  MutexLock lock(flow_mu_);
   auto it = accounts_.find(ctx);
   if (it == accounts_.end()) return;  // late ack after account drained
   bool drained = false;
   {
-    std::lock_guard<std::mutex> al(it->second->mu);
+    MutexLock al(it->second->mu);
     FlowAccount& acc = *it->second;
     acc.in_flight = (acc.in_flight >= n) ? acc.in_flight - n : 0;
 #ifdef DPS_TRACE
@@ -983,7 +988,7 @@ void Controller::enable_fault_tolerance() {
   reliable_ = ft.reliable;
   heartbeat_ = ft.heartbeat;
   const double now = mono_seconds();
-  std::lock_guard<std::mutex> lock(rel_mu_);
+  MutexLock lock(rel_mu_);
   for (NodeId peer = 0; peer < cluster_.node_count(); ++peer) {
     if (peer == self_) continue;
     rlink_locked(peer).last_heard = now;  // grace period from arming time
@@ -1064,7 +1069,7 @@ void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
   const uint64_t t_size = wrapped.size() - kRelHeaderSize;
 #endif
   {
-    std::lock_guard<std::mutex> lock(rel_mu_);
+    MutexLock lock(rel_mu_);
     ReliableLink& l = rlink_locked(target);
     if (l.dead) {
       // Peer declared down: the link is a black hole.
@@ -1120,7 +1125,7 @@ void Controller::handle_reliable(NodeMessage&& msg) {
   bool ack_now = false;
   uint64_t ack_val = 0;
   {
-    std::lock_guard<std::mutex> lock(rel_mu_);
+    MutexLock lock(rel_mu_);
     ReliableLink& l = rlink_locked(msg.from);
     l.last_heard = mono_seconds();
     if (seq <= l.rx_contig || l.rx_above.count(seq) != 0) {
@@ -1189,7 +1194,7 @@ void Controller::handle_ack(NodeId from, uint64_t ack) {
   obs::Trace::instance().record(obs::EventKind::kAckRecv, self_, from, 0, ack,
                                 0);
 #endif
-  std::lock_guard<std::mutex> lock(rel_mu_);
+  MutexLock lock(rel_mu_);
   ReliableLink& l = rlink_locked(from);
   l.last_heard = mono_seconds();
   auto end = l.unacked.upper_bound(ack);
@@ -1209,7 +1214,7 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
   std::vector<Out> outs;
   std::vector<NodeId> suspects;
   {
-    std::lock_guard<std::mutex> lock(rel_mu_);
+    MutexLock lock(rel_mu_);
     for (auto& [peer, lp] : rlinks_) {
       ReliableLink& l = *lp;
       if (l.dead) continue;
@@ -1275,7 +1280,7 @@ void Controller::send_heartbeats(double now) {
   };
   std::vector<Out> outs;
   {
-    std::lock_guard<std::mutex> lock(rel_mu_);
+    MutexLock lock(rel_mu_);
     for (NodeId peer = 0; peer < cluster_.node_count(); ++peer) {
       if (peer == self_) continue;
       ReliableLink& l = rlink_locked(peer);
@@ -1303,7 +1308,7 @@ void Controller::send_heartbeats(double now) {
 
 std::vector<NodeId> Controller::stale_peers(double now, double threshold) {
   std::vector<NodeId> stale;
-  std::lock_guard<std::mutex> lock(rel_mu_);
+  MutexLock lock(rel_mu_);
   for (auto& [peer, lp] : rlinks_) {
     if (lp->dead) continue;
     if (now - lp->last_heard > threshold) stale.push_back(peer);
@@ -1313,7 +1318,7 @@ std::vector<NodeId> Controller::stale_peers(double now, double threshold) {
 
 void Controller::on_node_down(NodeId node) {
   {
-    std::lock_guard<std::mutex> lock(rel_mu_);
+    MutexLock lock(rel_mu_);
     ReliableLink& l = rlink_locked(node);
     l.dead = true;
     // Stop retransmitting into the void; recycle the armed frames.
@@ -1325,9 +1330,9 @@ void Controller::on_node_down(NodeId node) {
   // Unblock split/stream executions waiting for flow-control credits the
   // dead node will never return. The raised kState unwinds the operation;
   // the graph call itself fails with kNodeDown at the cluster level.
-  std::lock_guard<std::mutex> lock(flow_mu_);
+  MutexLock lock(flow_mu_);
   for (auto& [ctx, acc] : accounts_) {
-    std::lock_guard<std::mutex> al(acc->mu);
+    MutexLock al(acc->mu);
     acc->poison = true;
     cluster_.domain().notify_all(acc->wp);
   }
@@ -1336,7 +1341,7 @@ void Controller::on_node_down(NodeId node) {
 // --- Checkpointing -------------------------------------------------------------
 
 void Controller::checkpoint_workers(Writer& w) {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(workers_mu_);
   for (auto& [key, worker] : workers_) {
     auto* state = dynamic_cast<const Checkpointable*>(worker->user_thread.get());
     if (state == nullptr) continue;
@@ -1366,21 +1371,21 @@ void Controller::restore_worker(CollectionId collection, ThreadIndex index,
 void Controller::shutdown() {
   std::vector<Worker*> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    MutexLock lock(workers_mu_);
     if (down_) return;
     down_ = true;
     workers.reserve(workers_.size());
     for (auto& [key, w] : workers_) workers.push_back(w.get());
   }
   for (Worker* w : workers) {
-    std::lock_guard<std::mutex> lock(w->mu);
+    MutexLock lock(w->mu);
     w->poison = true;
     cluster_.domain().notify_all(w->wp);
   }
   {
-    std::lock_guard<std::mutex> lock(flow_mu_);
+    MutexLock lock(flow_mu_);
     for (auto& [ctx, acc] : accounts_) {
-      std::lock_guard<std::mutex> al(acc->mu);
+      MutexLock al(acc->mu);
       acc->poison = true;
       cluster_.domain().notify_all(acc->wp);
     }

@@ -16,11 +16,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 #include "core/envelope.hpp"
 #include "core/flowgraph.hpp"
@@ -147,25 +148,29 @@ class Controller {
                     const std::byte* data, size_t size);
   void handle_reliable(NodeMessage&& msg);
   void handle_ack(NodeId from, uint64_t ack);
-  ReliableLink& rlink_locked(NodeId peer);  // caller holds rel_mu_
+  ReliableLink& rlink_locked(NodeId peer) DPS_REQUIRES(rel_mu_);
 
   Cluster& cluster_;
   NodeId self_;
 
   bool reliable_ = false;
   bool heartbeat_ = false;
-  std::mutex rel_mu_;
-  std::map<NodeId, std::unique_ptr<ReliableLink>> rlinks_;
+  // Lock discipline: rel_mu_ is never held across a fabric send, and never
+  // acquired while workers_mu_ or flow_mu_ is held.
+  Mutex rel_mu_;
+  std::map<NodeId, std::unique_ptr<ReliableLink>> rlinks_
+      DPS_GUARDED_BY(rel_mu_);
   std::atomic<uint64_t> dup_suppressed_{0};
   std::atomic<uint64_t> retransmissions_{0};
 
-  std::mutex workers_mu_;
+  Mutex workers_mu_;
   std::map<std::pair<CollectionId, ThreadIndex>, std::unique_ptr<Worker>>
-      workers_;
-  bool down_ = false;
+      workers_ DPS_GUARDED_BY(workers_mu_);
+  bool down_ DPS_GUARDED_BY(workers_mu_) = false;
 
-  std::mutex flow_mu_;
-  std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_;
+  Mutex flow_mu_;
+  std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_
+      DPS_GUARDED_BY(flow_mu_);
   std::atomic<uint64_t> context_counter_{0};
   std::atomic<uint64_t> dispatched_{0};
 };

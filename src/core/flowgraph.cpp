@@ -322,14 +322,15 @@ Ptr<Token> Flowgraph::call(Ptr<Token> input) {
 }
 
 Ptr<Token> CallHandle::wait() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->domain->wait_until(state_->wp, lock, [&] { return state_->done; });
+  MutexLock lock(state_->mu);
+  state_->domain->wait_until(state_->wp, state_->mu,
+                             [&] { return state_->done; });
   if (state_->failed) throw Error(state_->err, state_->err_msg);
   return state_->result;
 }
 
 bool CallHandle::done() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 

@@ -2,8 +2,9 @@
 // Same structure as the token registry: name-keyed, thread safe, idempotent
 // re-registration, loud failure on unknown names (the usual cause is a
 // class whose DPS_IDENTIFY_* macro was not linked into the binary).
-#include <mutex>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 #include "core/operation.hpp"
 #include "core/route.hpp"
@@ -18,8 +19,9 @@ namespace detail {
 // ---------------------------------------------------------------------------
 
 struct ThreadTypeRegistry::Impl {
-  mutable std::mutex mu;
-  std::unordered_map<std::string, const ThreadTypeInfo*> by_name;
+  mutable Mutex mu;
+  std::unordered_map<std::string, const ThreadTypeInfo*> by_name
+      DPS_GUARDED_BY(mu);
 };
 
 ThreadTypeRegistry& ThreadTypeRegistry::instance() {
@@ -34,13 +36,13 @@ ThreadTypeRegistry::Impl& ThreadTypeRegistry::impl() const {
 
 void ThreadTypeRegistry::add(const ThreadTypeInfo* info) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.by_name.emplace(info->name, info);
 }
 
 const ThreadTypeInfo& ThreadTypeRegistry::find(const std::string& name) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.by_name.find(name);
   if (it == im.by_name.end()) {
     raise(Errc::kNotFound, "unknown thread class '" + name + "'");
@@ -53,8 +55,9 @@ const ThreadTypeInfo& ThreadTypeRegistry::find(const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 struct RouteTypeRegistry::Impl {
-  mutable std::mutex mu;
-  std::unordered_map<std::string, const RouteTypeInfo*> by_name;
+  mutable Mutex mu;
+  std::unordered_map<std::string, const RouteTypeInfo*> by_name
+      DPS_GUARDED_BY(mu);
 };
 
 RouteTypeRegistry& RouteTypeRegistry::instance() {
@@ -69,13 +72,13 @@ RouteTypeRegistry::Impl& RouteTypeRegistry::impl() const {
 
 void RouteTypeRegistry::add(const RouteTypeInfo* info) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.by_name.emplace(info->name, info);
 }
 
 const RouteTypeInfo& RouteTypeRegistry::find(const std::string& name) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.by_name.find(name);
   if (it == im.by_name.end()) {
     raise(Errc::kNotFound, "unknown route class '" + name + "'");
@@ -88,8 +91,9 @@ const RouteTypeInfo& RouteTypeRegistry::find(const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 struct OperationTypeRegistry::Impl {
-  mutable std::mutex mu;
-  std::unordered_map<std::string, const OperationTypeInfo*> by_name;
+  mutable Mutex mu;
+  std::unordered_map<std::string, const OperationTypeInfo*> by_name
+      DPS_GUARDED_BY(mu);
 };
 
 OperationTypeRegistry& OperationTypeRegistry::instance() {
@@ -104,14 +108,14 @@ OperationTypeRegistry::Impl& OperationTypeRegistry::impl() const {
 
 void OperationTypeRegistry::add(const OperationTypeInfo* info) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.by_name.emplace(info->name, info);
 }
 
 const OperationTypeInfo& OperationTypeRegistry::find(
     const std::string& name) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.by_name.find(name);
   if (it == im.by_name.end()) {
     raise(Errc::kNotFound, "unknown operation class '" + name + "'");

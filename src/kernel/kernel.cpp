@@ -31,14 +31,17 @@ struct ProcessFabric::Impl {
   std::thread acceptor;
   Handler handler;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::map<NodeId, std::unique_ptr<TcpConn>> out;
-  std::map<NodeId, std::unique_ptr<std::mutex>> out_mu;
-  std::vector<std::thread> receivers;
-  std::vector<pid_t> children;
-  bool down = false;
-  bool shutdown_flag = false;
+  Mutex mu;
+  CondVar cv;
+  std::map<NodeId, std::unique_ptr<TcpConn>> out DPS_GUARDED_BY(mu);
+  /// Per-connection write locks (one writer at a time per socket). The map
+  /// itself is guarded by mu; the pointed-to mutexes are their own
+  /// capabilities, locked without mu held.
+  std::map<NodeId, std::unique_ptr<Mutex>> out_mu DPS_GUARDED_BY(mu);
+  std::vector<std::thread> receivers DPS_GUARDED_BY(mu);
+  std::vector<pid_t> children DPS_GUARDED_BY(mu);
+  bool down DPS_GUARDED_BY(mu) = false;
+  bool shutdown_flag DPS_GUARDED_BY(mu) = false;
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> messages{0};
 
@@ -50,7 +53,7 @@ struct ProcessFabric::Impl {
     for (;;) {
       TcpConn conn = listener.accept();
       if (!conn.valid()) return;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (down) return;
       receivers.emplace_back(
           [this, c = std::make_shared<TcpConn>(std::move(conn))] {
@@ -67,7 +70,7 @@ struct ProcessFabric::Impl {
       Frame f;
       while (read_frame(conn, &f)) {
         if (f.kind == FrameKind::kShutdown) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           shutdown_flag = true;
           cv.notify_all();
           continue;
@@ -75,7 +78,7 @@ struct ProcessFabric::Impl {
         handler(NodeMessage{peer, f.kind, std::move(f.payload)});
       }
     } catch (const Error& e) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!down) {
         DPS_WARN("process fabric node " << self << " receiver: " << e.what());
       }
@@ -110,11 +113,11 @@ struct ProcessFabric::Impl {
 
   TcpConn& connection_to(NodeId to) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       auto it = out.find(to);
       if (it != out.end()) return *it->second;
       if (out_mu.find(to) == out_mu.end()) {
-        out_mu.emplace(to, std::make_unique<std::mutex>());
+        out_mu.emplace(to, std::make_unique<Mutex>());
       }
     }
     NameClient ns(ns_host, ns_port);
@@ -139,7 +142,7 @@ struct ProcessFabric::Impl {
     hello.kind = FrameKind::kHello;
     hello.from = self;
     write_frame(conn, hello);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto it = out.find(to);
     if (it != out.end()) return *it->second;  // lost a connect race
     it = out.emplace(to, std::make_unique<TcpConn>(std::move(conn))).first;
@@ -187,12 +190,12 @@ void ProcessFabric::send(NodeId from, NodeId to, FrameKind kind,
   f.payload = std::move(payload);
   impl_->messages.fetch_add(1, std::memory_order_relaxed);
   impl_->bytes.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
-  std::mutex* conn_mu;
+  Mutex* conn_mu;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     conn_mu = impl_->out_mu.at(to).get();
   }
-  std::lock_guard<std::mutex> lock(*conn_mu);
+  MutexLock lock(*conn_mu);
   write_frame(conn, f);
 }
 
@@ -206,12 +209,12 @@ void ProcessFabric::stop_followers() {
       Frame f;
       f.kind = FrameKind::kShutdown;
       f.from = impl_->self;
-      std::mutex* conn_mu;
+      Mutex* conn_mu;
       {
-        std::lock_guard<std::mutex> lock(impl_->mu);
+        MutexLock lock(impl_->mu);
         conn_mu = impl_->out_mu.at(n).get();
       }
-      std::lock_guard<std::mutex> lock(*conn_mu);
+      MutexLock lock(*conn_mu);
       write_frame(conn, f);
     } catch (const Error& e) {
       DPS_WARN("stop_followers: node " << n << ": " << e.what());
@@ -220,21 +223,21 @@ void ProcessFabric::stop_followers() {
 }
 
 bool ProcessFabric::shutdown_requested() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->shutdown_flag;
 }
 
 void ProcessFabric::shutdown() {
   std::vector<std::thread> receivers;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->down) return;
     impl_->down = true;
     receivers.swap(impl_->receivers);
   }
   impl_->listener.close();
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     for (auto& [node, conn] : impl_->out) conn->close();
   }
   if (impl_->acceptor.joinable()) impl_->acceptor.join();

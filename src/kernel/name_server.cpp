@@ -14,7 +14,7 @@ struct NameServerDaemon::Impl {
   NameRegistry registry{domain};
   TcpListener listener;
   std::thread acceptor;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::thread> sessions;
   bool stopping = false;
 
@@ -61,7 +61,7 @@ struct NameServerDaemon::Impl {
     for (;;) {
       TcpConn conn = listener.accept();
       if (!conn.valid()) return;  // listener closed
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (stopping) return;
       sessions.emplace_back(
           [this, c = std::make_shared<TcpConn>(std::move(conn))]() mutable {
@@ -84,7 +84,7 @@ NameRegistry& NameServerDaemon::registry() { return impl_->registry; }
 
 void NameServerDaemon::stop() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->stopping) return;
     impl_->stopping = true;
   }
@@ -92,7 +92,7 @@ void NameServerDaemon::stop() {
   if (impl_->acceptor.joinable()) impl_->acceptor.join();
   std::vector<std::thread> sessions;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     sessions.swap(impl_->sessions);
   }
   for (auto& s : sessions) {

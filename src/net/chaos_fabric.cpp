@@ -23,7 +23,7 @@ void ChaosFabric::attach(NodeId self, Handler handler) {
 }
 
 ChaosFabric::LinkState& ChaosFabric::link(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto key = std::make_pair(from, to);
   auto it = links_.find(key);
   if (it == links_.end()) {
@@ -60,7 +60,7 @@ bool ChaosFabric::severed(NodeId from, NodeId to) const {
 void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
                        std::vector<std::byte> payload) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;
     if (severed(from, to)) {
       note_drop(kind, from, to, payload.size());
@@ -73,7 +73,7 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
   double delay = 0, dup_delay = 0;
   {
     LinkState& ls = link(from, to);
-    std::lock_guard<std::mutex> lock(ls.mu);
+    MutexLock lock(ls.mu);
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
     ++ls.frame_count;
     if (faults.drop > 0) drop = uniform(ls.rng) < faults.drop;
@@ -124,7 +124,7 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
 }
 
 void ChaosFabric::enqueue_delayed(Delayed d) {
-  std::lock_guard<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   if (timer_stop_) return;
   d.order = delayed_order_++;
   delayed_queue_.push(std::move(d));
@@ -132,17 +132,17 @@ void ChaosFabric::enqueue_delayed(Delayed d) {
 }
 
 void ChaosFabric::timer_loop() {
-  std::unique_lock<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   for (;;) {
     if (timer_stop_) return;
     if (delayed_queue_.empty()) {
-      timer_cv_.wait(lock);
+      timer_cv_.wait(timer_mu_);
       continue;
     }
     const double now = mono_seconds();
     if (delayed_queue_.top().due > now) {
-      timer_cv_.wait_for(lock, std::chrono::duration<double>(
-                                   delayed_queue_.top().due - now));
+      timer_cv_.wait_for(timer_mu_, std::chrono::duration<double>(
+                                        delayed_queue_.top().due - now));
       continue;
     }
     Delayed d = delayed_queue_.top();
@@ -150,7 +150,7 @@ void ChaosFabric::timer_loop() {
     lock.unlock();
     bool cut;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       cut = down_ || severed(d.from, d.to);
     }
     if (cut) {
@@ -167,29 +167,29 @@ void ChaosFabric::timer_loop() {
 }
 
 void ChaosFabric::kill_node(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   killed_.insert(node);
   DPS_INFO("chaos fabric: node " << node << " killed");
 }
 
 void ChaosFabric::partition(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitions_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
 void ChaosFabric::heal(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitions_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
 void ChaosFabric::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;
     down_ = true;
   }
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     timer_stop_ = true;
     timer_cv_.notify_all();
   }

@@ -16,7 +16,6 @@
 #include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <random>
 #include <set>
@@ -24,6 +23,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
@@ -86,9 +86,9 @@ class ChaosFabric : public Fabric {
 
  private:
   struct LinkState {
-    std::mutex mu;
-    std::mt19937_64 rng;
-    uint64_t frame_count = 0;
+    Mutex mu;
+    std::mt19937_64 rng DPS_GUARDED_BY(mu);
+    uint64_t frame_count DPS_GUARDED_BY(mu) = 0;
   };
   struct Delayed {
     double due;
@@ -102,7 +102,7 @@ class ChaosFabric : public Fabric {
   };
 
   LinkState& link(NodeId from, NodeId to);
-  bool severed(NodeId from, NodeId to) const;  // caller holds mu_
+  bool severed(NodeId from, NodeId to) const DPS_REQUIRES(mu_);
   void enqueue_delayed(Delayed d);
   void timer_loop();
   void note_drop(FrameKind kind, NodeId from, NodeId to, size_t bytes);
@@ -116,18 +116,20 @@ class ChaosFabric : public Fabric {
   std::shared_ptr<Fabric> inner_;
   FaultPlan plan_;
 
-  mutable std::mutex mu_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkState>> links_;
-  std::set<NodeId> killed_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized a < b
-  bool down_ = false;
+  mutable Mutex mu_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkState>> links_
+      DPS_GUARDED_BY(mu_);
+  std::set<NodeId> killed_ DPS_GUARDED_BY(mu_);
+  /// Normalized a < b.
+  std::set<std::pair<NodeId, NodeId>> partitions_ DPS_GUARDED_BY(mu_);
+  bool down_ DPS_GUARDED_BY(mu_) = false;
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
+  Mutex timer_mu_;
+  CondVar timer_cv_;
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<Delayed>>
-      delayed_queue_;
-  uint64_t delayed_order_ = 0;
-  bool timer_stop_ = false;
+      delayed_queue_ DPS_GUARDED_BY(timer_mu_);
+  uint64_t delayed_order_ DPS_GUARDED_BY(timer_mu_) = 0;
+  bool timer_stop_ DPS_GUARDED_BY(timer_mu_) = false;
   std::thread timer_;
 
   std::atomic<uint64_t> dropped_{0};

@@ -7,7 +7,7 @@ namespace dps {
 InprocFabric::InprocFabric(size_t node_count) : handlers_(node_count) {}
 
 void InprocFabric::attach(NodeId self, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DPS_CHECK(self < handlers_.size(), "attach: node id out of range");
   handlers_[self] = std::move(handler);
 }
@@ -16,7 +16,7 @@ void InprocFabric::send(NodeId from, NodeId to, FrameKind kind,
                         std::vector<std::byte> payload) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;
     if (to >= handlers_.size() || !handlers_[to]) {
       raise(Errc::kNotFound,
@@ -32,7 +32,7 @@ void InprocFabric::send(NodeId from, NodeId to, FrameKind kind,
 }
 
 void InprocFabric::shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   down_ = true;
 }
 

@@ -7,8 +7,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 #include "net/fabric.hpp"
 
@@ -26,9 +27,9 @@ class InprocFabric : public Fabric {
   uint64_t messages_sent() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Handler> handlers_;
-  bool down_ = false;
+  mutable Mutex mu_;
+  std::vector<Handler> handlers_ DPS_GUARDED_BY(mu_);
+  bool down_ DPS_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};
 };

@@ -3,40 +3,40 @@
 namespace dps {
 
 void NameRegistry::publish(const std::string& name, const std::string& value) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[name] = value;
   domain_.notify_all(published_);
 }
 
 bool NameRegistry::publish_if_absent(const std::string& name,
                                      const std::string& value) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = entries_.emplace(name, value);
   if (inserted) domain_.notify_all(published_);
   return inserted;
 }
 
 void NameRegistry::withdraw(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(name);
 }
 
 std::optional<std::string> NameRegistry::lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string NameRegistry::wait_for(const std::string& name) {
-  std::unique_lock<std::mutex> lock(mu_);
-  domain_.wait_until(published_, lock,
+  MutexLock lock(mu_);
+  domain_.wait_until(published_, mu_,
                      [&] { return entries_.count(name) != 0; });
   return entries_[name];
 }
 
 std::vector<std::string> NameRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [k, v] : entries_) out.push_back(k);

@@ -10,12 +10,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/domain.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
@@ -44,9 +44,9 @@ class NameRegistry {
 
  private:
   ExecDomain& domain_;
-  mutable std::mutex mu_;
-  WaitPoint published_;
-  std::map<std::string, std::string> entries_;
+  mutable Mutex mu_;
+  WaitPoint published_ DPS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> entries_ DPS_GUARDED_BY(mu_);
 };
 
 }  // namespace dps

@@ -30,13 +30,13 @@ TcpFabric::TcpFabric(size_t node_count) {
 TcpFabric::~TcpFabric() { shutdown(); }
 
 void TcpFabric::attach(NodeId self, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DPS_CHECK(self < nodes_.size(), "attach: node id out of range");
   nodes_[self]->handler = std::move(handler);
 }
 
 void TcpFabric::set_node_names(std::vector<std::string> names) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   names_ = std::move(names);
 }
 
@@ -61,7 +61,7 @@ void TcpFabric::acceptor_loop(NodeId self) {
     // have a connection waiting in the backlog, and its frames must still
     // be delivered. shutdown() joins this acceptor before it collects
     // receivers_, so no registration races the final join.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     receivers_.emplace_back(
         [this, self, shared] { receiver_loop(self, shared); });
   }
@@ -81,7 +81,7 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
   const NodeId peer = hello.from;
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     handler = nodes_[self]->handler;
   }
   DPS_CHECK(static_cast<bool>(handler), "receiver started before attach");
@@ -110,7 +110,7 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
   }
   std::string reason;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;  // our own shutdown raced the read: not an error
     reason = to_string(Errc::kProtocol) + std::string(": torn stream from ") +
              node_label(peer) + " to " + node_label(self) + ": " + torn;
@@ -140,7 +140,7 @@ void TcpFabric::sender_loop(OutConn& oc) {
     hello.from = oc.from;
     write_frame(oc.conn, hello);
   } catch (const Error& e) {
-    std::lock_guard<std::mutex> lock(oc.mu);
+    MutexLock lock(oc.mu);
     if (!oc.closed) {
       DPS_WARN("tcp fabric: connect " << oc.from << "->" << oc.to
                                       << " failed: " << e.what());
@@ -153,8 +153,8 @@ void TcpFabric::sender_loop(OutConn& oc) {
   std::deque<Frame> batch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(oc.mu);
-      oc.data.wait(lock, [&] { return !oc.queue.empty() || oc.closed; });
+      MutexLock lock(oc.mu);
+      oc.data.wait(oc.mu, [&] { return !oc.queue.empty() || oc.closed; });
       if (oc.queue.empty()) break;  // closed and drained
       batch.swap(oc.queue);
       oc.queued_bytes = 0;
@@ -186,7 +186,7 @@ void TcpFabric::sender_loop(OutConn& oc) {
         BufferPool::instance().release(std::move(f.payload));
       }
     } catch (const Error& e) {
-      std::lock_guard<std::mutex> lock(oc.mu);
+      MutexLock lock(oc.mu);
       if (!oc.closed && !oc.failed) {
         DPS_WARN("tcp fabric: send " << oc.from << "->" << oc.to
                                      << " failed: " << e.what());
@@ -220,7 +220,7 @@ void TcpFabric::sender_loop(OutConn& oc) {
   // receiver can tell it from a torn stream, then close the socket.
   bool announce;
   {
-    std::lock_guard<std::mutex> lock(oc.mu);
+    MutexLock lock(oc.mu);
     announce = !oc.failed;
   }
   if (announce) {
@@ -245,7 +245,7 @@ void TcpFabric::sender_loop(OutConn& oc) {
 }
 
 TcpFabric::OutConn& TcpFabric::out_conn(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto key = std::make_pair(from, to);
   auto it = out_.find(key);
   if (it != out_.end()) return *it->second;
@@ -273,11 +273,11 @@ void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
   f.payload = std::move(payload);
   const size_t wire = frame_wire_size(f);
   {
-    std::unique_lock<std::mutex> lock(oc.mu);
+    MutexLock lock(oc.mu);
     // Backpressure: block while the byte budget is exhausted. The budget is
     // a soft bound (one frame may overshoot it) so frames larger than the
     // whole budget still make progress.
-    oc.space.wait(lock, [&] {
+    oc.space.wait(oc.mu, [&] {
       return oc.queued_bytes < oc.queue_limit || oc.closed || oc.failed;
     });
     // Checked under oc.mu: a send either fully precedes the queue close or
@@ -310,7 +310,7 @@ void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
 void TcpFabric::shutdown() {
   std::vector<OutConn*> conns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_) return;
     down_ = true;  // no new out-connections; torn-stream reports go quiet
     for (auto& [key, oc] : out_) conns.push_back(oc.get());
@@ -322,7 +322,7 @@ void TcpFabric::shutdown() {
   // read, and delivered rather than torn down.
   for (OutConn* oc : conns) {
     {
-      std::lock_guard<std::mutex> lock(oc->mu);
+      MutexLock lock(oc->mu);
       oc->closed = true;
     }
     oc->data.notify_all();
@@ -337,7 +337,7 @@ void TcpFabric::shutdown() {
   }
   std::vector<std::thread> receivers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     receivers.swap(receivers_);
   }
   for (auto& r : receivers) {

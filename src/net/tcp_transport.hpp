@@ -18,17 +18,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "net/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
@@ -67,13 +66,16 @@ class TcpFabric : public Fabric {
     uint16_t port = 0;  ///< the peer's listener; connected by the sender
     size_t queue_limit = 0;
 
-    std::mutex mu;
-    std::condition_variable space;  ///< producers wait here (backpressure)
-    std::condition_variable data;   ///< the sender thread waits here
-    std::deque<Frame> queue;        ///< pending frames, FIFO
-    size_t queued_bytes = 0;        ///< wire bytes represented by `queue`
-    bool closed = false;  ///< no new sends accepted (shutdown started)
-    bool failed = false;  ///< a write failed; the link is dead
+    Mutex mu;
+    CondVar space;  ///< producers wait here (backpressure)
+    CondVar data;   ///< the sender thread waits here
+    std::deque<Frame> queue DPS_GUARDED_BY(mu);  ///< pending frames, FIFO
+    /// Wire bytes represented by `queue`.
+    size_t queued_bytes DPS_GUARDED_BY(mu) = 0;
+    /// No new sends accepted (shutdown started).
+    bool closed DPS_GUARDED_BY(mu) = false;
+    /// A write failed; the link is dead.
+    bool failed DPS_GUARDED_BY(mu) = false;
 
     TcpConn conn;         ///< written only by the sender thread after setup
     std::thread sender;
@@ -83,19 +85,21 @@ class TcpFabric : public Fabric {
   void receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn);
   void sender_loop(OutConn& oc);
   OutConn& out_conn(NodeId from, NodeId to);
-  std::string node_label(NodeId node) const;  // caller holds mu_
+  std::string node_label(NodeId node) const DPS_REQUIRES(mu_);
 
   // Default per-connection queue budget: deep enough to decouple a worker
   // from the wire across many small tokens, small enough to bound memory
   // and keep backpressure meaningful for large ones.
   static constexpr size_t kDefaultQueueLimit = 4 << 20;  // 4 MB
 
-  mutable std::mutex mu_;
-  std::vector<std::string> names_;  // empty until set_node_names
+  mutable Mutex mu_;
+  /// Empty until set_node_names.
+  std::vector<std::string> names_ DPS_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<NodeEnd>> nodes_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<OutConn>> out_;
-  std::vector<std::thread> receivers_;
-  bool down_ = false;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<OutConn>> out_
+      DPS_GUARDED_BY(mu_);
+  std::vector<std::thread> receivers_ DPS_GUARDED_BY(mu_);
+  bool down_ DPS_GUARDED_BY(mu_) = false;
   std::atomic<size_t> queue_limit_{kDefaultQueueLimit};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};

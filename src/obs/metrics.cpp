@@ -1,8 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <memory>
-#include <mutex>
 #include <variant>
+
+#include "util/thread_annotations.hpp"
 
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -49,8 +50,8 @@ struct Metrics::Impl {
   using Instrument =
       std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
                    std::unique_ptr<Histogram>>;
-  mutable std::mutex mu;
-  std::map<std::string, Instrument> instruments;
+  mutable Mutex mu;
+  std::map<std::string, Instrument> instruments DPS_GUARDED_BY(mu);
 };
 
 Metrics& Metrics::instance() {
@@ -65,7 +66,7 @@ Metrics::Impl& Metrics::impl() const {
 
 Counter& Metrics::counter(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.instruments.find(name);
   if (it == i.instruments.end()) {
     it = i.instruments.emplace(name, std::make_unique<Counter>()).first;
@@ -79,7 +80,7 @@ Counter& Metrics::counter(const std::string& name) {
 
 Gauge& Metrics::gauge(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.instruments.find(name);
   if (it == i.instruments.end()) {
     it = i.instruments.emplace(name, std::make_unique<Gauge>()).first;
@@ -93,7 +94,7 @@ Gauge& Metrics::gauge(const std::string& name) {
 
 Histogram& Metrics::histogram(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.instruments.find(name);
   if (it == i.instruments.end()) {
     it = i.instruments.emplace(name, std::make_unique<Histogram>()).first;
@@ -109,7 +110,7 @@ MetricsSnapshot Metrics::snapshot() const {
   Impl& i = impl();
   MetricsSnapshot snap;
   snap.t_ns = trace_clock_ns();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   for (const auto& [name, inst] : i.instruments) {
     MetricValue v;
     if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
@@ -135,7 +136,7 @@ MetricsSnapshot Metrics::snapshot() const {
 
 void Metrics::reset() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   for (auto& [name, inst] : i.instruments) {
     if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
       (*c)->reset();

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace dps::obs {
 
@@ -130,9 +131,10 @@ struct Trace::Registry {
     std::atomic<bool> live{false};  ///< owned by a running thread
   };
 
-  std::mutex mu;
-  std::vector<std::unique_ptr<Entry>> entries;
-  std::vector<uint32_t> free_list;  ///< drained rings of exited threads
+  Mutex mu;
+  std::vector<std::unique_ptr<Entry>> entries DPS_GUARDED_BY(mu);
+  /// Drained rings of exited threads.
+  std::vector<uint32_t> free_list DPS_GUARDED_BY(mu);
 
   // Thread-local handle: releases the ring back to the registry when the
   // thread exits so its events survive until the next draining collect().
@@ -143,7 +145,7 @@ struct Trace::Registry {
     uint32_t sample_skip = 0;
     ~Handle() {
       if (registry == nullptr) return;
-      std::lock_guard<std::mutex> lock(registry->mu);
+      MutexLock lock(registry->mu);
       registry->entries[index]->live.store(false, std::memory_order_relaxed);
     }
   };
@@ -154,7 +156,7 @@ struct Trace::Registry {
   }
 
   TraceBuffer* acquire(Handle& h, size_t capacity) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!free_list.empty()) {
       const uint32_t idx = free_list.back();
       Entry& e = *entries[idx];
@@ -232,7 +234,7 @@ void Trace::set_thread_name(const std::string& name) {
   if (h.buffer == nullptr || h.registry == nullptr) {
     registry().acquire(h, capacity_.load(std::memory_order_relaxed));
   }
-  std::lock_guard<std::mutex> lock(registry().mu);
+  MutexLock lock(registry().mu);
   h.buffer->set_name(name);
 }
 
@@ -240,7 +242,7 @@ std::vector<TaggedEvent> Trace::collect(bool clear) {
   Registry& reg = registry();
   std::vector<TaggedEvent> out;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (uint32_t i = 0; i < reg.entries.size(); ++i) {
       Registry::Entry& entry = *reg.entries[i];
       const std::string& name = entry.buffer->name();
@@ -273,7 +275,7 @@ void Trace::reset() { (void)collect(/*clear=*/true); }
 
 uint64_t Trace::events_recorded() const {
   Registry& reg = const_cast<Trace*>(this)->registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   uint64_t n = 0;
   for (const auto& entry : reg.entries) n += entry->buffer->recorded();
   return n;

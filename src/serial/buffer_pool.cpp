@@ -11,7 +11,7 @@ std::vector<std::byte> BufferPool::acquire(size_t size_hint) {
   std::vector<std::byte> buf;
   bool reused = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.acquires;
     // Prefer the smallest retained buffer that already fits the hint;
     // fall back to the largest one (one reserve call tops it up).
@@ -45,7 +45,7 @@ std::vector<std::byte> BufferPool::acquire(size_t size_hint) {
 
 void BufferPool::release(std::vector<std::byte> buf) {
   if (buf.capacity() == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_.size() >= kMaxFreeBuffers ||
       buf.capacity() > kMaxRetainedCapacity) {
     ++stats_.dropped;
@@ -57,23 +57,23 @@ void BufferPool::release(std::vector<std::byte> buf) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats{};
 }
 
 void BufferPool::note_growth(uint32_t growths) {
   if (growths == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.encode_growths += growths;
 }
 
 void BufferPool::trim() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_.clear();
   free_.shrink_to_fit();
 }

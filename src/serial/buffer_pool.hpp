@@ -16,8 +16,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
@@ -60,9 +61,9 @@ class BufferPool {
   static constexpr size_t kMaxFreeBuffers = 64;
   static constexpr size_t kMaxRetainedCapacity = 1 << 20;  // 1 MB each
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::byte>> free_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::vector<std::vector<std::byte>> free_ DPS_GUARDED_BY(mu_);
+  Stats stats_ DPS_GUARDED_BY(mu_);
 };
 
 }  // namespace dps

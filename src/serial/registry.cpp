@@ -2,15 +2,17 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
 struct TokenRegistry::Impl {
-  mutable std::mutex mu;
-  std::unordered_map<uint64_t, const TokenTypeInfo*> by_id;
-  std::unordered_map<std::string, const TokenTypeInfo*> by_name;
+  mutable Mutex mu;
+  std::unordered_map<uint64_t, const TokenTypeInfo*> by_id DPS_GUARDED_BY(mu);
+  std::unordered_map<std::string, const TokenTypeInfo*> by_name
+      DPS_GUARDED_BY(mu);
 };
 
 TokenRegistry& TokenRegistry::instance() {
@@ -25,7 +27,7 @@ TokenRegistry::Impl& TokenRegistry::impl() const {
 
 void TokenRegistry::add(const TokenTypeInfo* info) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto [it, inserted] = im.by_id.emplace(info->id, info);
   if (!inserted) {
     if (it->second == info) return;  // idempotent re-register of one type
@@ -43,7 +45,7 @@ void TokenRegistry::add(const TokenTypeInfo* info) {
 
 const TokenTypeInfo& TokenRegistry::find(uint64_t id) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.by_id.find(id);
   if (it == im.by_id.end()) {
     raise(Errc::kNotFound,
@@ -55,7 +57,7 @@ const TokenTypeInfo& TokenRegistry::find(uint64_t id) const {
 
 const TokenTypeInfo& TokenRegistry::find_by_name(const std::string& name) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.by_name.find(name);
   if (it == im.by_name.end()) {
     raise(Errc::kNotFound, "unknown token type '" + name + "'");
@@ -65,13 +67,13 @@ const TokenTypeInfo& TokenRegistry::find_by_name(const std::string& name) const 
 
 bool TokenRegistry::contains(uint64_t id) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   return im.by_id.count(id) != 0;
 }
 
 size_t TokenRegistry::size() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   return im.by_id.size();
 }
 

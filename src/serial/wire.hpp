@@ -38,8 +38,10 @@ class Writer {
   /// Pre-sizes the backing buffer so subsequent puts don't reallocate.
   void reserve(size_t n) { buf_.reserve(n); }
 
-  /// Raw bytes, no length prefix.
+  /// Raw bytes, no length prefix. Zero-size writes are no-ops so callers
+  /// may pass data() of an empty container, which is null.
   void put_raw(const void* data, size_t size) {
+    if (size == 0) return;
     if (buf_.size() + size > buf_.capacity()) ++growths_;
     const auto* bytes = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), bytes, bytes + size);
@@ -91,6 +93,9 @@ class Reader {
 
   void get_raw(void* out, size_t size) {
     require(size);
+    // memcpy is declared nonnull; an empty container's data() is null, so a
+    // zero-size read must not touch it (UBSan: "null passed as argument 1").
+    if (size == 0) return;
     std::memcpy(out, data_ + pos_, size);
     pos_ += size;
   }
@@ -107,6 +112,7 @@ class Reader {
   std::string get_string() {
     const uint32_t len = get<uint32_t>();
     require(len);
+    if (len == 0) return {};  // basic_string(nullptr, 0) is undefined
     std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return s;

@@ -11,23 +11,24 @@ namespace dps {
 // WallDomain events run on one timer thread with a time-ordered queue.
 struct WallDomain::Impl {
   Stopwatch clock;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::multimap<double, std::function<void()>> events;  // key: due time (s)
-  bool stopping = false;
+  Mutex mu;
+  CondVar cv;
+  /// Pending events keyed by due time (s).
+  std::multimap<double, std::function<void()>> events DPS_GUARDED_BY(mu);
+  bool stopping DPS_GUARDED_BY(mu) = false;
   std::thread timer;
 
   void timer_loop() {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     while (!stopping) {
       if (events.empty()) {
-        cv.wait(lock);
+        cv.wait(mu);
         continue;
       }
       const double due = events.begin()->first;
       const double now_s = clock.seconds();
       if (now_s < due) {
-        cv.wait_for(lock, std::chrono::duration<double>(due - now_s));
+        cv.wait_for(mu, std::chrono::duration<double>(due - now_s));
         continue;
       }
       auto fn = std::move(events.begin()->second);
@@ -45,7 +46,7 @@ WallDomain::WallDomain() : impl_(std::make_unique<Impl>()) {
 
 WallDomain::~WallDomain() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stopping = true;
   }
   impl_->cv.notify_all();
@@ -66,7 +67,7 @@ void WallDomain::sleep(double seconds) {
 
 void WallDomain::post_event(double delay, std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->events.emplace(impl_->clock.seconds() + (delay > 0 ? delay : 0),
                           std::move(fn));
   }
@@ -76,9 +77,7 @@ void WallDomain::post_event(double delay, std::function<void()> fn) {
 void WallDomain::actor_started(const char*) {}
 void WallDomain::actor_finished() {}
 
-void WallDomain::wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) {
-  wp.cv.wait(lock);
-}
+void WallDomain::wait(WaitPoint& wp, Mutex& mu) { wp.cv.wait(mu); }
 
 void WallDomain::notify_all(WaitPoint& wp) { wp.cv.notify_all(); }
 

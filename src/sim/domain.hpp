@@ -13,21 +13,20 @@
 // timing behaviour.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
 /// A condition-variable wait site that an ExecDomain can reason about.
-/// The embedding data structure's mutex guards the WaitPoint: wait() must
+/// The embedding data structure's Mutex guards the WaitPoint: wait() must
 /// be entered with that mutex locked, and notify_all() called while holding
 /// it.
 struct WaitPoint {
-  std::condition_variable cv;
+  CondVar cv;
   /// Sim-mode bookkeeping: actor ids currently parked here.
   std::vector<uint32_t> sim_waiters;
   /// Set by the simulation scheduler when the whole virtual world stalls
@@ -78,10 +77,11 @@ class ExecDomain {
   /// under wall clock and for unbound actors (group < 0 = infinite CPUs).
   virtual void bind_cpu(int group) = 0;
 
-  /// Blocks on wp until notified. `lock` holds the mutex guarding wp.
-  virtual void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) = 0;
+  /// Blocks on wp until notified. `mu` is the Mutex guarding wp; it must be
+  /// held on entry and is re-held on return (released while blocked).
+  virtual void wait(WaitPoint& wp, Mutex& mu) DPS_REQUIRES(mu) = 0;
 
-  /// Wakes all waiters of wp. Caller holds the mutex guarding wp.
+  /// Wakes all waiters of wp. Caller holds the Mutex guarding wp.
   virtual void notify_all(WaitPoint& wp) = 0;
 
   virtual bool simulated() const = 0;
@@ -89,8 +89,7 @@ class ExecDomain {
   /// Predicate-driven wait; throws Error(kDeadlock) if the simulation
   /// stalls while this waiter still needs progress.
   template <class Pred>
-  void wait_until(WaitPoint& wp, std::unique_lock<std::mutex>& lock,
-                  Pred pred) {
+  void wait_until(WaitPoint& wp, Mutex& mu, Pred pred) DPS_REQUIRES(mu) {
     while (!pred()) {
       if (wp.stalled) {
         raise(Errc::kDeadlock,
@@ -98,7 +97,7 @@ class ExecDomain {
               "message, but this wait is unsatisfied (check thread mappings "
               "and merge routing)");
       }
-      wait(wp, lock);
+      wait(wp, mu);
     }
   }
 };
@@ -112,21 +111,21 @@ class ActorGate {
  public:
   /// Called by the exiting actor as its last action.
   void open(ExecDomain& domain) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_ = true;
     domain.notify_all(wp_);
   }
 
   /// Called by the joiner before std::thread::join().
   void wait(ExecDomain& domain) {
-    std::unique_lock<std::mutex> lock(mu_);
-    domain.wait_until(wp_, lock, [&] { return done_; });
+    MutexLock lock(mu_);
+    domain.wait_until(wp_, mu_, [&] { return done_; });
   }
 
  private:
-  std::mutex mu_;
-  WaitPoint wp_;
-  bool done_ = false;
+  Mutex mu_;
+  WaitPoint wp_ DPS_GUARDED_BY(mu_);
+  bool done_ DPS_GUARDED_BY(mu_) = false;
 };
 
 /// RAII actor registration for non-framework threads (benchmark mains).
@@ -157,7 +156,7 @@ class WallDomain : public ExecDomain {
   void actor_finished() override;
   void reserve_actor() override {}
   void bind_cpu(int) override {}
-  void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) override;
+  void wait(WaitPoint& wp, Mutex& mu) DPS_REQUIRES(mu) override;
   void notify_all(WaitPoint& wp) override;
   bool simulated() const override { return false; }
 

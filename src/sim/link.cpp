@@ -1,21 +1,22 @@
 #include "sim/link.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
 struct SimFabric::Impl {
   ExecDomain& domain;
   LinkModel link;
-  std::mutex mu;
-  std::vector<Handler> handlers;
-  std::vector<double> tx_free;  // next instant a node's TX NIC is idle
-  std::vector<double> rx_free;  // next instant a node's RX NIC is idle
-  bool down = false;
+  Mutex mu;
+  std::vector<Handler> handlers DPS_GUARDED_BY(mu);
+  // next instant a node's TX/RX NIC is idle
+  std::vector<double> tx_free DPS_GUARDED_BY(mu);
+  std::vector<double> rx_free DPS_GUARDED_BY(mu);
+  bool down DPS_GUARDED_BY(mu) = false;
   std::atomic<uint64_t> bytes{0};
   std::atomic<uint64_t> messages{0};
 
@@ -29,7 +30,7 @@ SimFabric::SimFabric(size_t node_count, ExecDomain& domain, LinkModel link)
 SimFabric::~SimFabric() = default;
 
 void SimFabric::attach(NodeId self, Handler handler) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   DPS_CHECK(self < impl_->handlers.size(), "attach: node id out of range");
   impl_->handlers[self] = std::move(handler);
 }
@@ -44,7 +45,7 @@ void SimFabric::send(NodeId from, NodeId to, FrameKind kind,
   Handler handler;
   double arrival = 0;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->down) return;
     if (to >= impl_->handlers.size() || !impl_->handlers[to]) {
       raise(Errc::kNotFound,
@@ -70,7 +71,7 @@ void SimFabric::send(NodeId from, NodeId to, FrameKind kind,
 }
 
 void SimFabric::shutdown() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->down = true;
 }
 

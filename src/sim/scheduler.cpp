@@ -29,8 +29,8 @@ struct SimDomain::Impl {
     State state = State::kRunning;
     double wake = 0;
     bool released = false;
-    WaitPoint* wp = nullptr;           // valid while kWaiting
-    std::mutex* wp_mutex = nullptr;    // mutex guarding wp while kWaiting
+    WaitPoint* wp = nullptr;   // valid while kWaiting
+    Mutex* wp_mutex = nullptr;  // mutex guarding wp while kWaiting
     int cpu_group = -1;                // -1: unconstrained
     std::string name;
   };
@@ -46,25 +46,27 @@ struct SimDomain::Impl {
     }
   };
 
-  std::mutex mu;
-  std::condition_variable sched_cv;   // wakes the scheduler thread
-  std::condition_variable charge_cv;  // wakes charging actors
-  std::deque<Actor> actors;  // deque: stable references across push_back
-  int running = 0;
-  double now = 0;
+  Mutex mu;
+  CondVar sched_cv;   // wakes the scheduler thread
+  CondVar charge_cv;  // wakes charging actors
+  // deque: stable references across push_back
+  std::deque<Actor> actors DPS_GUARDED_BY(mu);
+  int running DPS_GUARDED_BY(mu) = 0;
+  double now DPS_GUARDED_BY(mu) = 0;
   std::atomic<double> now_mirror{0};
-  uint64_t event_seq = 0;
+  uint64_t event_seq DPS_GUARDED_BY(mu) = 0;
   std::atomic<uint64_t> events_done{0};
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-  bool stopping = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events
+      DPS_GUARDED_BY(mu);
+  bool stopping DPS_GUARDED_BY(mu) = false;
   std::thread sched_thread;
 
   // Per-CPU-group processor slots: slot_free[i] is the next instant slot i
   // is idle (same reservation pattern as the link model's NIC timelines).
   int cpus_per_group = 2;
-  std::map<int, std::vector<double>> cpu_groups;
+  std::map<int, std::vector<double>> cpu_groups DPS_GUARDED_BY(mu);
 
-  double reserve_cpu_locked(int group, double seconds) {
+  double reserve_cpu_locked(int group, double seconds) DPS_REQUIRES(mu) {
     auto [it, inserted] = cpu_groups.try_emplace(
         group, static_cast<size_t>(cpus_per_group), 0.0);
     std::vector<double>& slots = it->second;
@@ -97,10 +99,10 @@ struct SimDomain::Impl {
     return t;
   }
 
-  int reserved = 0;  // spawn placeholders, counted as runnable
+  int reserved DPS_GUARDED_BY(mu) = 0;  // spawn placeholders, runnable
 
   uint32_t register_actor(const char* name) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     actors.push_back(Actor{});
     actors.back().name = name;
     ++running;
@@ -121,13 +123,13 @@ struct SimDomain::Impl {
     return t.id;
   }
 
-  void kick_if_idle_locked() {
+  void kick_if_idle_locked() DPS_REQUIRES(mu) {
     if (running == 0) sched_cv.notify_one();
   }
 
   // --- scheduler thread ------------------------------------------------------
 
-  double next_charge_locked() const {
+  double next_charge_locked() const DPS_REQUIRES(mu) {
     double t = kInf;
     for (const Actor& a : actors) {
       if (a.state == State::kCharging && a.wake < t) t = a.wake;
@@ -135,7 +137,7 @@ struct SimDomain::Impl {
     return t;
   }
 
-  bool anyone_waiting_locked() const {
+  bool anyone_waiting_locked() const DPS_REQUIRES(mu) {
     for (const Actor& a : actors) {
       if (a.state == State::kWaiting) return true;
     }
@@ -143,9 +145,9 @@ struct SimDomain::Impl {
   }
 
   void loop() {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     while (!stopping) {
-      sched_cv.wait(lock, [&] {
+      sched_cv.wait(mu, [&] {
         return stopping ||
                (running == 0 && (!events.empty() ||
                                  next_charge_locked() != kInf ||
@@ -160,7 +162,7 @@ struct SimDomain::Impl {
 
       if (t == kInf) {
         // Full stall with waiters: the schedule is deadlocked.
-        handle_stall(lock);
+        handle_stall();
         continue;
       }
 
@@ -209,10 +211,10 @@ struct SimDomain::Impl {
     }
   }
 
-  void handle_stall(std::unique_lock<std::mutex>& lock) {
-    // Snapshot the wait sites, then notify them without mu held (lock
-    // order everywhere is: waitpoint mutex before mu).
-    std::vector<std::pair<WaitPoint*, std::mutex*>> sites;
+  // Entered and left with mu held; drops it mid-body to notify the wait
+  // sites (lock order everywhere is: waitpoint mutex before mu).
+  void handle_stall() DPS_REQUIRES(mu) {
+    std::vector<std::pair<WaitPoint*, Mutex*>> sites;
     for (Actor& a : actors) {
       if (a.state == State::kWaiting) {
         bool seen = false;
@@ -222,16 +224,16 @@ struct SimDomain::Impl {
     }
     DPS_ERROR("simulation stalled with " << sites.size()
                                          << " blocked wait site(s)");
-    lock.unlock();
+    mu.unlock();
     for (auto& [wp, wp_mu] : sites) {
-      std::lock_guard<std::mutex> g(*wp_mu);
+      MutexLock g(*wp_mu);
       wp->stalled = true;
       wp->cv.notify_all();
     }
-    lock.lock();
+    mu.lock();
     // The woken actors self-resume (running > 0) and throw kDeadlock; the
     // scheduler simply resumes its loop.
-    sched_cv.wait(lock, [&] { return stopping || running > 0; });
+    sched_cv.wait(mu, [&] { return stopping || running > 0; });
   }
 };
 
@@ -246,7 +248,7 @@ SimDomain::~SimDomain() { stop(); }
 
 void SimDomain::stop() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->stopping) return;
     impl_->stopping = true;
   }
@@ -262,7 +264,7 @@ double SimDomain::now() const {
 void SimDomain::charge(double seconds) {
   if (seconds <= 0) return;
   const uint32_t id = impl_->self();
-  std::unique_lock<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   if (impl_->stopping) return;
   Impl::Actor& a = impl_->actors[id];
   a.state = Impl::State::kCharging;
@@ -272,7 +274,8 @@ void SimDomain::charge(double seconds) {
   a.released = false;
   --impl_->running;
   impl_->kick_if_idle_locked();
-  impl_->charge_cv.wait(lock, [&] { return a.released || impl_->stopping; });
+  impl_->charge_cv.wait(impl_->mu,
+                        [&] { return a.released || impl_->stopping; });
   if (impl_->stopping && !a.released) {
     // Shutdown path: restore the running state without time accounting.
     a.state = Impl::State::kRunning;
@@ -281,7 +284,7 @@ void SimDomain::charge(double seconds) {
 }
 
 void SimDomain::post_event(double delay, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   if (impl_->stopping) return;
   impl_->events.push(Impl::Event{impl_->now + (delay > 0 ? delay : 0),
                                  impl_->event_seq++, std::move(fn)});
@@ -301,14 +304,14 @@ void SimDomain::actor_started(const char* name) {
 }
 
 void SimDomain::reserve_actor() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   ++impl_->reserved;
   ++impl_->running;
 }
 
 void SimDomain::bind_cpu(int group) {
   const uint32_t id = impl_->self();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->actors[id].cpu_group = group;
 }
 
@@ -319,7 +322,7 @@ void SimDomain::actor_finished() {
     return;
   }
   const uint32_t id = impl_->self();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   Impl::Actor& a = impl_->actors[id];
   if (a.state == Impl::State::kRunning) --impl_->running;
   a.state = Impl::State::kDone;
@@ -327,10 +330,10 @@ void SimDomain::actor_finished() {
   impl_->kick_if_idle_locked();
 }
 
-void SimDomain::wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) {
+void SimDomain::wait(WaitPoint& wp, Mutex& mu) {
   const uint32_t id = impl_->self();
   {
-    std::lock_guard<std::mutex> g(impl_->mu);
+    MutexLock g(impl_->mu);
     if (impl_->stopping) {
       // Shutdown: make the enclosing wait_until throw rather than spin.
       wp.stalled = true;
@@ -339,14 +342,14 @@ void SimDomain::wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) {
     Impl::Actor& a = impl_->actors[id];
     a.state = Impl::State::kWaiting;
     a.wp = &wp;
-    a.wp_mutex = lock.mutex();
+    a.wp_mutex = &mu;
     --impl_->running;
     wp.sim_waiters.push_back(id);
     impl_->kick_if_idle_locked();
   }
-  wp.cv.wait(lock);
+  wp.cv.wait(mu);
   {
-    std::lock_guard<std::mutex> g(impl_->mu);
+    MutexLock g(impl_->mu);
     Impl::Actor& a = impl_->actors[id];
     if (a.state == Impl::State::kWaiting) {
       // Spurious or stall wake-up: resume ourselves and let a scheduler
@@ -362,7 +365,7 @@ void SimDomain::wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) {
 
 void SimDomain::notify_all(WaitPoint& wp) {
   {
-    std::lock_guard<std::mutex> g(impl_->mu);
+    MutexLock g(impl_->mu);
     for (uint32_t id : wp.sim_waiters) {
       Impl::Actor& a = impl_->actors[id];
       if (a.state == Impl::State::kWaiting && a.wp == &wp) {

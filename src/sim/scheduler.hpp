@@ -44,7 +44,7 @@ class SimDomain : public ExecDomain {
   void actor_finished() override;
   void reserve_actor() override;
   void bind_cpu(int group) override;
-  void wait(WaitPoint& wp, std::unique_lock<std::mutex>& lock) override;
+  void wait(WaitPoint& wp, Mutex& mu) DPS_REQUIRES(mu) override;
   void notify_all(WaitPoint& wp) override;
   bool simulated() const override { return true; }
 

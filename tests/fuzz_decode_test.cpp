@@ -200,6 +200,45 @@ TEST(FuzzDecode, HugeBufferCountRejected) {
   EXPECT_THROW((void)deserialize_token(r), Error);
 }
 
+// Regression (found by the asan-ubsan preset): decoding a token whose
+// string/buffer fields are empty made Reader::get_raw call memcpy with the
+// empty container's null data() — UB flagged by -fsanitize=undefined's
+// nonnull check ("null pointer passed as argument 1"), and the same held
+// for Writer::put_raw on encode and std::string(nullptr, 0) in get_string.
+// Zero-size reads/writes must be exact no-ops.
+TEST(FuzzDecode, EmptyFieldsRoundTripWithoutTouchingNullData) {
+  FuzzComplexToken t;
+  t.id = 42;
+  t.name = std::string();  // empty: data() is null in the decoded copy
+  // values deliberately left empty too
+  Writer w;
+  serialize_token(t, w);
+  Reader r(w.bytes());
+  auto decoded = deserialize_token(r);
+  auto* ct = dynamic_cast<FuzzComplexToken*>(decoded.get());
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(ct->id.get(), 42);
+  EXPECT_EQ(ct->name.get(), "");
+  EXPECT_EQ(ct->values.size(), 0u);
+}
+
+// Same surface, byte-level: zero-size raw accessors against a Reader over
+// an empty buffer (data() == nullptr) must neither move the cursor nor
+// dereference anything.
+TEST(FuzzDecode, ZeroSizeRawAccessOnEmptyBufferIsANoOp) {
+  std::vector<std::byte> empty;
+  Reader r(empty);
+  r.get_raw(nullptr, 0);  // must not reach memcpy
+  EXPECT_THROW(r.get_raw(nullptr, 1), Error);
+
+  Writer w;
+  w.put_raw(empty.data(), 0);  // null src, zero size: no-op
+  w.put_string(std::string());
+  EXPECT_EQ(w.bytes().size(), sizeof(uint32_t));  // just the length prefix
+  Reader r2(w.bytes());
+  EXPECT_EQ(r2.get_string(), "");
+}
+
 TEST(FuzzDecode, TraceHugeThreadCountRejected) {
   Writer w;
   w.put<uint32_t>(obs::kTraceMagic);

@@ -30,22 +30,22 @@ TEST(SimDomain, ParallelChargesOverlapInVirtualTime) {
   // handshake guarantees both are registered before either charge starts
   // (the clock cannot advance while the main actor runs).
   SimDomain sim;
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   bool worker_ready = false;
   sim.reserve_actor();
   std::thread worker([&] {
     ActorScope scope(sim, "worker");
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       worker_ready = true;
       sim.notify_all(wp);
     }
     sim.charge(1.0);
   });
   {
-    std::unique_lock<std::mutex> lock(mu);
-    sim.wait_until(wp, lock, [&] { return worker_ready; });
+    MutexLock lock(mu);
+    sim.wait_until(wp, mu, [&] { return worker_ready; });
   }
   sim.charge(1.0);
   sim.actor_finished();
@@ -55,22 +55,22 @@ TEST(SimDomain, ParallelChargesOverlapInVirtualTime) {
 
 TEST(SimDomain, SequentialDependentChargesAccumulate) {
   SimDomain sim;
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   bool ready = false;
   double worker_end = 0;
   std::thread worker([&] {
     ActorScope scope(sim, "worker");
     {
-      std::unique_lock<std::mutex> lock(mu);
-      sim.wait_until(wp, lock, [&] { return ready; });
+      MutexLock lock(mu);
+      sim.wait_until(wp, mu, [&] { return ready; });
     }
     sim.charge(2.0);
     worker_end = sim.now();
   });
   sim.charge(3.0);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ready = true;
     sim.notify_all(wp);
   }
@@ -107,7 +107,7 @@ TEST(SimDomain, EventWakesWaiterBeforeClockMovesOn) {
   // after that lands at 1 + dt; the pre-credit rule prevents the clock from
   // skipping ahead to the t=5 decoy event while the waiter is resuming.
   SimDomain sim;
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   bool delivered = false;
   double woke_at = -1, after_charge = -1;
@@ -115,15 +115,15 @@ TEST(SimDomain, EventWakesWaiterBeforeClockMovesOn) {
   std::thread waiter([&] {
     ActorScope scope(sim, "waiter");
     {
-      std::unique_lock<std::mutex> lock(mu);
-      sim.wait_until(wp, lock, [&] { return delivered; });
+      MutexLock lock(mu);
+      sim.wait_until(wp, mu, [&] { return delivered; });
     }
     woke_at = sim.now();
     sim.charge(0.5);
     after_charge = sim.now();
   });
   sim.post_event(1.0, [&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     delivered = true;
     sim.notify_all(wp);
   });
@@ -137,15 +137,15 @@ TEST(SimDomain, EventWakesWaiterBeforeClockMovesOn) {
 
 TEST(SimDomain, StallDetectionThrowsDeadlock) {
   SimDomain sim;
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   std::atomic<bool> threw{false};
   sim.reserve_actor();
   std::thread waiter([&] {
     ActorScope scope(sim, "waiter");
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     try {
-      sim.wait_until(wp, lock, [] { return false; });
+      sim.wait_until(wp, mu, [] { return false; });
     } catch (const Error& e) {
       threw = (e.code() == Errc::kDeadlock);
     }
@@ -182,17 +182,17 @@ TEST(SimDomain, CpuGroupSerializesCharges) {
   // Two actors bound to the same single-CPU group: their 1 s charges queue,
   // so the clock reaches 2 s; an unconstrained pair would finish at 1 s.
   SimDomain sim(/*cpus_per_group=*/1);
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   int ready = 0;
   auto worker = [&] {
     ActorScope scope(sim, "w");
     sim.bind_cpu(0);
     {
-      std::unique_lock<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ++ready;
       sim.notify_all(wp);
-      sim.wait_until(wp, lock, [&] { return ready == 2; });
+      sim.wait_until(wp, mu, [&] { return ready == 2; });
     }
     sim.charge(1.0);
   };
@@ -207,17 +207,17 @@ TEST(SimDomain, CpuGroupSerializesCharges) {
 
 TEST(SimDomain, TwoCpusRunChargesConcurrently) {
   SimDomain sim(/*cpus_per_group=*/2);
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   int ready = 0;
   auto worker = [&] {
     ActorScope scope(sim, "w");
     sim.bind_cpu(0);
     {
-      std::unique_lock<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ++ready;
       sim.notify_all(wp);
-      sim.wait_until(wp, lock, [&] { return ready == 2; });
+      sim.wait_until(wp, mu, [&] { return ready == 2; });
     }
     sim.charge(1.0);
   };
@@ -232,17 +232,17 @@ TEST(SimDomain, TwoCpusRunChargesConcurrently) {
 
 TEST(SimDomain, DistinctGroupsDoNotContend) {
   SimDomain sim(1);
-  std::mutex mu;
+  Mutex mu;
   WaitPoint wp;
   int ready = 0;
   auto worker = [&](int group) {
     ActorScope scope(sim, "w");
     sim.bind_cpu(group);
     {
-      std::unique_lock<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ++ready;
       sim.notify_all(wp);
-      sim.wait_until(wp, lock, [&] { return ready == 2; });
+      sim.wait_until(wp, mu, [&] { return ready == 2; });
     }
     sim.charge(1.0);
   };

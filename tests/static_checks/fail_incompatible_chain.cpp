@@ -1,0 +1,54 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// operator>> must reject a chain where no output token type of the left
+// operation is accepted by the right operation (paper: "The operator >>
+// generates compile time errors when two incompatible operations are
+// linked together"). EmitsA only emits TokA; WantsB only accepts TokB.
+// Expected diagnostic: "incompatible operations linked with >>".
+#include "core/flowgraph.hpp"
+#include "core/operation.hpp"
+#include "core/route.hpp"
+
+namespace {
+
+using namespace dps;
+
+class TokA : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokA);
+};
+
+class TokB : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokB);
+};
+
+class WorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(WorkThread);
+};
+
+DPS_ROUTE(RouteA, WorkThread, TokA, 0);
+DPS_ROUTE(RouteB, WorkThread, TokB, 0);
+
+class EmitsA : public LeafOperation<WorkThread, TV1(TokA), TV1(TokA)> {
+ public:
+  void execute(TokA* in) override { postToken(new TokA(*in)); }
+  DPS_IDENTIFY_OPERATION(EmitsA);
+};
+
+class WantsB : public LeafOperation<WorkThread, TV1(TokB), TV1(TokB)> {
+ public:
+  void execute(TokB* in) override { postToken(new TokB(*in)); }
+  DPS_IDENTIFY_OPERATION(WantsB);
+};
+
+// Instantiating the operator>> body is what trips the static_assert; no
+// runtime objects are needed.
+auto chain(const FlowgraphNode<EmitsA, RouteA>& a,
+           const FlowgraphNode<WantsB, RouteB>& b) {
+  return a >> b;
+}
+
+}  // namespace

@@ -1,0 +1,26 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// A token class that never invoked DPS_IDENTIFY has no staticTypeInfo(),
+// so it cannot appear in an operation's input/output type list: the
+// framework could not look up its factory during deserialization. The
+// failure surfaces in tl::type_ids<> (which forces registration of every
+// listed type). Expected diagnostic mentions "staticTypeInfo".
+#include <cstdint>
+#include <vector>
+
+#include "core/typelist.hpp"
+#include "serial/token.hpp"
+
+namespace {
+
+class Unregistered : public dps::SimpleToken {
+ public:
+  int v = 0;
+  // DPS_IDENTIFY(Unregistered) deliberately missing.
+};
+
+std::vector<uint64_t> ids() {
+  return dps::tl::type_ids<dps::TV<Unregistered>>::get();
+}
+
+}  // namespace

@@ -1,0 +1,19 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// DPS_IDENTIFY requires a default constructor: the deserialization factory
+// creates a blank token before filling it from the wire (the paper's
+// CharToken gives every constructor parameter a default value for exactly
+// this reason). Expected diagnostic: "tokens need a default constructor".
+#include "serial/registry.hpp"
+#include "serial/token.hpp"
+
+namespace {
+
+class NoDefault : public dps::SimpleToken {
+ public:
+  explicit NoDefault(int v) : v_(v) {}  // no default value -> no factory
+  int v_;
+  DPS_IDENTIFY(NoDefault);
+};
+
+}  // namespace

@@ -1,0 +1,20 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// CT<T> only wraps types the wire format can handle: trivially copyable
+// values, std::string, or nested field-bearing structs. A CT<std::vector>
+// member would silently truncate to the vector's header bytes, so the
+// wrapper rejects it at compile time (Vector<> is the right tool there).
+// Expected diagnostic: "supports trivially copyable types".
+#include <vector>
+
+#include "serial/fields.hpp"
+#include "serial/token.hpp"
+
+namespace {
+
+class BadFields : public dps::ComplexToken {
+ public:
+  dps::CT<std::vector<int>> values;  // not trivially copyable, not a string
+};
+
+}  // namespace

@@ -1,0 +1,37 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// postToken() must reject token types that are not in the operation's
+// declared output list — otherwise the graph's compile-time routing
+// contract (successor selection by token type) would be violated at
+// runtime. Expected diagnostic: "not in this operation's output list".
+#include "core/operation.hpp"
+
+namespace {
+
+using namespace dps;
+
+class TokA : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokA);
+};
+
+class TokB : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokB);
+};
+
+class WorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(WorkThread);
+};
+
+class Sneaky : public LeafOperation<WorkThread, TV1(TokA), TV1(TokA)> {
+ public:
+  void execute(TokA*) override {
+    postToken(new TokB());  // TokB is not in the output list TV1(TokA)
+  }
+  DPS_IDENTIFY_OPERATION(Sneaky);
+};
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Compile-pass coverage of the core/typelist.hpp metafunctions. Every
+// static_assert here is part of the contract the negative-compile cases in
+// this directory lean on: operator>> uses intersects_v, postToken uses
+// contains_v, and the operation base classes use all_tokens_v.
+#include <type_traits>
+
+#include "core/typelist.hpp"
+#include "serial/token.hpp"
+
+namespace {
+
+using dps::TV;
+namespace tl = dps::tl;
+
+class A : public dps::SimpleToken {};
+class B : public dps::SimpleToken {};
+class C : public dps::ComplexToken {};
+struct NotAToken {};
+
+// TV<> size arithmetic.
+static_assert(TV<>::size == 0);
+static_assert(TV<A>::size == 1);
+static_assert(TV<A, B, C>::size == 3);
+static_assert(TV<A, A>::size == 2);  // duplicates are kept, not folded
+
+// Membership.
+static_assert(tl::contains_v<A, TV<A>>);
+static_assert(tl::contains_v<B, TV<A, B, C>>);
+static_assert(!tl::contains_v<C, TV<A, B>>);
+static_assert(!tl::contains_v<A, TV<>>);
+// Exact-type matching: a base class is not "contained" via its derived type.
+static_assert(!tl::contains_v<dps::SimpleToken, TV<A>>);
+
+// Intersection (the operator>> compatibility test).
+static_assert(tl::intersects_v<TV<A, B>, TV<B, C>>);
+static_assert(tl::intersects_v<TV<A>, TV<A>>);
+static_assert(!tl::intersects_v<TV<A>, TV<B, C>>);
+static_assert(!tl::intersects_v<TV<>, TV<A>>);
+static_assert(!tl::intersects_v<TV<A>, TV<>>);
+static_assert(!tl::intersects_v<TV<>, TV<>>);
+
+// Token-ness of whole lists.
+static_assert(tl::all_tokens_v<TV<A, B, C>>);
+static_assert(tl::all_tokens_v<TV<>>);
+static_assert(!tl::all_tokens_v<TV<NotAToken>>);
+static_assert(!tl::all_tokens_v<TV<A, NotAToken>>);
+
+// Paper-style arity macros expand to the same lists.
+static_assert(std::is_same_v<TV1(A), TV<A>>);
+static_assert(std::is_same_v<TV2(A, B), TV<A, B>>);
+
+}  // namespace
