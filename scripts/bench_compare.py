@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cross-PR bench comparator: flags throughput regressions.
+
+Reads two bench-smoke artifacts (one JSON record per line, as written by
+tier1.sh's DPS_BENCH_SMOKE stage) and compares the throughput of every
+config of the watched benches. A config counts as regressed when its
+current throughput falls more than --threshold below the baseline; any
+regression makes the script exit nonzero so CI fails loudly.
+
+Usage:
+  scripts/bench_compare.py BENCH_pr3.json BENCH_pr5.json
+  scripts/bench_compare.py old.json new.json --benches fig15_lu \
+      --threshold 0.05
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    records = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                r = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate stray non-JSON output in the artifact
+            if "bench" in r and "config" in r and "throughput" in r:
+                records[(r["bench"], r["config"])] = float(r["throughput"])
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--benches",
+        default="fig15_lu,fig6_throughput",
+        help="comma-separated bench names to compare (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional throughput drop that counts as a regression "
+        "(default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    watched = set(args.benches.split(","))
+
+    regressions = []
+    compared = 0
+    for key in sorted(base):
+        bench, config = key
+        if bench not in watched or key not in cur:
+            continue
+        compared += 1
+        b, c = base[key], cur[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if b > 0 and c < b * (1.0 - args.threshold):
+            marker = "  <-- REGRESSION"
+            regressions.append((bench, config, b, c, delta))
+        print(f"{bench:20s} {config:28s} {b:10.3f} -> {c:10.3f} "
+              f"({delta:+7.1%}){marker}")
+
+    if compared == 0:
+        print("bench_compare: no overlapping configs to compare", file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"bench_compare: {len(regressions)} config(s) regressed more "
+            f"than {args.threshold:.0%} vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_compare: {compared} configs within {args.threshold:.0%} "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,11 @@
 #        DPS_SKIP_ANALYZE=1 scripts/tier1.sh # skip -Wthread-safety (clang)
 #        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
-#            every bench binary with --json and concatenate the records
-#            into BENCH_pr3.json (includes micro_serialization's
-#            zero-realloc assertion)
+#            every bench binary with --json, concatenate the records into
+#            BENCH_pr5.json (includes micro_serialization's zero-realloc
+#            assertion and micro_engine's flat-dispatch assertion), and
+#            flag fig15_lu / fig6_throughput throughput regressions >10%
+#            against the committed BENCH_pr3.json baseline
 set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -115,9 +117,10 @@ if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench smoke: tiny configurations of every harness, machine-readable
-# results concatenated into BENCH_pr3.json for cross-commit diffing.
-# micro_serialization exits nonzero if an envelope encode reallocates, so
-# the zero-realloc invariant is enforced here too.
+# results concatenated into BENCH_pr5.json for cross-commit diffing.
+# micro_serialization exits nonzero if an envelope encode reallocates, and
+# micro_engine exits nonzero if merge matching scales with queue depth, so
+# both invariants are enforced here too.
 set -e
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -129,8 +132,11 @@ b=build/bench
 "$b/table2_services"    1024 1 --json "$smoke_dir/table2.json"
 "$b/ablation_flowctl"   256  --json "$smoke_dir/ablation.json"
 "$b/micro_engine"        --json "$smoke_dir/micro_engine.json" \
-  --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256'
+  --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256|BM_DispatchMergeMatch'
 "$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
   --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
-cat "$smoke_dir"/*.json > BENCH_pr3.json
-echo "bench smoke: $(wc -l < BENCH_pr3.json) records -> BENCH_pr3.json"
+cat "$smoke_dir"/*.json > BENCH_pr5.json
+echo "bench smoke: $(wc -l < BENCH_pr5.json) records -> BENCH_pr5.json"
+# Guard the hot-path wins: any fig15_lu / fig6_throughput config more than
+# 10% below the PR-3 baseline fails the smoke stage.
+python3 scripts/bench_compare.py BENCH_pr3.json BENCH_pr5.json

@@ -82,6 +82,11 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     if (is_local(i)) {
       fabric_->attach(i,
                       [c](NodeMessage&& msg) { c->on_fabric(std::move(msg)); });
+      // Batching fabrics (TCP) prefer grouped delivery: one controller
+      // entry per received chunk instead of one per frame.
+      fabric_->attach_batch(i, [c](std::vector<NodeMessage>&& msgs) {
+        c->on_fabric_batch(std::move(msgs));
+      });
     }
   }
 

@@ -9,6 +9,7 @@
 #include "core/application.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cluster.hpp"
+#include "core/run_queue.hpp"
 #include "core/thread_collection.hpp"
 #include "serial/buffer_pool.hpp"
 #include "util/logging.hpp"
@@ -47,6 +48,18 @@ void patch_u64(std::vector<std::byte>& buf, size_t offset, uint64_t value) {
 // Internal structures
 // ---------------------------------------------------------------------------
 
+// Two-phase mailbox. Producers (fabric callbacks, local postToken) only
+// ever touch the MPSC `inbox`: one short lock, append, notify. The owning
+// worker thread drains the inbox in batch into `run`, a worker-private
+// indexed structure (core/run_queue.hpp) where every dispatch decision —
+// next top-level envelope, next input of the waiting merge context, next
+// re-entrantly-safe envelope — is an O(1) pop instead of a scan.
+//
+// Envelopes of a *suspended* collection need no explicit tracking (the old
+// active_contexts list): a collection only ever suspends at a merge/stream
+// vertex, so its envelopes classify as collection-starting and are
+// bucketed, never on the dispatchable list; the innermost running
+// collection pops exactly its own (vertex, context) bucket.
 struct Controller::Worker {
   CollectionId collection = 0;
   ThreadIndex index = 0;
@@ -56,27 +69,21 @@ struct Controller::Worker {
 
   Mutex mu;
   WaitPoint wp DPS_GUARDED_BY(mu);
-  std::deque<Envelope> queue DPS_GUARDED_BY(mu);
+  std::vector<Envelope> inbox DPS_GUARDED_BY(mu);
+  /// Lock-free drain hint: producers bump it after appending, the worker
+  /// skips the inbox lock while it reads 0. Purely advisory — every
+  /// blocking decision re-checks `inbox` under `mu`.
+  std::atomic<uint32_t> inbox_count{0};
   // Atomic: the worker loop's error handlers test it without taking mu.
   std::atomic<bool> poison{false};
   std::atomic<uint32_t>* depth_slot = nullptr;
 
-  /// Merge/stream collections currently suspended on this thread (the
-  /// innermost is the running one). While a collection waits, the thread
-  /// keeps executing other queued operations (re-entrant dispatch), but
-  /// envelopes belonging to a suspended collection stay queued for it.
-  std::vector<std::pair<VertexId, ContextId>> active_contexts
-      DPS_GUARDED_BY(mu);
+  /// Worker-thread-private run state: only the owning OS thread touches
+  /// these (producers stop at the inbox), so they take no lock.
+  RunQueue run;
+  std::vector<Envelope> drain_buf;  ///< recycled swap target for drains
 
   std::thread os_thread;
-
-  bool belongs_to_active_locked(const Envelope& e) const DPS_REQUIRES(mu) {
-    if (e.frames.empty()) return false;
-    for (const auto& [v, ctx] : active_contexts) {
-      if (e.vertex == v && e.frames.back().context == ctx) return true;
-    }
-    return false;
-  }
 };
 
 struct Controller::FlowAccount {
@@ -172,10 +179,6 @@ class Controller::ExecCtx : public detail::OpServices {
         merge_ctx_ = first.context;
         controller_.cluster_.claim_context(merge_ctx_, &worker_);
         claimed_ = true;
-        {
-          MutexLock lock(worker_.mu);
-          worker_.active_contexts.emplace_back(vertex_, merge_ctx_);
-        }
         out_frames_ = env_.frames;
         out_frames_.pop_back();
         received_ = 1;
@@ -347,70 +350,61 @@ class Controller::ExecCtx : public detail::OpServices {
     // process their queues; a waiting merge does not idle the thread — the
     // LU graph depends on this, its stage opener collects notifications
     // that transitively need leaf work on the same column thread).
+    //
+    // Matching inputs of this collection are an O(1) bucket pop; the next
+    // re-entrantly-safe envelope is an O(1) list pop — no scans, no
+    // mid-queue erase (the old O(n²)-per-collection hot path).
     for (;;) {
+      controller_.drain_inbox(worker_);
       Envelope env2;
-      bool matched = false;
-#ifdef DPS_TRACE
-      uint64_t t_depth = 0;
-#endif
-      {
-        MutexLock lock(worker_.mu);
-        size_t match_pos = 0, other_pos = 0;
-        if (acks_pending_ > 0 && !worker_.poison &&
-            !find_matching_locked(&match_pos) &&
-            !find_dispatchable_locked(&other_pos)) {
-          // About to block: return every withheld flow credit first, or the
-          // remote split could stall on a window this batch still owes.
-          lock.unlock();
-          flush_acks();
-          lock.lock();
-        }
-        controller_.cluster_.domain().wait_until(
-            worker_.wp, worker_.mu, [&] {
-              return worker_.poison || find_matching_locked(&match_pos) ||
-                     find_dispatchable_locked(&other_pos);
-            });
-        size_t pos;
-        if (find_matching_locked(&pos)) {
-          matched = true;
-        } else if (find_dispatchable_locked(&pos)) {
-          matched = false;
-        } else {
-          raise(Errc::kState, "worker shut down during merge collection");
-        }
-        env2 = std::move(worker_.queue[pos]);
-        worker_.queue.erase(worker_.queue.begin() +
-                            static_cast<ptrdiff_t>(pos));
+      const bool matched =
+          worker_.run.pop_context(vertex_, merge_ctx_, &env2);
+      if (matched || worker_.run.pop_dispatchable(&env2)) {
         if (worker_.depth_slot != nullptr) {
           worker_.depth_slot->fetch_sub(1, std::memory_order_relaxed);
         }
 #ifdef DPS_TRACE
-        t_depth = worker_.queue.size();
+        obs::Trace::instance().record(
+            obs::EventKind::kDequeue, controller_.self(), env2.vertex,
+            worker_.collection, worker_.index, worker_.run.size());
 #endif
-      }
-#ifdef DPS_TRACE
-      obs::Trace::instance().record(obs::EventKind::kDequeue,
-                                    controller_.self(), env2.vertex,
-                                    worker_.collection, worker_.index, t_depth);
-#endif
-      if (matched) {
-        const SplitFrame f = env2.frames.back();
-        ++received_;
-        if (f.has_total != 0) {
-          total_ = f.total;
-          total_known_ = true;
+        if (matched) {
+          const SplitFrame f = env2.frames.back();
+          ++received_;
+          if (f.has_total != 0) {
+            total_ = f.total;
+            total_known_ = true;
+          }
+          note_consumed(f);
+          return env2.token;
         }
-        note_consumed(f);
-        return env2.token;
+        // Nested execution of an unrelated operation on this thread. Its
+        // failures must not unwind the suspended collection we service.
+        try {
+          controller_.dispatch(worker_, std::move(env2));
+        } catch (const std::exception& e) {
+          DPS_ERROR("worker " << worker_.label
+                              << ": nested operation failed: " << e.what());
+        }
+        continue;
       }
-      // Nested execution of an unrelated operation on this thread. Its
-      // failures must not unwind the suspended collection we service.
-      try {
-        controller_.dispatch(worker_, std::move(env2));
-      } catch (const std::exception& e) {
-        DPS_ERROR("worker " << worker_.label
-                            << ": nested operation failed: " << e.what());
+      // Nothing runnable: every pending envelope belongs to a suspended
+      // collection or would start a new one. Block on the inbox.
+      MutexLock lock(worker_.mu);
+      if (worker_.inbox.empty() && acks_pending_ > 0 && !worker_.poison) {
+        // About to block: return every withheld flow credit first, or the
+        // remote split could stall on a window this batch still owes.
+        lock.unlock();
+        flush_acks();
+        lock.lock();
       }
+      controller_.cluster_.domain().wait_until(
+          worker_.wp, worker_.mu,
+          [&] { return worker_.poison || !worker_.inbox.empty(); });
+      if (worker_.inbox.empty()) {
+        raise(Errc::kState, "worker shut down during merge collection");
+      }
+      // Loop re-drains under no lock and re-checks the buckets.
     }
   }
 
@@ -433,50 +427,8 @@ class Controller::ExecCtx : public detail::OpServices {
     }
   }
 
-  bool find_matching_locked(size_t* pos) const
-      DPS_REQUIRES(worker_.mu) {
-    for (size_t i = 0; i < worker_.queue.size(); ++i) {
-      const Envelope& e = worker_.queue[i];
-      if (e.vertex == vertex_ && !e.frames.empty() &&
-          e.frames.back().context == merge_ctx_) {
-        *pos = i;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  /// First queued envelope safe to execute re-entrantly while this
-  /// collection waits: it must not belong to a suspended collection, and it
-  /// must not *start* another collection — a nested merge could suspend us
-  /// while its own completion depends on tokens only we can emit (the LU
-  /// stage opener/collector pair on one column thread is exactly that
-  /// shape). Leaves, splits and graph calls run to completion, so they are
-  /// always safe.
-  bool find_dispatchable_locked(size_t* pos) const
-      DPS_REQUIRES(worker_.mu) {
-    for (size_t i = 0; i < worker_.queue.size(); ++i) {
-      const Envelope& e = worker_.queue[i];
-      if (worker_.belongs_to_active_locked(e)) continue;
-      if (controller_.starts_collection(e)) continue;
-      *pos = i;
-      return true;
-    }
-    return false;
-  }
-
   void unclaim() {
     controller_.cluster_.release_context(merge_ctx_);
-    {
-      MutexLock lock(worker_.mu);
-      auto& ac = worker_.active_contexts;
-      for (size_t i = ac.size(); i-- > 0;) {
-        if (ac[i] == std::make_pair(vertex_, merge_ctx_)) {
-          ac.erase(ac.begin() + static_cast<ptrdiff_t>(i));
-          break;
-        }
-      }
-    }
     claimed_ = false;
   }
 
@@ -597,31 +549,26 @@ void Controller::worker_loop(Worker& w) {
   // Under virtual time, this DPS thread competes for its node's CPUs.
   domain.bind_cpu(static_cast<int>(self_));
   for (;;) {
-    Envelope env;
-#ifdef DPS_TRACE
-    uint64_t t_depth = 0;
-#endif
-    {
+    drain_inbox(w);
+    if (w.run.empty()) {
       MutexLock lock(w.mu);
       try {
         domain.wait_until(w.wp, w.mu,
-                          [&] { return w.poison || !w.queue.empty(); });
+                          [&] { return w.poison || !w.inbox.empty(); });
       } catch (const Error&) {
         break;  // simulation stopped or stalled while idle
       }
-      if (w.queue.empty()) break;  // poisoned and drained
-      env = std::move(w.queue.front());
-      w.queue.pop_front();
-      if (w.depth_slot != nullptr) {
-        w.depth_slot->fetch_sub(1, std::memory_order_relaxed);
-      }
-#ifdef DPS_TRACE
-      t_depth = w.queue.size();
-#endif
+      if (w.inbox.empty()) break;  // poisoned and drained
+      continue;  // re-drain outside the lock
+    }
+    Envelope env;
+    w.run.pop_front(&env);
+    if (w.depth_slot != nullptr) {
+      w.depth_slot->fetch_sub(1, std::memory_order_relaxed);
     }
 #ifdef DPS_TRACE
     obs::Trace::instance().record(obs::EventKind::kDequeue, self_, env.vertex,
-                                  w.collection, w.index, t_depth);
+                                  w.collection, w.index, w.run.size());
 #endif
     try {
       dispatch(w, std::move(env));
@@ -640,6 +587,30 @@ void Controller::worker_loop(Worker& w) {
     }
   }
   domain.actor_finished();
+}
+
+bool Controller::drain_inbox(Worker& w) {
+  // Cheap out: producers bump inbox_count after appending; while it reads
+  // 0 the worker skips the lock entirely. A stale 0 only delays the drain
+  // to the pre-block re-check under mu, so no wakeup is lost.
+  if (w.inbox_count.load(std::memory_order_relaxed) == 0) return false;
+  {
+    MutexLock lock(w.mu);
+    if (w.inbox.empty()) return false;
+    w.inbox_count.store(0, std::memory_order_relaxed);
+    w.drain_buf.swap(w.inbox);
+  }
+  // Classification is a static insert-time property: an envelope at a
+  // merge/stream vertex starts (or belongs to) a collection and is
+  // bucketed by (vertex, input context); everything else — leaves, splits,
+  // graph calls, call replies — runs to completion and is dispatchable
+  // under a waiting collection.
+  for (Envelope& e : w.drain_buf) {
+    const bool disp = !starts_collection(e);
+    w.run.push(std::move(e), disp);
+  }
+  w.drain_buf.clear();
+  return true;
 }
 
 void Controller::dispatch(Worker& w, Envelope env) {
@@ -797,13 +768,14 @@ void Controller::deliver_local(Envelope env) {
   uint64_t t_depth = 0;
 #endif
   MutexLock lock(w.mu);
-  w.queue.push_back(std::move(env));
+  w.inbox.push_back(std::move(env));
+  w.inbox_count.fetch_add(1, std::memory_order_relaxed);
   if (w.depth_slot != nullptr) {
     w.depth_slot->fetch_add(1, std::memory_order_relaxed);
   }
 #ifdef DPS_TRACE
   if (t_on) {
-    t_depth = w.queue.size();
+    t_depth = w.inbox.size();
     obs::Trace::instance().record(obs::EventKind::kEnqueue, self_, t_vertex,
                                   t_coll, t_thread, t_depth);
     static obs::Gauge& depth_gauge =
@@ -814,6 +786,79 @@ void Controller::deliver_local(Envelope env) {
 #endif
   cluster_.domain().notify_all(w.wp);
 }
+
+// ---------------------------------------------------------------------------
+// Batched fabric delivery
+// ---------------------------------------------------------------------------
+
+/// Collects the envelopes decoded from one receive chunk, grouped by
+/// destination worker, so the flush costs one lock + one notify per worker
+/// instead of one per frame. The group list is a small linear vector: a
+/// node hosts few workers and a chunk rarely fans out to more than a
+/// handful of them.
+class Controller::DeliveryBatch {
+ public:
+  explicit DeliveryBatch(Controller& controller) : controller_(controller) {}
+  DeliveryBatch(const DeliveryBatch&) = delete;
+  DeliveryBatch& operator=(const DeliveryBatch&) = delete;
+  ~DeliveryBatch() { flush(); }
+
+  void add(Envelope&& env) {
+    Worker& w = controller_.worker(env.collection, env.thread);
+    for (auto& g : groups_) {
+      if (g.worker == &w) {
+        g.envs.push_back(std::move(env));
+        return;
+      }
+    }
+    groups_.push_back(Group{&w, {}});
+    groups_.back().envs.push_back(std::move(env));
+  }
+
+  void flush() {
+    for (auto& g : groups_) {
+      Worker& w = *g.worker;
+      const uint32_t n = static_cast<uint32_t>(g.envs.size());
+#ifdef DPS_TRACE
+      const bool t_on = obs::tracing_active();
+#endif
+      MutexLock lock(w.mu);
+      for (Envelope& env : g.envs) {
+#ifdef DPS_TRACE
+        if (t_on) {
+          obs::Trace::instance().record(obs::EventKind::kEnqueue,
+                                        controller_.self(), env.vertex,
+                                        w.collection, w.index,
+                                        w.inbox.size() + 1);
+        }
+#endif
+        w.inbox.push_back(std::move(env));
+      }
+      w.inbox_count.fetch_add(n, std::memory_order_relaxed);
+      if (w.depth_slot != nullptr) {
+        w.depth_slot->fetch_add(n, std::memory_order_relaxed);
+      }
+#ifdef DPS_TRACE
+      if (t_on) {
+        static obs::Gauge& depth_gauge =
+            obs::Metrics::instance().gauge("dps.queue.depth");
+        depth_gauge.set(static_cast<int64_t>(w.inbox.size()));
+        depth_gauge.update_max(static_cast<int64_t>(w.inbox.size()));
+      }
+#endif
+      controller_.cluster_.domain().notify_all(w.wp);
+    }
+    groups_.clear();
+  }
+
+ private:
+  struct Group {
+    Worker* worker;
+    std::vector<Envelope> envs;
+  };
+  Controller& controller_;
+  std::vector<Group> groups_;
+};
 
 void Controller::send_reply(Envelope env) {
   if (env.call_reply_node == self_) {
@@ -870,12 +915,142 @@ void Controller::on_fabric(NodeMessage&& msg) {
   }
 }
 
+void Controller::on_fabric_batch(std::vector<NodeMessage>&& msgs) {
+  // One receive chunk's worth of frames. Envelopes are grouped per worker
+  // (one inbox append + one notify each), and all reliable-link seq/ack
+  // bookkeeping for the chunk runs under a single rel_mu_ acquisition.
+  DeliveryBatch batch(*this);
+  struct RelItem {
+    size_t index;       ///< into msgs
+    uint64_t seq = 0;
+    uint64_t ack = 0;
+    FrameKind inner = FrameKind::kEnvelope;
+    size_t header = 0;
+    bool deliver = false;
+  };
+  std::vector<RelItem> rel;
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    NodeMessage& msg = msgs[i];
+    switch (msg.kind) {
+      case FrameKind::kReliable: {
+        RelItem item;
+        item.index = i;
+        Reader r(msg.payload.data(), msg.payload.size());
+        item.seq = r.get<uint64_t>();
+        item.ack = r.get<uint64_t>();
+        item.inner = static_cast<FrameKind>(r.get<uint16_t>());
+        item.header = msg.payload.size() - r.remaining();
+        rel.push_back(item);
+        break;
+      }
+      case FrameKind::kAck:
+      case FrameKind::kHeartbeat:
+      case FrameKind::kPeerDown:
+        on_fabric(std::move(msg));  // rare control kinds keep the slow path
+        break;
+      default: {
+#ifdef DPS_TRACE
+        if (obs::tracing_active()) {
+          obs::Trace::instance().record(obs::EventKind::kFabricRecv, self_,
+                                        msg.from,
+                                        static_cast<uint64_t>(msg.kind), 0,
+                                        msg.payload.size());
+          static obs::Counter& received_raw =
+              obs::Metrics::instance().counter("dps.fabric.frames_received");
+          received_raw.inc();
+        }
+#endif
+        handle_frame(msg.kind, msg.from, msg.payload.data(),
+                     msg.payload.size(), &batch);
+      }
+    }
+  }
+  if (rel.empty()) return;
+
+  // Dup re-acks, coalesced per peer: the last suppressed frame's
+  // cumulative ack covers every earlier one in the chunk.
+  struct PendingAck {
+    NodeId peer;
+    uint64_t val;
+  };
+  std::vector<PendingAck> acks;
+  {
+    MutexLock lock(rel_mu_);
+    for (RelItem& item : rel) {
+      const NodeId from = msgs[item.index].from;
+      ReliableLink& l = rlink_locked(from);
+      handle_ack_locked(l, from, item.ack);
+      l.last_heard = mono_seconds();
+      uint64_t ack_val = 0;
+      item.deliver = reliable_rx_locked(l, item.seq, &ack_val);
+      if (!item.deliver) {
+#ifdef DPS_TRACE
+        if (obs::tracing_active()) {
+          obs::Trace::instance().record(obs::EventKind::kDupSuppressed,
+                                        self_, from,
+                                        static_cast<uint64_t>(item.inner),
+                                        item.seq, 0);
+          static obs::Counter& dups =
+              obs::Metrics::instance().counter("dps.fabric.dup_suppressed");
+          dups.inc();
+        }
+#endif
+        bool found = false;
+        for (auto& a : acks) {
+          if (a.peer == from) {
+            a.val = ack_val;
+            found = true;
+          }
+        }
+        if (!found) acks.push_back(PendingAck{from, ack_val});
+      }
+    }
+  }
+  for (const PendingAck& a : acks) {
+    Writer w;
+    w.put<uint64_t>(a.val);
+#ifdef DPS_TRACE
+    obs::Trace::instance().record(obs::EventKind::kAckSend, self_, a.peer, 0,
+                                  a.val, 0);
+#endif
+    try {
+      cluster_.fabric().send(self_, a.peer, FrameKind::kAck, w.take());
+    } catch (const Error&) {
+      // ack lost: the duplicate will come again
+    }
+  }
+  for (const RelItem& item : rel) {
+    if (!item.deliver) continue;
+    NodeMessage& msg = msgs[item.index];
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kFabricRecv, self_,
+                                    msg.from,
+                                    static_cast<uint64_t>(item.inner),
+                                    item.seq,
+                                    msg.payload.size() - item.header);
+      static obs::Counter& received =
+          obs::Metrics::instance().counter("dps.fabric.frames_received");
+      received.inc();
+    }
+#endif
+    handle_frame(item.inner, msg.from, msg.payload.data() + item.header,
+                 msg.payload.size() - item.header, &batch);
+  }
+  // ~DeliveryBatch flushes the grouped envelopes.
+}
+
 void Controller::handle_frame(FrameKind kind, NodeId from,
-                              const std::byte* data, size_t size) {
+                              const std::byte* data, size_t size,
+                              DeliveryBatch* batch) {
   switch (kind) {
     case FrameKind::kEnvelope: {
       Reader r(data, size);
-      deliver_local(Envelope::decode(r));
+      if (batch != nullptr) {
+        batch->add(Envelope::decode(r));
+      } else {
+        deliver_local(Envelope::decode(r));
+      }
       break;
     }
     case FrameKind::kFlowAck: {
@@ -1112,14 +1287,35 @@ void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
   }
 }
 
-void Controller::handle_reliable(NodeMessage&& msg) {
+/// Receive-side bookkeeping for one sequenced frame; shared by the single
+/// and batched delivery paths. On a duplicate (retransmission that crossed
+/// our ack, or an injected copy) returns false and leaves the cumulative
+/// ack to re-send in *ack_val so the sender stops.
+bool Controller::reliable_rx_locked(ReliableLink& l, uint64_t seq,
+                                    uint64_t* ack_val) {
+  if (seq <= l.rx_contig || l.rx_above.count(seq) != 0) {
+    dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    *ack_val = l.rx_contig;
+    l.acked_sent = std::max(l.acked_sent, l.rx_contig);
+    l.ack_pending = false;
+    return false;
+  }
+  if (seq == l.rx_contig + 1) {
+    ++l.rx_contig;
+    while (l.rx_above.erase(l.rx_contig + 1) != 0) ++l.rx_contig;
+  } else {
+    l.rx_above.insert(seq);
+  }
+  l.ack_pending = true;  // flushed by the next tick or piggybacked
+  return true;
+}
+
+void Controller::handle_reliable(NodeMessage&& msg, DeliveryBatch* batch) {
   Reader r(msg.payload.data(), msg.payload.size());
   const uint64_t seq = r.get<uint64_t>();
   const uint64_t ack = r.get<uint64_t>();
   const FrameKind inner = static_cast<FrameKind>(r.get<uint16_t>());
   const size_t header = msg.payload.size() - r.remaining();
-
-  handle_ack(msg.from, ack);
 
   bool deliver = false;
   bool ack_now = false;
@@ -1127,36 +1323,21 @@ void Controller::handle_reliable(NodeMessage&& msg) {
   {
     MutexLock lock(rel_mu_);
     ReliableLink& l = rlink_locked(msg.from);
+    handle_ack_locked(l, msg.from, ack);
     l.last_heard = mono_seconds();
-    if (seq <= l.rx_contig || l.rx_above.count(seq) != 0) {
-      // Duplicate (retransmission that crossed our ack, or an injected
-      // copy): suppress, but re-ack immediately so the sender stops.
-      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
-#ifdef DPS_TRACE
-      if (obs::tracing_active()) {
-        obs::Trace::instance().record(obs::EventKind::kDupSuppressed, self_,
-                                      msg.from, static_cast<uint64_t>(inner),
-                                      seq, 0);
-        static obs::Counter& dups =
-            obs::Metrics::instance().counter("dps.fabric.dup_suppressed");
-        dups.inc();
-      }
-#endif
-      ack_now = true;
-      ack_val = l.rx_contig;
-      l.acked_sent = std::max(l.acked_sent, l.rx_contig);
-      l.ack_pending = false;
-    } else {
-      deliver = true;
-      if (seq == l.rx_contig + 1) {
-        ++l.rx_contig;
-        while (l.rx_above.erase(l.rx_contig + 1) != 0) ++l.rx_contig;
-      } else {
-        l.rx_above.insert(seq);
-      }
-      l.ack_pending = true;  // flushed by the next tick or piggybacked
-    }
+    deliver = reliable_rx_locked(l, seq, &ack_val);
+    ack_now = !deliver;
   }
+#ifdef DPS_TRACE
+  if (!deliver && obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kDupSuppressed, self_,
+                                  msg.from, static_cast<uint64_t>(inner),
+                                  seq, 0);
+    static obs::Counter& dups =
+        obs::Metrics::instance().counter("dps.fabric.dup_suppressed");
+    dups.inc();
+  }
+#endif
   if (ack_now) {
     Writer w;
     w.put<uint64_t>(ack_val);
@@ -1185,23 +1366,30 @@ void Controller::handle_reliable(NodeMessage&& msg) {
     // harmless (merge contexts collect by SplitFrame, not arrival order),
     // so deliver immediately instead of buffering behind the gap.
     handle_frame(inner, msg.from, msg.payload.data() + header,
-                 msg.payload.size() - header);
+                 msg.payload.size() - header, batch);
   }
 }
 
-void Controller::handle_ack(NodeId from, uint64_t ack) {
+void Controller::handle_ack_locked(ReliableLink& l, NodeId from,
+                                   uint64_t ack) {
 #ifdef DPS_TRACE
   obs::Trace::instance().record(obs::EventKind::kAckRecv, self_, from, 0, ack,
                                 0);
+#else
+  (void)from;
 #endif
-  MutexLock lock(rel_mu_);
-  ReliableLink& l = rlink_locked(from);
-  l.last_heard = mono_seconds();
   auto end = l.unacked.upper_bound(ack);
   for (auto it = l.unacked.begin(); it != end; ++it) {
     BufferPool::instance().release(std::move(it->second.wrapped));
   }
   l.unacked.erase(l.unacked.begin(), end);
+}
+
+void Controller::handle_ack(NodeId from, uint64_t ack) {
+  MutexLock lock(rel_mu_);
+  ReliableLink& l = rlink_locked(from);
+  l.last_heard = mono_seconds();
+  handle_ack_locked(l, from, ack);
 }
 
 std::vector<NodeId> Controller::reliability_tick(double now) {

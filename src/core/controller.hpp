@@ -60,6 +60,12 @@ class Controller {
   /// Fabric delivery callback (non-blocking: enqueue + notify only).
   void on_fabric(NodeMessage&& msg);
 
+  /// Batched fabric delivery: every frame decoded from one receive chunk
+  /// arrives together, so envelopes bound for the same worker cost one
+  /// inbox append + one notify for the whole chunk, and reliable-link
+  /// seq/ack bookkeeping is applied under a single lock acquisition.
+  void on_fabric_batch(std::vector<NodeMessage>&& msgs);
+
   /// Stops and joins this node's workers. Idempotent.
   void shutdown();
 
@@ -108,9 +114,14 @@ class Controller {
   struct FlowAccount;
   struct ReliableLink;
   class ExecCtx;
+  class DeliveryBatch;
 
   // Engine internals.
   void worker_loop(Worker& w);
+  /// Swaps the worker's inbox out under its lock and indexes every drained
+  /// envelope into the worker-private run queue. Returns false when the
+  /// inbox was empty. Must run on the worker's own thread.
+  bool drain_inbox(Worker& w);
   void dispatch(Worker& w, Envelope env);
   void dispatch_graph_call(Worker& w, Envelope env);
   void continue_graph_call(AppId app, GraphId graph, VertexId vertex,
@@ -144,10 +155,20 @@ class Controller {
   /// buffer, records it for retransmission, and ships it.
   void send_reliable_wrapped(NodeId target, FrameKind kind,
                              std::vector<std::byte> wrapped);
+  /// `batch == nullptr` delivers envelopes directly (single-message path);
+  /// otherwise they are collected for one grouped inbox append per worker.
   void handle_frame(FrameKind kind, NodeId from,
-                    const std::byte* data, size_t size);
-  void handle_reliable(NodeMessage&& msg);
+                    const std::byte* data, size_t size,
+                    DeliveryBatch* batch = nullptr);
+  void handle_reliable(NodeMessage&& msg, DeliveryBatch* batch = nullptr);
   void handle_ack(NodeId from, uint64_t ack);
+  void handle_ack_locked(ReliableLink& l, NodeId from, uint64_t ack)
+      DPS_REQUIRES(rel_mu_);
+  /// Receive-side dup suppression / contiguity advance for one sequenced
+  /// frame. Returns true when the frame is new and must be delivered;
+  /// false for a duplicate (caller re-acks with *ack_val).
+  bool reliable_rx_locked(ReliableLink& l, uint64_t seq, uint64_t* ack_val)
+      DPS_REQUIRES(rel_mu_);
   ReliableLink& rlink_locked(NodeId peer) DPS_REQUIRES(rel_mu_);
 
   Cluster& cluster_;

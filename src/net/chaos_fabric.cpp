@@ -22,6 +22,12 @@ void ChaosFabric::attach(NodeId self, Handler handler) {
   inner_->attach(self, std::move(handler));
 }
 
+void ChaosFabric::attach_batch(NodeId self, BatchHandler handler) {
+  // Faults are injected on the send side; delivery passes straight through,
+  // so the inner fabric's batching reaches the controller untouched.
+  inner_->attach_batch(self, std::move(handler));
+}
+
 ChaosFabric::LinkState& ChaosFabric::link(NodeId from, NodeId to) {
   MutexLock lock(mu_);
   auto key = std::make_pair(from, to);

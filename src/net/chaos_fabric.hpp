@@ -56,6 +56,7 @@ class ChaosFabric : public Fabric {
   ~ChaosFabric() override;
 
   void attach(NodeId self, Handler handler) override;
+  void attach_batch(NodeId self, BatchHandler handler) override;
   void send(NodeId from, NodeId to, FrameKind kind,
             std::vector<std::byte> payload) override;
   void shutdown() override;

@@ -37,11 +37,25 @@ class Fabric {
   /// blocking handler would freeze the virtual clock.
   using Handler = std::function<void(NodeMessage&&)>;
 
+  /// Grouped delivery callback: every message decoded from one receive
+  /// chunk, in arrival order. Same non-blocking contract as Handler.
+  using BatchHandler = std::function<void(std::vector<NodeMessage>&&)>;
+
   virtual ~Fabric() = default;
 
   /// Registers node `self`'s delivery handler. Must complete for every
   /// node before any traffic flows to it.
   virtual void attach(NodeId self, Handler handler) = 0;
+
+  /// Optionally registers a grouped delivery handler. Fabrics that batch on
+  /// the receive side (TcpFabric) prefer it over the per-message handler
+  /// when both are attached; the default implementation ignores it, so
+  /// per-message fabrics (inproc, sim) are unaffected. Must complete before
+  /// traffic flows, like attach().
+  virtual void attach_batch(NodeId self, BatchHandler handler) {
+    (void)self;
+    (void)handler;
+  }
 
   /// Sends one message; thread safe; may block (TCP backpressure).
   virtual void send(NodeId from, NodeId to, FrameKind kind,

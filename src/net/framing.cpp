@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "serial/buffer_pool.hpp"
 #include "util/error.hpp"
 
 namespace dps {
@@ -75,6 +76,89 @@ bool read_frame(TcpConn& conn, Frame* out) {
   out->from = h.from;
   out->payload.resize(h.length);
   if (h.length > 0 && !conn.recv_all(out->payload.data(), h.length)) {
+    raise(Errc::kNetwork, "connection closed mid-frame");
+  }
+  return true;
+}
+
+namespace {
+// One refill per chunk: sized so a burst of typical tokens (hundreds of
+// bytes to a few kB each) decodes from a single recv, while staying small
+// enough for BufferPool to retain the buffer between connections.
+constexpr size_t kRxChunkSize = 64 * 1024;
+}  // namespace
+
+FrameReader::FrameReader(TcpConn& conn) : conn_(conn) {
+  buf_ = BufferPool::instance().acquire(kRxChunkSize);
+  buf_.resize(kRxChunkSize);
+}
+
+FrameReader::~FrameReader() {
+  BufferPool::instance().release(std::move(buf_));
+}
+
+bool FrameReader::fill() {
+  if (pos_ > 0) {
+    // Compact the undecoded tail to the front so the recv below can use
+    // the whole remaining chunk.
+    std::memmove(buf_.data(), buf_.data() + pos_, buffered());
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  const size_t n = conn_.recv_some(buf_.data() + end_, buf_.size() - end_);
+  ++recv_calls_;
+  if (n == 0) return false;  // EOF
+  end_ += n;
+  return true;
+}
+
+bool FrameReader::frame_buffered() const {
+  if (buffered() < sizeof(WireHeader)) return false;
+  WireHeader h{};
+  std::memcpy(&h, buf_.data() + pos_, sizeof(h));
+  return buffered() >= sizeof(h) + h.length;
+}
+
+bool FrameReader::next(Frame* out) {
+  WireHeader h{};
+  while (buffered() < sizeof(h)) {
+    if (!fill()) {
+      if (buffered() == 0) return false;  // clean EOF at a frame boundary
+      raise(Errc::kNetwork, "connection closed mid-frame");
+    }
+  }
+  std::memcpy(&h, buf_.data() + pos_, sizeof(h));
+  if (h.magic != kFrameMagic) {
+    raise(Errc::kProtocol, "bad frame magic");
+  }
+  out->kind = static_cast<FrameKind>(h.kind);
+  out->from = h.from;
+  out->payload = BufferPool::instance().acquire(h.length);
+  out->payload.resize(h.length);
+  const size_t total = sizeof(h) + h.length;
+  if (total <= buf_.size()) {
+    // Fits in the chunk: keep refilling so trailing frames of the same
+    // burst ride along in the same recv.
+    while (buffered() < total) {
+      if (!fill()) raise(Errc::kNetwork, "connection closed mid-frame");
+    }
+    if (h.length > 0) {
+      std::memcpy(out->payload.data(), buf_.data() + pos_ + sizeof(h),
+                  h.length);
+    }
+    pos_ += total;
+    return true;
+  }
+  // Oversized frame: move what is buffered, then read the tail straight
+  // into the payload buffer (no intermediate copy through the chunk).
+  const size_t have = buffered() - sizeof(h);
+  if (have > 0) {
+    std::memcpy(out->payload.data(), buf_.data() + pos_ + sizeof(h), have);
+  }
+  pos_ = end_ = 0;
+  ++recv_calls_;  // recv_all below is one logical read
+  if (h.length > have &&
+      !conn_.recv_all(out->payload.data() + have, h.length - have)) {
     raise(Errc::kNetwork, "connection closed mid-frame");
   }
   return true;

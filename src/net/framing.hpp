@@ -55,6 +55,51 @@ void write_frames(TcpConn& conn, const Frame* frames, size_t count);
 
 /// Blocking frame read. Returns false on clean EOF before a new frame.
 /// Throws Error(kProtocol) on bad magic, Error(kNetwork) on socket errors.
+/// One recv per header and one per payload; the hot receive path uses
+/// FrameReader instead (one recv per *chunk* of frames).
 bool read_frame(TcpConn& conn, Frame* out);
+
+/// Buffered frame decoder over one TCP connection — the RX mirror of
+/// write_frames (docs/PERFORMANCE.md). Each refill reads as many bytes as
+/// the socket has ready (up to the chunk size) in a single recv, then
+/// next() decodes complete frames out of the buffer without further
+/// syscalls. frame_buffered() tells the caller when the chunk is exhausted,
+/// which is the natural batch boundary for grouped delivery. Frames larger
+/// than the chunk bypass the buffer: the payload tail is read directly into
+/// the frame's pooled buffer (no double copy).
+///
+/// Owned by one receiver thread; not thread safe. The chunk buffer is
+/// recycled through BufferPool on destruction.
+class FrameReader {
+ public:
+  explicit FrameReader(TcpConn& conn);
+  ~FrameReader();
+  FrameReader(const FrameReader&) = delete;
+  FrameReader& operator=(const FrameReader&) = delete;
+
+  /// Same contract as read_frame: false on clean EOF at a frame boundary,
+  /// Error(kProtocol) on bad magic, Error(kNetwork) on errors / mid-frame
+  /// EOF. Blocks only when no complete frame is buffered.
+  bool next(Frame* out);
+
+  /// True when a complete frame is already buffered — next() would return
+  /// without touching the socket.
+  bool frame_buffered() const;
+
+  /// recv syscalls issued so far (dps.rx.* accounting).
+  uint64_t recv_calls() const { return recv_calls_; }
+
+ private:
+  size_t buffered() const { return end_ - pos_; }
+  /// One recv into the chunk buffer (compacting first). Returns false on
+  /// EOF.
+  bool fill();
+
+  TcpConn& conn_;
+  std::vector<std::byte> buf_;  ///< pooled chunk buffer
+  size_t pos_ = 0;              ///< next undecoded byte
+  size_t end_ = 0;              ///< one past the last received byte
+  uint64_t recv_calls_ = 0;
+};
 
 }  // namespace dps

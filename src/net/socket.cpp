@@ -114,6 +114,15 @@ bool TcpConn::recv_all(void* data, size_t size) {
   return true;
 }
 
+size_t TcpConn::recv_some(void* data, size_t max) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, data, max, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    net_fail("recv");
+  }
+}
+
 void TcpConn::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }

@@ -47,6 +47,12 @@ class TcpConn {
   /// errors and on EOF mid-buffer.
   bool recv_all(void* data, size_t size);
 
+  /// Receives whatever is available, up to `max` bytes, in one syscall
+  /// (blocks only when nothing is buffered). Returns the byte count, or 0
+  /// on EOF. Throws Error(kNetwork) on socket errors. This is the chunked
+  /// read the batched receive path is built on (docs/PERFORMANCE.md).
+  size_t recv_some(void* data, size_t max);
+
   /// Shuts down the write side (signals EOF to the peer).
   void shutdown_write();
 

@@ -35,6 +35,12 @@ void TcpFabric::attach(NodeId self, Handler handler) {
   nodes_[self]->handler = std::move(handler);
 }
 
+void TcpFabric::attach_batch(NodeId self, BatchHandler handler) {
+  MutexLock lock(mu_);
+  DPS_CHECK(self < nodes_.size(), "attach_batch: node id out of range");
+  nodes_[self]->batch_handler = std::move(handler);
+}
+
 void TcpFabric::set_node_names(std::vector<std::string> names) {
   MutexLock lock(mu_);
   names_ = std::move(names);
@@ -68,9 +74,13 @@ void TcpFabric::acceptor_loop(NodeId self) {
 }
 
 void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
+  // The buffered reader turns the old two-recvs-per-frame pattern into one
+  // recv per chunk: the hello below and the first data frames of the burst
+  // typically decode from a single syscall (docs/PERFORMANCE.md).
+  FrameReader reader(*conn);
   Frame hello;
   try {
-    if (!read_frame(*conn, &hello) || hello.kind != FrameKind::kHello) {
+    if (!reader.next(&hello) || hello.kind != FrameKind::kHello) {
       DPS_WARN("tcp fabric: connection without hello, dropping");
       return;
     }
@@ -80,11 +90,70 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
   }
   const NodeId peer = hello.from;
   Handler handler;
+  BatchHandler batch_handler;
   {
     MutexLock lock(mu_);
     handler = nodes_[self]->handler;
+    batch_handler = nodes_[self]->batch_handler;
   }
   DPS_CHECK(static_cast<bool>(handler), "receiver started before attach");
+
+#ifdef DPS_TRACE
+  // Folded in when the connection ends, whichever exit path it takes.
+  struct RecvCalls {
+    FrameReader& r;
+    ~RecvCalls() {
+      if (obs::tracing_active()) {
+        static obs::Counter& c =
+            obs::Metrics::instance().counter("dps.rx.recv_calls");
+        c.inc(r.recv_calls());
+      }
+    }
+  } recv_calls_scope{reader};
+#endif
+
+  // Frames decoded from the current chunk, delivered together when the
+  // chunk is exhausted: one grouped handoff (one controller inbox append +
+  // notify per destination worker) instead of one per frame.
+  std::vector<NodeMessage> batch;
+  size_t batch_bytes = 0;
+  auto flush = [&] {
+    if (batch.empty()) return;
+    const size_t count = batch.size();
+#ifdef DPS_TRACE
+    const bool t_on = obs::tracing_active();
+    if (t_on) {
+      obs::Trace::instance().record(obs::EventKind::kRxBatchStart, peer, self,
+                                    count, batch_bytes, 0);
+    }
+#endif
+    if (batch_handler) {
+      batch_handler(std::move(batch));
+      batch.clear();  // moved-from: back to a known-empty state
+    } else {
+      for (NodeMessage& m : batch) handler(std::move(m));
+      batch.clear();
+    }
+#ifdef DPS_TRACE
+    if (t_on) {
+      obs::Trace::instance().record(obs::EventKind::kRxBatchEnd, peer, self,
+                                    count, batch_bytes,
+                                    batch_handler ? 1 : 0);
+      static obs::Counter& batches =
+          obs::Metrics::instance().counter("dps.rx.batches");
+      batches.inc();
+      static obs::Histogram& frames_hist =
+          obs::Metrics::instance().histogram("dps.rx.batch_frames");
+      frames_hist.observe(count);
+      static obs::Histogram& bytes_hist =
+          obs::Metrics::instance().histogram("dps.rx.batch_bytes");
+      bytes_hist.observe(batch_bytes);
+    }
+#else
+    (void)count;
+#endif
+    batch_bytes = 0;
+  };
 
   // A healthy peer ends the stream with an explicit kShutdown frame. EOF
   // without it — at a frame boundary or mid-frame — means the peer died or
@@ -93,21 +162,28 @@ void TcpFabric::receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn) {
   try {
     Frame f;
     for (;;) {
-      if (!read_frame(*conn, &f)) {
+      if (!reader.next(&f)) {
         torn = "connection closed without shutdown frame";
         break;
       }
-      if (f.kind == FrameKind::kShutdown) return;  // clean close
+      if (f.kind == FrameKind::kShutdown) {  // clean close
+        flush();
+        return;
+      }
 #ifdef DPS_TRACE
       obs::Trace::instance().record(obs::EventKind::kTransportRecv, self, peer,
                                     static_cast<uint64_t>(f.kind), 0,
                                     f.payload.size());
 #endif
-      handler(NodeMessage{peer, f.kind, std::move(f.payload)});
+      batch_bytes += frame_wire_size(f);
+      batch.push_back(NodeMessage{peer, f.kind, std::move(f.payload)});
+      // Chunk exhausted (next frame would block): natural batch boundary.
+      if (!reader.frame_buffered()) flush();
     }
   } catch (const Error& e) {
     torn = e.what();  // partial frame, bad magic, socket error
   }
+  flush();  // frames that decoded cleanly before the tear still count
   std::string reason;
   {
     MutexLock lock(mu_);

@@ -37,6 +37,7 @@ class TcpFabric : public Fabric {
   ~TcpFabric() override;
 
   void attach(NodeId self, Handler handler) override;
+  void attach_batch(NodeId self, BatchHandler handler) override;
   void send(NodeId from, NodeId to, FrameKind kind,
             std::vector<std::byte> payload) override;
   void shutdown() override;
@@ -58,6 +59,7 @@ class TcpFabric : public Fabric {
   struct NodeEnd {
     TcpListener listener;
     Handler handler;
+    BatchHandler batch_handler;  ///< preferred when set (grouped delivery)
     std::thread acceptor;
   };
   struct OutConn {

@@ -33,6 +33,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kTransportRecv: return "transport_recv";
     case EventKind::kTxBatchStart: return "tx_batch_start";
     case EventKind::kTxBatchEnd: return "tx_batch_end";
+    case EventKind::kRxBatchStart: return "rx_batch_start";
+    case EventKind::kRxBatchEnd: return "rx_batch_end";
   }
   return "unknown";
 }

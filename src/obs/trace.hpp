@@ -67,6 +67,8 @@ enum class EventKind : uint16_t {
   kTransportRecv = 22,  ///< bytes read from a TCP connection
   kTxBatchStart = 23,   ///< async sender begins a coalesced writev batch
   kTxBatchEnd = 24,     ///< coalesced batch fully on the wire
+  kRxBatchStart = 25,   ///< receiver begins delivering one decoded chunk
+  kRxBatchEnd = 26,     ///< grouped delivery of the chunk handed off
 };
 
 const char* to_string(EventKind kind) noexcept;

@@ -52,13 +52,23 @@ void SimFabric::send(NodeId from, NodeId to, FrameKind kind,
             "no node " + std::to_string(to) + " attached to sim fabric");
     }
     handler = impl_->handlers[to];
-    const double occ = impl_->link.occupancy(wire);
+    // A NIC whose timeline is still busy means this frame queued behind
+    // others: the transport coalesces it into the in-flight writev batch
+    // (TX) or the same received chunk (RX), so it pays the reduced burst
+    // cost instead of the full per-message overhead. TX and RX are judged
+    // independently — a burst can form at either end.
+    const bool tx_burst = impl_->tx_free[from] > now;
+    const double tx_occ = tx_burst ? impl_->link.occupancy_burst(wire)
+                                   : impl_->link.occupancy(wire);
     const double tx_start = std::max(now, impl_->tx_free[from]);
-    impl_->tx_free[from] = tx_start + occ;
-    const double rx_start =
-        std::max(tx_start + impl_->link.latency_s, impl_->rx_free[to]);
-    impl_->rx_free[to] = rx_start + occ;
-    arrival = rx_start + occ;
+    impl_->tx_free[from] = tx_start + tx_occ;
+    const double rx_earliest = tx_start + impl_->link.latency_s;
+    const bool rx_burst = impl_->rx_free[to] > rx_earliest;
+    const double rx_occ = rx_burst ? impl_->link.occupancy_burst(wire)
+                                   : impl_->link.occupancy(wire);
+    const double rx_start = std::max(rx_earliest, impl_->rx_free[to]);
+    impl_->rx_free[to] = rx_start + rx_occ;
+    arrival = rx_start + rx_occ;
   }
   impl_->messages.fetch_add(1, std::memory_order_relaxed);
   impl_->bytes.fetch_add(wire, std::memory_order_relaxed);

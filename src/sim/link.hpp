@@ -30,10 +30,22 @@ struct LinkModel {
   /// Figure 6: DPS moves ~5 MB/s at 1 kB tokens, i.e. ~200 us per message
   /// of combined TCP + DPS control overhead on their hardware.
   double per_message_s = 150e-6;
+  /// Fixed cost of a frame that finds its NIC already busy. The transport
+  /// batches such frames: back-to-back sends leave in one coalesced writev
+  /// and back-to-back arrivals decode from one received chunk
+  /// (docs/PERFORMANCE.md), so only the first frame of a burst pays the
+  /// full syscall + handoff cost; followers pay framing + copy only.
+  double per_message_burst_s = 20e-6;
 
-  /// Transfer seconds a `bytes`-sized message occupies one NIC.
+  /// Transfer seconds a `bytes`-sized message occupies an idle NIC.
   double occupancy(size_t bytes) const {
     return per_message_s +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+
+  /// Occupancy when the frame rides a burst on an already-busy NIC.
+  double occupancy_burst(size_t bytes) const {
+    return per_message_burst_s +
            static_cast<double>(bytes) / bandwidth_bytes_per_s;
   }
 

@@ -193,6 +193,44 @@ TEST(Chaos, LifeByteIdenticalUnderDropAndDuplication) {
       << "the sweep must actually have exercised loss";
 }
 
+// The batched receive path (FrameReader chunks + grouped controller
+// delivery, docs/PERFORMANCE.md) must not weaken exactly-once: over real
+// TCP sockets, a seeded sweep of drops, duplicates and delay-reorder —
+// where retransmitted and duplicated frames land mid-chunk between healthy
+// ones — still yields the clean result, and the dup filter must actually
+// fire so the sweep is known to have exercised it.
+TEST(Chaos, BatchedRxSurvivesSeededFaultSweepOverTcp) {
+  uint64_t dups_seen = 0;
+  for (uint64_t seed : {0xbeef1ull, 0xbeef2ull, 0xbeef3ull}) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.all.drop = 0.05;
+    plan.all.duplicate = 0.10;
+    plan.all.delay_min = 0.0002;
+    plan.all.delay_max = 0.002;  // spread forces reordering
+    ClusterConfig cfg = ClusterConfig::inproc(3);
+    auto chaos = std::make_shared<ChaosFabric>(
+        std::make_shared<TcpFabric>(3), plan);
+    cfg.external_fabric = chaos;
+    cfg.fault.reliable = true;
+    Cluster cluster(cfg);
+    Application app(cluster, "toupper");
+    auto graph = build_toupper_graph(app, 4);
+    ActorScope scope(cluster.domain(), "main");
+    auto result =
+        token_cast<StringToken>(graph->call(new StringToken(kPhrase)));
+    ASSERT_TRUE(result) << "seed " << seed;
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              kPhraseUpper)
+        << "seed " << seed;
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      dups_seen += cluster.controller(n).duplicates_suppressed();
+    }
+  }
+  EXPECT_GT(dups_seen, 0u)
+      << "the sweep must exercise the receive-side duplicate filter";
+}
+
 // Same seed, same traffic => same fault decisions; the chaos layer itself is
 // deterministic so failing runs replay from their seed.
 TEST(Chaos, FaultDecisionsAreSeedPinned) {
