@@ -10,7 +10,7 @@
 // microseconds; `throughput` is the bench's natural rate (MB/s for the
 // transfer benches, speedup for the scaling figures, items- or
 // bytes-per-second for the micro benches). scripts/tier1.sh's optional
-// bench-smoke stage concatenates these files into BENCH_pr3.json so runs
+// bench-smoke stage concatenates these files into BENCH_pr<N>.json so runs
 // can be diffed across commits.
 #pragma once
 

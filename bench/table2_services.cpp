@@ -11,7 +11,17 @@
 // issuing back-to-back service calls while the master iterates. The
 // per-cell compute rate is calibrated so the no-call iteration takes
 // 1000 ms of virtual time, as in the paper.
+//
+// Service-mesh extension (docs/SERVICE_MESH.md): `--sweep N1,N2,...` runs
+// the same simulation against N concurrent client tenants and reports p50/
+// p99 call latency plus the simulation-iteration slowdown per N;
+// `--overload <clients> <budget>` drives deliberate overload — every client
+// bursts past its in-flight budget — and fails the run (nonzero exit) if a
+// shed call reports anything but kBackpressure, a tenant's peak in-flight
+// exceeds its budget, or the run fails to complete.
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <random>
 #include <thread>
@@ -99,17 +109,272 @@ Row run(int world, int nodes, int bw_, int bh_, int iterations,
   return row;
 }
 
+// --- service-mesh sweep / overload (docs/SERVICE_MESH.md) ------------------
+
+struct SweepRow {
+  int clients;
+  double p50_ms = 0, p99_ms = 0;
+  double iter_ms = 0;
+  double calls_per_s = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  int violations = 0;  ///< budget overshoots or mis-coded shed errors
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t i = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+/// One sweep/overload cell: `nclients` tenants calling the published read
+/// service while the master iterates. burst == 1 is the polite sweep mode
+/// (one synchronous, paced call at a time); burst > 1 is overload mode —
+/// each client fires `burst` async calls at once against `budget`, so the
+/// admission layer must shed the overhang every round.
+SweepRow run_clients(int world, int nodes, int iterations, double cell_rate,
+                     int nclients, const TenantConfig& budget, int burst) {
+  Cluster cluster(ClusterConfig::simulated(nodes));
+  apps::LifeApp app(cluster, nodes);
+  ActorScope scope(cluster.domain(), "main");
+  life::Band initial(world, world);
+  app.scatter(initial);
+  app.publish_read_service("life/read");
+
+  std::mutex mu;
+  bool stop = false;
+  std::vector<double> call_times;
+  uint64_t completed = 0, shed = 0;
+  std::atomic<int> violations{0};
+  std::vector<ActorGate> gates(static_cast<size_t>(nclients));
+  std::vector<std::unique_ptr<Application>> clients;
+  std::vector<std::thread> threads;
+  clients.reserve(static_cast<size_t>(nclients));
+  threads.reserve(static_cast<size_t>(nclients));
+
+  const int kBlock = std::min(40, world / 2);  // paper's small-block config
+  for (int c = 0; c < nclients; ++c) {
+    auto client = std::make_unique<Application>(
+        cluster, "client" + std::to_string(c),
+        static_cast<NodeId>(c % nodes));
+    client->set_tenant_config(budget);
+    cluster.domain().reserve_actor();
+    Application* self = client.get();
+    clients.push_back(std::move(client));
+    threads.emplace_back([&, self, c] {
+      const std::string actor = "client" + std::to_string(c);
+      ActorScope client_scope(cluster.domain(), actor.c_str());
+      std::mt19937 rng(static_cast<uint32_t>(1000 + c));
+      std::vector<double> times;
+      uint64_t done = 0, refused = 0;
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (stop) break;
+        }
+        const int x = static_cast<int>(rng() % (world - kBlock));
+        const int y = static_cast<int>(rng() % (world - kBlock));
+        auto request = [&] {
+          return new apps::LifeReadRequestToken(x, y, kBlock, kBlock, world,
+                                                world, nodes, app.world_id());
+        };
+        const double t0 = cluster.domain().now();
+        std::vector<CallHandle> live;
+        for (int b = 0; b < burst; ++b) {
+          try {
+            live.push_back(self->call_service_async("life/read", request()));
+          } catch (const Error& e) {
+            if (e.code() != Errc::kBackpressure) {
+              std::fprintf(stderr, "client%d: shed with wrong code: %s\n", c,
+                           e.what());
+              violations.fetch_add(1);
+            }
+            ++refused;
+          }
+        }
+        for (auto& call : live) {
+          try {
+            if (token_cast<apps::LifeSubsetToken>(call.wait())) {
+              times.push_back(cluster.domain().now() - t0);
+              ++done;
+            }
+          } catch (const Error& e) {
+            // An admitted call may never fail with backpressure; anything
+            // else is a bench-environment failure worth flagging loudly.
+            std::fprintf(stderr, "client%d: admitted call failed: %s\n", c,
+                         e.what());
+            violations.fetch_add(1);
+          }
+        }
+        // The paper's client renders between requests; 10 ms of virtual
+        // pacing reproduces its calls-per-second figures.
+        cluster.domain().sleep(0.010);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        call_times.insert(call_times.end(), times.begin(), times.end());
+        completed += done;
+        shed += refused;
+      }
+      gates[static_cast<size_t>(c)].open(cluster.domain());
+    });
+  }
+
+  const double t0 = cluster.domain().now();
+  for (int i = 0; i < iterations; ++i) app.iterate(true, cell_rate);
+  const double iter_span = cluster.domain().now() - t0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    stop = true;
+  }
+  for (auto& g : gates) g.wait(cluster.domain());
+  for (auto& t : threads) t.join();
+
+  // The contract under overload: admission keeps every tenant inside its
+  // budget — assert it from the always-on svc counters, not from hope.
+  for (int c = 0; c < nclients; ++c) {
+    const Application& client = *clients[static_cast<size_t>(c)];
+    const Controller::SvcStats stats =
+        cluster.controller(client.home()).svc_stats(client.tenant());
+    if (budget.max_inflight > 0 && stats.peak_inflight > budget.max_inflight) {
+      std::fprintf(stderr,
+                   "client%d: peak in-flight %u exceeds budget %u\n", c,
+                   stats.peak_inflight, budget.max_inflight);
+      violations.fetch_add(1);
+    }
+  }
+
+  SweepRow row;
+  row.clients = nclients;
+  row.iter_ms = iter_span / iterations * 1e3;
+  row.completed = completed;
+  row.shed = shed;
+  row.violations = violations.load();
+  std::sort(call_times.begin(), call_times.end());
+  row.p50_ms = percentile(call_times, 0.50) * 1e3;
+  row.p99_ms = percentile(call_times, 0.99) * 1e3;
+  row.calls_per_s = static_cast<double>(completed) / iter_span;
+  return row;
+}
+
+std::vector<int> parse_sweep(const char* arg) {
+  std::vector<int> out;
+  int value = 0;
+  bool have = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + (*p - '0');
+      have = true;
+    } else {
+      if (have) out.push_back(value);
+      value = 0;
+      have = false;
+      if (*p == '\0') break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonWriter json(&argc, argv);
   setvbuf(stdout, nullptr, _IONBF, 0);  // rows appear as they are measured
+
+  // Service-mesh modes (stripped before the positional world/iterations).
+  std::vector<int> sweep;
+  int overload_clients = 0;
+  uint32_t overload_budget = 0;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep = parse_sweep(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--overload") == 0 && i + 2 < argc) {
+      overload_clients = std::atoi(argv[i + 1]);
+      overload_budget = static_cast<uint32_t>(std::atoi(argv[i + 2]));
+    } else {
+      ++i;
+      continue;
+    }
+    const int consumed = std::strcmp(argv[i], "--sweep") == 0 ? 2 : 3;
+    for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+  }
+
   const int world = argc > 1 ? std::atoi(argv[1]) : 5620;
   const int nodes = 4;
   const int iterations = argc > 2 ? std::atoi(argv[2]) : 3;
   // Calibrate: world^2 cells over `nodes` workers = 1000 ms per iteration.
   const double cell_rate =
       static_cast<double>(world) * world / nodes / 1.0;
+
+  if (!sweep.empty() || overload_clients > 0) {
+    int violations = 0;
+    double single_iter_ms = 0;
+    if (!sweep.empty()) {
+      std::cout << "Service-mesh sweep — " << world << "x" << world
+                << " world on " << nodes << " simulated nodes\n\n"
+                << "clients      p50        p99     iteration   slowdown"
+                   "   calls/s\n";
+      for (const int n : sweep) {
+        const SweepRow row = run_clients(world, nodes, iterations, cell_rate,
+                                         n, TenantConfig{}, /*burst=*/1);
+        if (single_iter_ms == 0) single_iter_ms = row.iter_ms;
+        const double slowdown = row.iter_ms / single_iter_ms;
+        std::printf("%7d %7.2f ms %7.2f ms %8.0f ms %9.2fx %9.1f\n",
+                    row.clients, row.p50_ms, row.p99_ms, row.iter_ms,
+                    slowdown, row.calls_per_s);
+        const std::string config = "clients=" + std::to_string(n);
+        json.record("table2_sweep", config, row.p50_ms * 1e3,
+                    row.calls_per_s);
+        json.record("table2_sweep_p99", config, row.p99_ms * 1e3,
+                    row.calls_per_s);
+        // Iterations per virtual second: higher is better, so the
+        // cross-commit comparator can watch it directly.
+        json.record("table2_sweep_iter", config, row.iter_ms * 1e3,
+                    1e3 / row.iter_ms);
+        violations += row.violations;
+        // Acceptance: 100 concurrent clients slow the simulation by less
+        // than 2x the single-client figure.
+        if (n == 100 && slowdown >= 2.0) {
+          std::fprintf(stderr,
+                       "FAIL: slowdown at 100 clients is %.2fx (>= 2x)\n",
+                       slowdown);
+          ++violations;
+        }
+      }
+    }
+    if (overload_clients > 0) {
+      TenantConfig budget;
+      budget.max_inflight = overload_budget;
+      std::cout << "\nOverload — " << overload_clients
+                << " clients bursting 4 calls against budget "
+                << overload_budget << "\n";
+      const SweepRow row =
+          run_clients(world, nodes, iterations, cell_rate, overload_clients,
+                      budget, /*burst=*/4);
+      std::printf("completed %llu, shed %llu (kBackpressure), p50 %.2f ms, "
+                  "iteration %.0f ms\n",
+                  static_cast<unsigned long long>(row.completed),
+                  static_cast<unsigned long long>(row.shed), row.p50_ms,
+                  row.iter_ms);
+      const std::string config =
+          "clients=" + std::to_string(overload_clients) +
+          " budget=" + std::to_string(overload_budget);
+      json.record("table2_overload", config, row.p50_ms * 1e3,
+                  row.calls_per_s);
+      violations += row.violations;
+      if (row.shed == 0) {
+        std::fprintf(stderr, "FAIL: overload run shed nothing — the burst "
+                             "never hit the budget\n");
+        ++violations;
+      }
+    }
+    if (violations != 0) {
+      std::fprintf(stderr, "table2_services: %d violation(s)\n", violations);
+      return 1;
+    }
+    return 0;
+  }
 
   std::cout << "Table 2 — iteration time with and without graph calls\n("
             << world << "x" << world << " world on " << nodes

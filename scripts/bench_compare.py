@@ -7,6 +7,14 @@ config of the watched benches. A config counts as regressed when its
 current throughput falls more than --threshold below the baseline; any
 regression makes the script exit nonzero so CI fails loudly.
 
+Wall-clock loopback configs (fig6's real-TCP `dps/` and `sockets/`
+series) are compared and printed but never fatal: on the shared 1-core
+host even the raw-socket control series — which contains no DPS code at
+all — swings up to +-40% between runs (EXPERIMENTS.md documents 8-200
+MB/s at 1 kB), so a hard gate there measures the neighbours, not the
+engine. The deterministic virtual-time series (`sim/` and everything in
+fig15_lu) reproduce bit-stable medians and carry the gate.
+
 Usage:
   scripts/bench_compare.py BENCH_pr3.json BENCH_pr5.json
   scripts/bench_compare.py old.json new.json --benches fig15_lu \
@@ -49,11 +57,19 @@ def main():
         help="fractional throughput drop that counts as a regression "
         "(default: %(default)s)",
     )
+    ap.add_argument(
+        "--advisory-prefixes",
+        default="dps/,sockets/",
+        help="comma-separated config prefixes whose regressions are "
+        "reported but not fatal (wall-clock loopback noise; default: "
+        "%(default)s)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
     watched = set(args.benches.split(","))
+    advisory = tuple(p for p in args.advisory_prefixes.split(",") if p)
 
     regressions = []
     compared = 0
@@ -66,8 +82,11 @@ def main():
         delta = (c - b) / b if b > 0 else 0.0
         marker = ""
         if b > 0 and c < b * (1.0 - args.threshold):
-            marker = "  <-- REGRESSION"
-            regressions.append((bench, config, b, c, delta))
+            if config.startswith(advisory):
+                marker = "  (noisy wall-clock config, not gated)"
+            else:
+                marker = "  <-- REGRESSION"
+                regressions.append((bench, config, b, c, delta))
         print(f"{bench:20s} {config:28s} {b:10.3f} -> {c:10.3f} "
               f"({delta:+7.1%}){marker}")
 

@@ -319,6 +319,17 @@ def check_tsan_coverage(root, findings):
         findings.append(
             f"scripts/dps_lint.py: tsan-coverage: '{suite}' is both in the "
             f"tsan filter and in TSAN_OPT_OUT; remove one")
+    # Dead entries (the suite no longer exists at all) also rot the opt-out
+    # list: a future suite reusing the name would inherit an exemption whose
+    # recorded reason no longer applies.
+    for suite in sorted(stale - covered):
+        findings.append(
+            f"scripts/dps_lint.py: tsan-coverage: TSAN_OPT_OUT entry "
+            f"'{suite}' names a gtest suite that no longer exists; remove it")
+    for suite in sorted(covered - suites):
+        findings.append(
+            f"CMakePresets.json: tsan-coverage: tsan filter entry '{suite}' "
+            f"names a gtest suite that no longer exists; remove it")
 
 
 def main():

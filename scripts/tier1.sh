@@ -15,10 +15,12 @@
 #        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
 #            every bench binary with --json, concatenate the records into
-#            BENCH_pr5.json (includes micro_serialization's zero-realloc
-#            assertion and micro_engine's flat-dispatch assertion), and
-#            flag fig15_lu / fig6_throughput throughput regressions >10%
-#            against the committed BENCH_pr3.json baseline
+#            BENCH_pr6.json (includes micro_serialization's zero-realloc
+#            assertion, micro_engine's flat-dispatch assertion, and the
+#            table2_services service-mesh sweep + overload self-checks —
+#            slowdown bound, kBackpressure-only shedding, per-tenant budget
+#            ceilings), and flag fig15_lu / fig6_throughput throughput
+#            regressions >10% against the committed BENCH_pr5.json baseline
 set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -117,10 +119,13 @@ if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench smoke: tiny configurations of every harness, machine-readable
-# results concatenated into BENCH_pr5.json for cross-commit diffing.
-# micro_serialization exits nonzero if an envelope encode reallocates, and
-# micro_engine exits nonzero if merge matching scales with queue depth, so
-# both invariants are enforced here too.
+# results concatenated into BENCH_pr6.json for cross-commit diffing.
+# micro_serialization exits nonzero if an envelope encode reallocates,
+# micro_engine exits nonzero if merge matching scales with queue depth, and
+# the table2_services sweep/overload pass exits nonzero if the service mesh
+# breaks its contract (iteration slowdown >= 2x at 100 clients, a shed call
+# reporting anything but kBackpressure, or a tenant exceeding its in-flight
+# budget), so all three invariants are enforced here too.
 set -e
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -130,13 +135,15 @@ b=build/bench
 "$b/fig9_life"          1    --json "$smoke_dir/fig9.json"
 "$b/fig15_lu"           512  --json "$smoke_dir/fig15.json"
 "$b/table2_services"    1024 1 --json "$smoke_dir/table2.json"
+"$b/table2_services"    512 1 --sweep 1,10,100 --overload 100 2 \
+  --json "$smoke_dir/table2_mesh.json"
 "$b/ablation_flowctl"   256  --json "$smoke_dir/ablation.json"
 "$b/micro_engine"        --json "$smoke_dir/micro_engine.json" \
   --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256|BM_DispatchMergeMatch'
 "$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
   --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
-cat "$smoke_dir"/*.json > BENCH_pr5.json
-echo "bench smoke: $(wc -l < BENCH_pr5.json) records -> BENCH_pr5.json"
+cat "$smoke_dir"/*.json > BENCH_pr6.json
+echo "bench smoke: $(wc -l < BENCH_pr6.json) records -> BENCH_pr6.json"
 # Guard the hot-path wins: any fig15_lu / fig6_throughput config more than
-# 10% below the PR-3 baseline fails the smoke stage.
-python3 scripts/bench_compare.py BENCH_pr3.json BENCH_pr5.json
+# 10% below the PR-5 baseline fails the smoke stage.
+python3 scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json

@@ -11,6 +11,7 @@ Application::Application(Cluster& cluster, std::string name, NodeId home_node)
     : cluster_(cluster), name_(std::move(name)), home_(home_node) {
   DPS_CHECK(home_ < cluster_.node_count(), "home node out of range");
   id_ = cluster_.register_app(this);
+  tenant_ = cluster_.register_tenant(name_);
 }
 
 Application::~Application() { cluster_.unregister_app(id_); }
@@ -74,17 +75,28 @@ CallHandle Application::call_service_async(const std::string& service_name,
           "service '" + service_name + "' does not accept token type '" +
               input->typeInfo().name + "'");
   }
+  // Admission control (docs/SERVICE_MESH.md): charged to *this*
+  // application's tenant at the mesh boundary, before the token enters the
+  // target graph. Sheds synchronously with Error(kBackpressure).
+  cluster_.controller(home_).admit_call(tenant_, *target);
+
   const CallId id = cluster_.new_call_id();
   auto state = cluster_.create_call(id);
+  cluster_.bind_admission(*state, tenant_, home_);
   Envelope env;
   env.app = app_id;
   env.graph = graph_id;
   env.vertex = target->entry();
   env.call = id;
   env.call_reply_node = home_;
+  env.tenant = tenant_;
   env.token = std::move(input);
   cluster_.controller(home_).route_and_send(*target, std::move(env));
-  return CallHandle(id, std::move(state));
+
+  CallHandle handle(id, std::move(state), &cluster_);
+  const double deadline = cluster_.tenant_config(tenant_).default_deadline_ms;
+  if (deadline > 0) handle.with_deadline(deadline);
+  return handle;
 }
 
 Ptr<Token> Application::call_service(const std::string& service_name,

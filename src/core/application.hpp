@@ -30,6 +30,17 @@ class Application {
   AppId id() const { return id_; }
   NodeId home() const { return home_; }
 
+  /// This application's mesh tenant (docs/SERVICE_MESH.md). Registered by
+  /// name at construction, so an application re-created under the same
+  /// name (tenant churn) keeps its identity and configured budgets.
+  TenantId tenant() const { return tenant_; }
+
+  /// Replaces this tenant's admission budgets, flow window, and default
+  /// deadline; applies to calls made afterwards.
+  void set_tenant_config(const TenantConfig& config) {
+    cluster_.set_tenant_config(tenant_, config);
+  }
+
   /// Creates (and registers) a named thread collection; map() it before
   /// building graphs that use it.
   template <class T>
@@ -71,6 +82,7 @@ class Application {
   std::string name_;
   AppId id_;
   NodeId home_;
+  TenantId tenant_ = kNoTenant;
 
   mutable Mutex mu_;
   std::vector<std::shared_ptr<Flowgraph>> graphs_ DPS_GUARDED_BY(mu_);

@@ -30,6 +30,15 @@ struct CallState {
   std::string err_msg DPS_GUARDED_BY(mu);
   /// If set, invoked with the result instead of storing it.
   std::function<void(Ptr<Token>)> continuation DPS_GUARDED_BY(mu);
+
+  // --- service-mesh bookkeeping (docs/SERVICE_MESH.md) ----------------------
+  /// Traffic class the call was admitted under, and the node whose
+  /// controller holds the admission slot. `admitted` is cleared by exactly
+  /// one of: normal completion, node-down failure, or deadline expiry —
+  /// whoever clears it retires the slot (Controller::retire_call).
+  TenantId tenant DPS_GUARDED_BY(mu) = kNoTenant;
+  NodeId admit_node DPS_GUARDED_BY(mu) = 0;
+  bool admitted DPS_GUARDED_BY(mu) = false;
 };
 
 }  // namespace detail

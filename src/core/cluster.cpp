@@ -124,6 +124,76 @@ Controller& Cluster::controller(NodeId node) {
   return *controllers_[node];
 }
 
+// --- Tenants (docs/SERVICE_MESH.md) ------------------------------------------
+
+bool Cluster::DeadlineGate::enter() {
+  MutexLock lock(mu);
+  if (closed) return false;
+  ++active;
+  return true;
+}
+
+void Cluster::DeadlineGate::leave() {
+  MutexLock lock(mu);
+  if (--active == 0) cv.notify_all();
+}
+
+void Cluster::DeadlineGate::close() {
+  MutexLock lock(mu);
+  closed = true;
+  cv.wait(mu, [&]() DPS_REQUIRES(mu) { return active == 0; });
+}
+
+TenantId Cluster::register_tenant(const std::string& name,
+                                  const TenantConfig& config) {
+  TenantId id = kNoTenant;
+  TenantConfig recorded = config;
+  {
+    MutexLock lock(tenant_mu_);
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      if (tenants_[i].name == name) {
+        // Re-join under the same identity (tenant churn): keep the
+        // budgets the first registration configured.
+        id = static_cast<TenantId>(i + 1);
+        recorded = tenants_[i].config;
+        break;
+      }
+    }
+    if (id == kNoTenant) {
+      tenants_.push_back(TenantRec{name, config});
+      id = static_cast<TenantId>(tenants_.size());
+    }
+  }
+  services_->publish(kTenantRecordPrefix + name,
+                     encode_tenant_record(id, recorded));
+  return id;
+}
+
+void Cluster::set_tenant_config(TenantId tenant, const TenantConfig& config) {
+  std::string name;
+  {
+    MutexLock lock(tenant_mu_);
+    DPS_CHECK(tenant != kNoTenant && tenant <= tenants_.size(),
+              "set_tenant_config on unknown tenant");
+    tenants_[tenant - 1].config = config;
+    name = tenants_[tenant - 1].name;
+  }
+  services_->publish(kTenantRecordPrefix + name,
+                     encode_tenant_record(tenant, config));
+}
+
+TenantConfig Cluster::tenant_config(TenantId tenant) const {
+  MutexLock lock(tenant_mu_);
+  if (tenant == kNoTenant || tenant > tenants_.size()) return TenantConfig{};
+  return tenants_[tenant - 1].config;
+}
+
+std::string Cluster::tenant_name(TenantId tenant) const {
+  MutexLock lock(tenant_mu_);
+  if (tenant == kNoTenant || tenant > tenants_.size()) return "<none>";
+  return tenants_[tenant - 1].name;
+}
+
 AppId Cluster::register_app(Application* app) {
   MutexLock lock(mu_);
   const AppId id = next_app_++;
@@ -196,6 +266,7 @@ void Cluster::complete_call(CallId id, Ptr<Token> result) {
     state = std::move(it->second);
     calls_.erase(it);
   }
+  retire_admission(*state, /*deadline_expired=*/false);
   if (state->continuation) {
     // Graph-call vertices continue the client graph; must not block.
     auto continuation = std::move(state->continuation);
@@ -206,6 +277,75 @@ void Cluster::complete_call(CallId id, Ptr<Token> result) {
   state->result = std::move(result);
   state->done = true;
   domain_->notify_all(state->wp);
+}
+
+void Cluster::retire_admission(detail::CallState& state,
+                               bool deadline_expired) {
+  TenantId tenant = kNoTenant;
+  NodeId node = 0;
+  {
+    MutexLock lock(state.mu);
+    if (!state.admitted) return;
+    state.admitted = false;
+    tenant = state.tenant;
+    node = state.admit_node;
+  }
+  controller(node).retire_call(tenant, deadline_expired);
+}
+
+void Cluster::bind_admission(detail::CallState& state, TenantId tenant,
+                             NodeId node) {
+  {
+    MutexLock lock(state.mu);
+    if (!state.done) {
+      state.tenant = tenant;
+      state.admit_node = node;
+      state.admitted = true;
+      return;
+    }
+  }
+  // Pre-failed call: it never entered the call table, so complete_call /
+  // fail_all_calls / expire_call will never retire it.
+  controller(node).retire_call(tenant, /*deadline_expired=*/false);
+}
+
+void Cluster::arm_deadline(CallId id, double seconds) {
+  DPS_CHECK(seconds > 0, "deadline must be positive");
+  domain_->post_event(seconds, [this, id, gate = deadline_gate_] {
+    if (!gate->enter()) return;  // cluster already shutting down
+    expire_call(id);
+    gate->leave();
+  });
+}
+
+void Cluster::expire_call(CallId id) {
+  std::shared_ptr<detail::CallState> state;
+  {
+    MutexLock lock(mu_);
+    auto it = calls_.find(id);
+    if (it == calls_.end()) return;  // completed (or failed) in time
+    state = std::move(it->second);
+    calls_.erase(it);
+  }
+  retire_admission(*state, /*deadline_expired=*/true);
+  std::function<void(Ptr<Token>)> continuation;
+  {
+    MutexLock lock(state->mu);
+    state->failed = true;
+    state->err = Errc::kDeadlineExceeded;
+    state->err_msg = "call " + std::to_string(id) +
+                     " exceeded its deadline; tokens still in flight are "
+                     "dropped as stray on arrival";
+    state->done = true;
+    continuation = std::move(state->continuation);
+    state->continuation = nullptr;
+    domain_->notify_all(state->wp);
+  }
+  // A graph-call vertex's sub-call has no waiter to rethrow into; its
+  // continuation owns error delivery (continue_graph_call fails the outer
+  // call). Nothing to invoke here with a null token — the outer call
+  // carries its own deadline.
+  (void)continuation;
 }
 
 // --- Fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
@@ -244,6 +384,7 @@ void Cluster::fail_all_calls(Errc code, const std::string& message) {
     calls.swap(calls_);
   }
   for (auto& [id, state] : calls) {
+    retire_admission(*state, /*deadline_expired=*/false);
     if (state->continuation) {
       // Sub-call of a graph-call vertex: nothing to deliver — the client
       // graph's own call is in the same table and fails directly.
@@ -370,6 +511,9 @@ void Cluster::shutdown() {
     down_ = true;
   }
   DPS_DEBUG("cluster shutting down");
+  // Quiesce deadline timers first: after close() no expiry event can touch
+  // the call table or the controllers we are about to stop.
+  deadline_gate_->close();
   if (monitor_.joinable()) {
     {
       MutexLock lock(monitor_mu_);
@@ -380,8 +524,10 @@ void Cluster::shutdown() {
   }
   for (auto& c : controllers_) c->shutdown();
   fabric_->shutdown();
-  // domain_ (and with it a simulation scheduler thread) stops when the
-  // unique_ptr destroys it after the controllers and fabric are quiet.
+  // Join the domain's scheduler thread while the workers it may still be
+  // waking (a stall handler's WaitPoint snapshot) are alive; the member
+  // destruction order frees controllers_ before domain_.
+  domain_->stop();
 }
 
 }  // namespace dps

@@ -30,6 +30,7 @@
 
 #include "core/call.hpp"
 #include "core/ids.hpp"
+#include "core/tenant.hpp"
 #include "net/fabric.hpp"
 #include "util/thread_annotations.hpp"
 #include "net/name_registry.hpp"
@@ -139,6 +140,24 @@ class Cluster {
   /// equivalent of the paper's name server.
   NameRegistry& services() { return *services_; }
 
+  // --- tenants (docs/SERVICE_MESH.md) ---------------------------------------
+  /// Registers (or finds) the tenant named `name` and publishes its record
+  /// under "tenant/<name>" in the service registry. Idempotent by name: a
+  /// client re-joining the mesh (tenant churn) reuses its identity and
+  /// keeps its configured budgets — the config passed on re-registration
+  /// is ignored.
+  TenantId register_tenant(const std::string& name,
+                           const TenantConfig& config = {});
+
+  /// Replaces a tenant's limits; applies to calls admitted afterwards.
+  void set_tenant_config(TenantId tenant, const TenantConfig& config);
+
+  /// Current limits of `tenant`; kNoTenant (and unknown ids) resolve to
+  /// the all-defaults config (unlimited budget, cluster flow window).
+  TenantConfig tenant_config(TenantId tenant) const;
+
+  std::string tenant_name(TenantId tenant) const;
+
   // --- applications ---------------------------------------------------------
   AppId register_app(Application* app);
   void unregister_app(AppId id);
@@ -156,6 +175,22 @@ class Cluster {
   std::shared_ptr<detail::CallState> create_call(CallId id);
   void complete_call(CallId id, Ptr<Token> result);
 
+  /// Arms a deadline for call `id`: after `seconds` of this cluster's time
+  /// domain (virtual under simulation) the call — if still outstanding —
+  /// fails with Error(kDeadlineExceeded) and its admission slot retires.
+  /// Late results for an expired call are dropped as stray.
+  void arm_deadline(CallId id, double seconds);
+
+  /// Records that the call behind `state` holds one admission slot of
+  /// `tenant` on `node`'s controller, so every completion path (result,
+  /// node-down, deadline) returns it. A call created pre-failed (degraded
+  /// cluster) has no completion path; its slot is returned here instead.
+  void bind_admission(detail::CallState& state, TenantId tenant, NodeId node);
+
+  /// Deadline expiry path (also callable by tests): fails call `id` with
+  /// kDeadlineExceeded if it is still in the call table. No-op otherwise.
+  void expire_call(CallId id);
+
   // --- merge-context claim diagnostics --------------------------------------
   /// Registers that `claimant` (an engine worker) collects context `ctx`;
   /// throws Error(kState) if a different worker already does — the symptom
@@ -169,7 +204,31 @@ class Cluster {
 
  private:
   void fail_all_calls(Errc code, const std::string& message);
+  /// Clears the call's admitted flag and returns its admission slot to the
+  /// home controller. Exactly-once by construction (flag test under the
+  /// state's lock); every call-completion path funnels through here.
+  void retire_admission(detail::CallState& state, bool deadline_expired);
   void monitor_loop();
+
+  /// Rendezvous between deadline timer events and shutdown: events enter
+  /// the gate before touching the cluster; close() blocks until in-flight
+  /// events leave and turns every later one into a no-op, so a timer can
+  /// never fire into a destructed cluster.
+  struct DeadlineGate {
+    Mutex mu;
+    CondVar cv;
+    bool closed DPS_GUARDED_BY(mu) = false;
+    int active DPS_GUARDED_BY(mu) = 0;
+    bool enter();
+    void leave();
+    void close();
+  };
+
+  /// One registered tenant (id = index + 1).
+  struct TenantRec {
+    std::string name;
+    TenantConfig config;
+  };
 
   ClusterConfig config_;
   std::unique_ptr<ExecDomain> domain_;
@@ -185,6 +244,12 @@ class Cluster {
   CondVar monitor_cv_;
   bool monitor_stop_ DPS_GUARDED_BY(monitor_mu_) = false;
   std::set<NodeId> dead_ DPS_GUARDED_BY(mu_);
+
+  std::shared_ptr<DeadlineGate> deadline_gate_ =
+      std::make_shared<DeadlineGate>();
+
+  mutable Mutex tenant_mu_;
+  std::vector<TenantRec> tenants_ DPS_GUARDED_BY(tenant_mu_);
 
   mutable Mutex mu_;
   std::unordered_map<AppId, Application*> apps_ DPS_GUARDED_BY(mu_);

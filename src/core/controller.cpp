@@ -89,6 +89,9 @@ struct Controller::Worker {
 struct Controller::FlowAccount {
   Mutex mu;
   WaitPoint wp DPS_GUARDED_BY(mu);
+  /// Window of the owning tenant, frozen at split start (per-tenant flow
+  /// control, docs/SERVICE_MESH.md).
+  uint32_t window = 0;
   uint32_t in_flight DPS_GUARDED_BY(mu) = 0;
   /// Owning split/stream execution completed.
   bool finished DPS_GUARDED_BY(mu) = false;
@@ -166,7 +169,8 @@ class Controller::ExecCtx : public detail::OpServices {
       case OpKind::kSplit: {
         out_frames_ = env_.frames;
         split_ctx_ = controller_.new_context_id();
-        controller_.create_flow_account(split_ctx_);
+        controller_.create_flow_account(
+            split_ctx_, controller_.tenant_window(env_.tenant));
         out_frames_.push_back(
             SplitFrame{split_ctx_, 0, 0, 0, controller_.self()});
         break;
@@ -189,13 +193,16 @@ class Controller::ExecCtx : public detail::OpServices {
         // Batch flow acks: one kFlowAck per ~quarter window instead of one
         // per token keeps the remote split pipelining while cutting ack
         // frames; flush points below guarantee no credit is withheld while
-        // this collection blocks.
+        // this collection blocks. The window is the tenant's — split and
+        // merge of one context always share the call's tenant.
         ack_batch_ = std::max<uint32_t>(
-            1, std::min<uint32_t>(controller_.cluster_.flow_window() / 4, 16));
+            1, std::min<uint32_t>(
+                   controller_.tenant_window(env_.tenant) / 4, 16));
         note_consumed(first);
         if (kind_ == OpKind::kStream) {
           split_ctx_ = controller_.new_context_id();
-          controller_.create_flow_account(split_ctx_);
+          controller_.create_flow_account(
+              split_ctx_, controller_.tenant_window(env_.tenant));
           out_frames_.push_back(
               SplitFrame{split_ctx_, 0, 0, 0, controller_.self()});
         }
@@ -309,6 +316,7 @@ class Controller::ExecCtx : public detail::OpServices {
       reply.vertex = kNoVertex;
       reply.call = env_.call;
       reply.call_reply_node = env_.call_reply_node;
+      reply.tenant = env_.tenant;
       reply.token = std::move(token);
       controller_.send_reply(std::move(reply));
       return;
@@ -320,6 +328,7 @@ class Controller::ExecCtx : public detail::OpServices {
     out.vertex = target;
     out.call = env_.call;
     out.call_reply_node = env_.call_reply_node;
+    out.tenant = env_.tenant;
     out.frames = out_frames_;
     if (splitish) out.frames.back().seq = posted_;
     out.token = std::move(token);
@@ -663,18 +672,22 @@ void Controller::dispatch_graph_call(Worker& w, Envelope env) {
   auto state = cluster_.create_call(sub);
   state->continuation = [this, app_id = env.app, graph_id = env.graph,
                          vertex_id = env.vertex, frames = env.frames,
-                         call = env.call,
-                         reply = env.call_reply_node](Ptr<Token> result) {
+                         call = env.call, reply = env.call_reply_node,
+                         tenant = env.tenant](Ptr<Token> result) {
     continue_graph_call(app_id, graph_id, vertex_id, frames, call, reply,
-                        std::move(result));
+                        tenant, std::move(result));
   };
 
+  // The sub-call rides the client's admission slot: the tenant was charged
+  // at the mesh boundary (call_async / call_service_async), and the tenant
+  // id keeps traveling so flow windows and scheduling stay per-tenant.
   Envelope sub_env;
   sub_env.app = target_app_id;
   sub_env.graph = target_graph_id;
   sub_env.vertex = target->entry();
   sub_env.call = sub;
   sub_env.call_reply_node = self_;
+  sub_env.tenant = env.tenant;
   sub_env.token = std::move(env.token);
   route_and_send(*target, std::move(sub_env));
 }
@@ -683,7 +696,7 @@ void Controller::continue_graph_call(AppId app_id, GraphId graph_id,
                                      VertexId vertex_id,
                                      std::vector<SplitFrame> frames,
                                      CallId call, NodeId reply_node,
-                                     Ptr<Token> result) {
+                                     TenantId tenant, Ptr<Token> result) {
   // Runs on whatever thread completed the sub-call (possibly the simulation
   // scheduler): must not block and must not throw.
   try {
@@ -707,6 +720,7 @@ void Controller::continue_graph_call(AppId app_id, GraphId graph_id,
       reply.vertex = kNoVertex;
       reply.call = call;
       reply.call_reply_node = reply_node;
+      reply.tenant = tenant;
       reply.token = std::move(result);
       send_reply(std::move(reply));
       return;
@@ -717,6 +731,7 @@ void Controller::continue_graph_call(AppId app_id, GraphId graph_id,
     out.vertex = target;
     out.call = call;
     out.call_reply_node = reply_node;
+    out.tenant = tenant;
     out.frames = std::move(frames);
     out.token = std::move(result);
     route_and_send(*graph, std::move(out));
@@ -1079,9 +1094,11 @@ ContextId Controller::new_context_id() {
          (context_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
-void Controller::create_flow_account(ContextId ctx) {
+void Controller::create_flow_account(ContextId ctx, uint32_t window) {
+  auto acc = std::make_unique<FlowAccount>();
+  acc->window = window;
   MutexLock lock(flow_mu_);
-  accounts_.emplace(ctx, std::make_unique<FlowAccount>());
+  accounts_.emplace(ctx, std::move(acc));
 }
 
 void Controller::flow_acquire(ContextId ctx) {
@@ -1092,7 +1109,7 @@ void Controller::flow_acquire(ContextId ctx) {
     DPS_CHECK(it != accounts_.end(), "flow_acquire on unknown account");
     acc = it->second.get();
   }
-  const uint32_t window = cluster_.flow_window();
+  const uint32_t window = acc->window;  // per-tenant, frozen at split start
   MutexLock lock(acc->mu);
   cluster_.domain().wait_until(
       acc->wp, acc->mu,
@@ -1115,7 +1132,10 @@ void Controller::finish_flow_account(ContextId ctx) {
   {
     MutexLock al(it->second->mu);
     it->second->finished = true;
-    drained = (it->second->in_flight == 0);
+    // A poisoned account's outstanding credits can never come back (the
+    // acks died with the peer) — waiting for in_flight to reach zero would
+    // leak the account forever. The split is done with it; reap it now.
+    drained = (it->second->in_flight == 0) || it->second->poison;
   }
   if (drained) accounts_.erase(it);
 }
@@ -1149,6 +1169,112 @@ void Controller::send_flow_ack(const SplitFrame& frame, uint32_t n) {
   w.put<ContextId>(frame.context);
   w.put<uint32_t>(n);
   fabric_send(frame.split_node, FrameKind::kFlowAck, w.take());
+}
+
+// --- Service-mesh admission (docs/SERVICE_MESH.md) ---------------------------
+
+void Controller::admit_call(TenantId tenant, const Flowgraph& target) {
+  const TenantConfig cfg = cluster_.tenant_config(tenant);
+
+  // Queue-depth overload signal, read outside svc_mu_ (atomics only): total
+  // mailbox backlog of the service's entry collection.
+  uint64_t depth = 0;
+  if (cfg.queue_high_water > 0) {
+    const Flowgraph::Vertex& entry = target.vertex(target.entry());
+    const std::atomic<uint32_t>* depths = entry.collection->queue_depths();
+    const int n = entry.collection->size();
+    for (int i = 0; i < n; ++i) {
+      depth += depths[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  const char* why = nullptr;
+  uint32_t inflight = 0;
+  {
+    MutexLock lock(svc_mu_);
+    SvcStats& s = svc_[tenant];
+    if (cfg.max_inflight > 0 && s.inflight >= cfg.max_inflight) {
+      ++s.shed;
+      why = "in-flight budget exhausted";
+    } else if (cfg.queue_high_water > 0 && depth >= cfg.queue_high_water) {
+      ++s.shed;
+      why = "service entry queue above the high-water mark";
+    } else {
+      ++s.admitted;
+      inflight = ++s.inflight;
+      if (inflight > s.peak_inflight) s.peak_inflight = inflight;
+    }
+  }
+
+#ifdef DPS_TRACE
+  {
+    static obs::Counter& admitted =
+        obs::Metrics::instance().counter("dps.svc.admitted");
+    static obs::Counter& shed = obs::Metrics::instance().counter("dps.svc.shed");
+    static obs::Gauge& inflight_g =
+        obs::Metrics::instance().gauge("dps.svc.inflight");
+    if (why == nullptr) {
+      admitted.inc();
+      inflight_g.add(1);
+      inflight_g.update_max(inflight);
+    } else {
+      shed.inc();
+    }
+  }
+  if (obs::tracing_active()) {
+    obs::Trace::instance().record(
+        why == nullptr ? obs::EventKind::kSvcAdmit : obs::EventKind::kSvcShed,
+        self_, tenant, 0, 0, inflight);
+  }
+#endif
+
+  if (why != nullptr) {
+    raise(Errc::kBackpressure,
+          "call shed for tenant '" + cluster_.tenant_name(tenant) +
+              "': " + why);
+  }
+}
+
+void Controller::retire_call(TenantId tenant, bool deadline_expired) {
+  {
+    MutexLock lock(svc_mu_);
+    SvcStats& s = svc_[tenant];
+    DPS_CHECK(s.inflight > 0, "retire_call without a matching admit_call");
+    --s.inflight;
+    if (deadline_expired) ++s.deadline_expired;
+  }
+#ifdef DPS_TRACE
+  {
+    static obs::Gauge& inflight_g =
+        obs::Metrics::instance().gauge("dps.svc.inflight");
+    inflight_g.sub(1);
+    if (deadline_expired) {
+      static obs::Counter& expired =
+          obs::Metrics::instance().counter("dps.svc.deadline_expired");
+      expired.inc();
+    }
+  }
+  if (deadline_expired && obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kSvcDeadline, self_, tenant,
+                                  0, 0, 0);
+  }
+#endif
+}
+
+Controller::SvcStats Controller::svc_stats(TenantId tenant) const {
+  MutexLock lock(svc_mu_);
+  const auto it = svc_.find(tenant);
+  return it == svc_.end() ? SvcStats{} : it->second;
+}
+
+uint32_t Controller::tenant_window(TenantId tenant) const {
+  const TenantConfig cfg = cluster_.tenant_config(tenant);
+  return cfg.flow_window > 0 ? cfg.flow_window : cluster_.flow_window();
+}
+
+size_t Controller::flow_account_count() const {
+  MutexLock lock(flow_mu_);
+  return accounts_.size();
 }
 
 // --- Fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
@@ -1518,11 +1644,23 @@ void Controller::on_node_down(NodeId node) {
   // Unblock split/stream executions waiting for flow-control credits the
   // dead node will never return. The raised kState unwinds the operation;
   // the graph call itself fails with kNodeDown at the cluster level.
+  poison_flow_accounts();
+}
+
+void Controller::poison_flow_accounts() {
   MutexLock lock(flow_mu_);
-  for (auto& [ctx, acc] : accounts_) {
-    MutexLock al(acc->mu);
-    acc->poison = true;
-    cluster_.domain().notify_all(acc->wp);
+  for (auto it = accounts_.begin(); it != accounts_.end();) {
+    bool reap = false;
+    {
+      MutexLock al(it->second->mu);
+      it->second->poison = true;
+      cluster_.domain().notify_all(it->second->wp);
+      // An already-finished account was only waiting for credits that will
+      // never arrive now — erase it here, or it leaks until the controller
+      // dies (the pre-poison-fix window leak).
+      reap = it->second->finished;
+    }
+    it = reap ? accounts_.erase(it) : std::next(it);
   }
 }
 
@@ -1570,14 +1708,7 @@ void Controller::shutdown() {
     w->poison = true;
     cluster_.domain().notify_all(w->wp);
   }
-  {
-    MutexLock lock(flow_mu_);
-    for (auto& [ctx, acc] : accounts_) {
-      MutexLock al(acc->mu);
-      acc->poison = true;
-      cluster_.domain().notify_all(acc->wp);
-    }
-  }
+  poison_flow_accounts();
   for (Worker* w : workers) {
     if (w->os_thread.joinable()) w->os_thread.join();
   }

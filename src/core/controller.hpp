@@ -72,6 +72,41 @@ class Controller {
   /// Number of envelopes dispatched on this node (tests/benchmarks).
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
 
+  // --- service-mesh admission control (docs/SERVICE_MESH.md) ----------------
+  /// Always-on per-tenant admission counters. The authoritative source of
+  /// the dps.svc.{admitted,shed,deadline_expired,inflight} metrics (the
+  /// obs mirrors only exist under DPS_TRACE); benches and tests assert on
+  /// these in every build flavor.
+  struct SvcStats {
+    uint64_t admitted = 0;          ///< calls that passed admission
+    uint64_t shed = 0;              ///< calls refused with kBackpressure
+    uint64_t deadline_expired = 0;  ///< calls retired by their deadline
+    uint32_t inflight = 0;          ///< currently admitted calls
+    uint32_t peak_inflight = 0;     ///< high-water mark of inflight
+  };
+
+  /// Admission check for one graph call of `tenant` targeting `target`:
+  /// sheds with Error(kBackpressure) — never blocks, never queues — when
+  /// the tenant's in-flight budget is exhausted or the target's entry
+  /// collection sits above the tenant's queue-depth high-water mark.
+  /// On success the tenant holds one in-flight slot until retire_call.
+  void admit_call(TenantId tenant, const Flowgraph& target);
+
+  /// Returns one admission slot. Exactly one retire per admitted call —
+  /// normal completion, node-down failure and deadline expiry all funnel
+  /// through Cluster::retire_admission.
+  void retire_call(TenantId tenant, bool deadline_expired);
+
+  SvcStats svc_stats(TenantId tenant) const;
+
+  /// Flow-control window for `tenant`'s split/stream contexts: the
+  /// tenant's configured window, or the cluster-wide default.
+  uint32_t tenant_window(TenantId tenant) const;
+
+  /// Live flow-control accounts anchored on this node (leak regression
+  /// tests: must drain to zero after calls finish or fail).
+  size_t flow_account_count() const;
+
   /// Checkpoint support (core/checkpoint.hpp): appends one record per
   /// Checkpointable worker of this node; restores one worker's state. The
   /// schedule must be quiescent.
@@ -97,7 +132,10 @@ class Controller {
 
   /// Peer was declared dead: stop retransmitting to it, drop its pending
   /// frames, and poison local flow accounts so no worker blocks on a
-  /// window that can never refill.
+  /// window that can never refill. Poisoned accounts are reaped even with
+  /// credits outstanding — the acks that would return them died with the
+  /// peer (the window-leak hazard; regression-tested in
+  /// tests/service_mesh_test.cpp).
   void on_node_down(NodeId node);
 
   /// Frames received more than once and dropped (tests).
@@ -126,7 +164,8 @@ class Controller {
   void dispatch_graph_call(Worker& w, Envelope env);
   void continue_graph_call(AppId app, GraphId graph, VertexId vertex,
                            std::vector<SplitFrame> frames, CallId call,
-                           NodeId reply_node, Ptr<Token> result);
+                           NodeId reply_node, TenantId tenant,
+                           Ptr<Token> result);
   void deliver_local(Envelope env);
   void send_reply(Envelope env);
   Worker& worker(CollectionId collection, ThreadIndex index);
@@ -134,10 +173,15 @@ class Controller {
 
   // Flow control (accounts anchored at this node for splits running here).
   ContextId new_context_id();
-  void create_flow_account(ContextId ctx);
+  void create_flow_account(ContextId ctx, uint32_t window);
   void flow_acquire(ContextId ctx);           // blocks until window slot free
-  void finish_flow_account(ContextId ctx);    // split done; erase when drained
+  /// Split done; erase when drained — or immediately when poisoned, since
+  /// a poisoned account's outstanding credits can never return.
+  void finish_flow_account(ContextId ctx);
   void apply_flow_release(ContextId ctx, uint32_t n);
+  /// Unblocks every flow waiter (node death / shutdown) and reaps the
+  /// accounts whose splits already finished.
+  void poison_flow_accounts();
   /// Returns `n` consumed-token credits to the split's flow account —
   /// locally, or as one batched kFlowAck frame (ExecCtx coalesces).
   void send_flow_ack(const SplitFrame& frame, uint32_t n);
@@ -189,11 +233,17 @@ class Controller {
       workers_ DPS_GUARDED_BY(workers_mu_);
   bool down_ DPS_GUARDED_BY(workers_mu_) = false;
 
-  Mutex flow_mu_;
+  mutable Mutex flow_mu_;
   std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_
       DPS_GUARDED_BY(flow_mu_);
   std::atomic<uint64_t> context_counter_{0};
   std::atomic<uint64_t> dispatched_{0};
+
+  // Service-mesh admission state: one record per tenant that ever called
+  // through this node (its home). svc_mu_ is a leaf lock — taken with no
+  // other controller lock held and never held across a send or a wait.
+  mutable Mutex svc_mu_;
+  std::unordered_map<TenantId, SvcStats> svc_ DPS_GUARDED_BY(svc_mu_);
 };
 
 }  // namespace dps

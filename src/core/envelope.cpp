@@ -22,6 +22,7 @@ void Envelope::encode(Writer& w) const {
   w.put(thread);
   w.put(call);
   w.put(call_reply_node);
+  w.put(tenant);
   w.put(static_cast<uint32_t>(frames.size()));
   for (const SplitFrame& f : frames) w.put(f);
   DPS_CHECK(token.get() != nullptr, "encoding an envelope without a token");
@@ -37,6 +38,7 @@ Envelope Envelope::decode(Reader& r) {
   e.thread = r.get<ThreadIndex>();
   e.call = r.get<CallId>();
   e.call_reply_node = r.get<NodeId>();
+  e.tenant = r.get<TenantId>();
   const uint32_t n = r.get<uint32_t>();
   r.require_count(n, sizeof(SplitFrame));
   e.frames.resize(n);
@@ -51,7 +53,7 @@ size_t Envelope::encoded_size() const {
   DPS_CHECK(token.get() != nullptr, "sizing an envelope without a token");
   return sizeof(AppId) + sizeof(GraphId) + sizeof(VertexId) +
          sizeof(CollectionId) + sizeof(ThreadIndex) + sizeof(CallId) +
-         sizeof(NodeId) + sizeof(uint32_t) +
+         sizeof(NodeId) + sizeof(TenantId) + sizeof(uint32_t) +
          frames.size() * sizeof(SplitFrame) + serialized_token_size(*token);
 }
 

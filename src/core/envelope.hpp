@@ -35,6 +35,7 @@ struct Envelope {
   ThreadIndex thread = 0;
   CallId call = 0;              ///< graph-call id the token belongs to
   NodeId call_reply_node = 0;   ///< where the final result must return
+  TenantId tenant = kNoTenant;  ///< traffic class of the originating call
   std::vector<SplitFrame> frames;
   Ptr<Token> token;
 

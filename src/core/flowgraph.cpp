@@ -303,18 +303,36 @@ CallHandle Flowgraph::call_async(Ptr<Token> input) {
           "graph '" + name_ + "' does not accept input token type '" +
               input->typeInfo().name + "'");
   }
+  // Admission control (docs/SERVICE_MESH.md): the calling application's
+  // tenant must clear its budgets before the call enters the mesh. Sheds
+  // synchronously with Error(kBackpressure) — never queues.
+  const TenantId tenant = app_->tenant();
+  const NodeId home = app_->home();
+  cluster.controller(home).admit_call(tenant, *this);
+
   const CallId id = cluster.new_call_id();
   auto state = cluster.create_call(id);
+  cluster.bind_admission(*state, tenant, home);
 
   Envelope env;
   env.app = app_->id();
   env.graph = id_;
   env.vertex = entry_;
   env.call = id;
-  env.call_reply_node = app_->home();
+  env.call_reply_node = home;
+  env.tenant = tenant;
   env.token = std::move(input);
-  cluster.controller(app_->home()).route_and_send(*this, std::move(env));
-  return CallHandle(id, std::move(state));
+  cluster.controller(home).route_and_send(*this, std::move(env));
+
+  CallHandle handle(id, std::move(state), &cluster);
+  const double deadline = cluster.tenant_config(tenant).default_deadline_ms;
+  if (deadline > 0) handle.with_deadline(deadline);
+  return handle;
+}
+
+CallHandle& CallHandle::with_deadline(double ms) {
+  cluster_->arm_deadline(id_, ms / 1000.0);
+  return *this;
 }
 
 Ptr<Token> Flowgraph::call(Ptr<Token> input) {

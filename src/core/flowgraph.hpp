@@ -33,6 +33,7 @@
 namespace dps {
 
 class Application;
+class Cluster;
 class Controller;
 
 namespace detail {
@@ -261,14 +262,23 @@ class CallHandle {
   bool done() const;
   CallId id() const { return id_; }
 
+  /// Arms a per-call deadline: after `ms` milliseconds of the cluster's
+  /// time domain (virtual under simulation) an outstanding call fails with
+  /// Error(kDeadlineExceeded), its admission slot retires, and late result
+  /// tokens are dropped as stray (docs/SERVICE_MESH.md). Returns *this so
+  /// it chains: `graph->call_async(tok).with_deadline(50).wait()`.
+  CallHandle& with_deadline(double ms);
+
  private:
   friend class Application;
   friend class Cluster;
   friend class Flowgraph;
-  CallHandle(CallId id, std::shared_ptr<detail::CallState> state)
-      : id_(id), state_(std::move(state)) {}
+  CallHandle(CallId id, std::shared_ptr<detail::CallState> state,
+             Cluster* cluster)
+      : id_(id), state_(std::move(state)), cluster_(cluster) {}
   CallId id_;
   std::shared_ptr<detail::CallState> state_;
+  Cluster* cluster_;
 };
 
 }  // namespace dps

@@ -29,6 +29,16 @@ using ContextId = uint64_t;
 /// Unique id of one graph call.
 using CallId = uint64_t;
 
+/// Identity of one service-mesh tenant (one client application's traffic
+/// class). Attached to every graph call and threaded through envelopes so
+/// admission control, per-tenant flow windows and fair scheduling can tell
+/// tenants apart (docs/SERVICE_MESH.md).
+using TenantId = uint32_t;
+
+/// Tenant of engine-internal traffic (and of applications that never
+/// configured one): unlimited budget, cluster-default flow window.
+inline constexpr TenantId kNoTenant = 0;
+
 /// Sentinel vertex id used by call-result envelopes.
 inline constexpr VertexId kNoVertex = 0xffffffffu;
 

@@ -2,6 +2,8 @@
 // Same structure as the token registry: name-keyed, thread safe, idempotent
 // re-registration, loud failure on unknown names (the usual cause is a
 // class whose DPS_IDENTIFY_* macro was not linked into the binary).
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "util/thread_annotations.hpp"
@@ -13,6 +15,25 @@
 
 namespace dps {
 namespace detail {
+namespace {
+
+// Graphs resolve vertices through these registries by unqualified class
+// name, so two distinct classes sharing a name would silently build the
+// graph with whichever registered first — and then fail far away with a
+// type mismatch (or worse, run the wrong code). Abort at registration,
+// where the duplicate is still attributable.
+template <class Map, class Info>
+void add_unique(Map& by_name, const Info* info, const char* what) {
+  auto [it, inserted] = by_name.emplace(info->name, info);
+  if (inserted || it->second == info) return;
+  std::fprintf(stderr,
+               "dps: fatal %s-name collision: two distinct classes "
+               "registered as '%s'; rename one of them\n",
+               what, std::string(info->name).c_str());
+  std::abort();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Threads
@@ -37,7 +58,7 @@ ThreadTypeRegistry::Impl& ThreadTypeRegistry::impl() const {
 void ThreadTypeRegistry::add(const ThreadTypeInfo* info) {
   Impl& im = impl();
   MutexLock lock(im.mu);
-  im.by_name.emplace(info->name, info);
+  add_unique(im.by_name, info, "thread-class");
 }
 
 const ThreadTypeInfo& ThreadTypeRegistry::find(const std::string& name) const {
@@ -73,7 +94,7 @@ RouteTypeRegistry::Impl& RouteTypeRegistry::impl() const {
 void RouteTypeRegistry::add(const RouteTypeInfo* info) {
   Impl& im = impl();
   MutexLock lock(im.mu);
-  im.by_name.emplace(info->name, info);
+  add_unique(im.by_name, info, "route");
 }
 
 const RouteTypeInfo& RouteTypeRegistry::find(const std::string& name) const {
@@ -109,7 +130,7 @@ OperationTypeRegistry::Impl& OperationTypeRegistry::impl() const {
 void OperationTypeRegistry::add(const OperationTypeInfo* info) {
   Impl& im = impl();
   MutexLock lock(im.mu);
-  im.by_name.emplace(info->name, info);
+  add_unique(im.by_name, info, "operation");
 }
 
 const OperationTypeInfo& OperationTypeRegistry::find(

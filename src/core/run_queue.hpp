@@ -10,16 +10,20 @@
 //   - per-(vertex, context) buckets, so a merge/stream collection waiting
 //     in waitForNextToken finds its next input by bucket lookup instead of
 //     scanning the whole queue,
-//   - a FIFO of *dispatchable* envelopes — those safe to execute
+//   - per-tenant FIFOs of *dispatchable* envelopes — those safe to execute
 //     re-entrantly while a collection waits (anything that does not start
 //     a merge/stream collection; see find-dispatchable rationale in
-//     controller.cpp).
+//     controller.cpp). pop_dispatchable round-robins across the tenants
+//     with pending work, so one tenant flooding a worker cannot starve the
+//     re-entrant dispatch of the others (docs/SERVICE_MESH.md); within one
+//     tenant the order stays FIFO, which preserves same-context ordering
+//     (all tokens of a context share their call's tenant).
 //
 // An envelope that starts a collection is keyed into exactly one bucket;
-// every other envelope is on the dispatchable list; all envelopes are on
-// the global FIFO. Links are slab indices (stable across vector growth),
-// and freed nodes recycle through a free list, so steady-state operation
-// allocates nothing.
+// every other envelope is on its tenant's dispatchable list; all envelopes
+// are on the global FIFO. Links are slab indices (stable across vector
+// growth), and freed nodes recycle through a free list, so steady-state
+// operation allocates nothing.
 //
 // Thread-compatibility: a RunQueue instance is owned by one worker thread
 // and never shared; it needs (and takes) no lock.
@@ -37,7 +41,7 @@ class RunQueue {
  public:
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
-  bool has_dispatchable() const { return disp_head_ != kNil; }
+  bool has_dispatchable() const { return disp_count_ != 0; }
 
   /// Appends `env`. `dispatchable` says whether the envelope may run
   /// re-entrantly under a waiting collection; when false it is bucketed
@@ -49,7 +53,10 @@ class RunQueue {
     node.dispatchable = dispatchable;
     link_back(n, &global_head_, &global_tail_, &Node::gprev, &Node::gnext);
     if (dispatchable) {
-      link_back(n, &disp_head_, &disp_tail_, &Node::sprev, &Node::snext);
+      node.tq = tenant_queue(node.env.tenant);
+      TenantQ& tq = tqs_[node.tq];
+      link_back(n, &tq.head, &tq.tail, &Node::sprev, &Node::snext);
+      ++disp_count_;
     } else {
       node.key = key_of(node.env);
       Bucket& b = buckets_[node.key];
@@ -68,8 +75,20 @@ class RunQueue {
     return take(it->second.head, out);
   }
 
-  /// Oldest envelope safe for re-entrant dispatch.
-  bool pop_dispatchable(Envelope* out) { return take(disp_head_, out); }
+  /// Next envelope safe for re-entrant dispatch: round-robin across the
+  /// tenants with pending dispatchable work, FIFO within each tenant.
+  bool pop_dispatchable(Envelope* out) {
+    if (disp_count_ == 0) return false;
+    const size_t k = tqs_.size();
+    for (size_t i = 0; i < k; ++i) {
+      const size_t qi = (rr_next_ + i) % k;
+      if (tqs_[qi].head != kNil) {
+        rr_next_ = (qi + 1) % k;  // the next tenant gets the next turn
+        return take(tqs_[qi].head, out);
+      }
+    }
+    return false;  // unreachable while disp_count_ is maintained
+  }
 
  private:
   static constexpr uint32_t kNil = UINT32_MAX;
@@ -95,16 +114,35 @@ class RunQueue {
     uint32_t head = kNil;
     uint32_t tail = kNil;
   };
+  /// One tenant's dispatchable FIFO. Slots persist once created (bounded
+  /// by the number of distinct tenants this worker ever saw — small).
+  struct TenantQ {
+    TenantId tenant = kNoTenant;
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
   struct Node {
     Envelope env;
     Key key{0, 0};
     bool dispatchable = false;
+    uint32_t tq = 0;                      ///< index into tqs_ (dispatchable)
     uint32_t gprev = kNil, gnext = kNil;  ///< global FIFO links
-    uint32_t sprev = kNil, snext = kNil;  ///< bucket or dispatchable links
+    uint32_t sprev = kNil, snext = kNil;  ///< bucket or tenant-FIFO links
   };
 
   static Key key_of(const Envelope& e) {
     return Key{e.vertex, e.frames.empty() ? 0 : e.frames.back().context};
+  }
+
+  /// Index of tenant `t`'s dispatchable FIFO, created on first use. Linear
+  /// scan: a worker serves a handful of tenants, and the scan only runs on
+  /// the push path.
+  uint32_t tenant_queue(TenantId t) {
+    for (uint32_t i = 0; i < tqs_.size(); ++i) {
+      if (tqs_[i].tenant == t) return i;
+    }
+    tqs_.push_back(TenantQ{t, kNil, kNil});
+    return static_cast<uint32_t>(tqs_.size() - 1);
   }
 
   uint32_t alloc() {
@@ -152,7 +190,9 @@ class RunQueue {
     Node& node = slab_[n];
     unlink(n, &global_head_, &global_tail_, &Node::gprev, &Node::gnext);
     if (node.dispatchable) {
-      unlink(n, &disp_head_, &disp_tail_, &Node::sprev, &Node::snext);
+      TenantQ& tq = tqs_[node.tq];
+      unlink(n, &tq.head, &tq.tail, &Node::sprev, &Node::snext);
+      --disp_count_;
     } else {
       const auto it = buckets_.find(node.key);
       unlink(n, &it->second.head, &it->second.tail, &Node::sprev,
@@ -169,8 +209,10 @@ class RunQueue {
 
   std::vector<Node> slab_;
   std::unordered_map<Key, Bucket, KeyHash> buckets_;
+  std::vector<TenantQ> tqs_;  ///< per-tenant dispatchable FIFOs
+  size_t rr_next_ = 0;        ///< round-robin cursor into tqs_
+  size_t disp_count_ = 0;     ///< total dispatchable envelopes pending
   uint32_t global_head_ = kNil, global_tail_ = kNil;
-  uint32_t disp_head_ = kNil, disp_tail_ = kNil;
   uint32_t free_head_ = kNil;
   size_t size_ = 0;
 };

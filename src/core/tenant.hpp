@@ -1,0 +1,67 @@
+// Tenant model of the multi-tenant service layer (docs/SERVICE_MESH.md).
+//
+// Every Application is a tenant of the cluster it runs on. A tenant's
+// TenantConfig bounds how much of the mesh its graph calls may occupy:
+// an in-flight call budget (admission control), a private split–merge
+// flow-control window, a queue-depth high-water mark (load shedding), and
+// a default per-call deadline. All limits default to "off" so untouched
+// applications behave exactly as before the mesh existed.
+//
+// Tenant records are published in the cluster's name registry (and through
+// the TCP name server for multi-process kernels) under "tenant/<name>", so
+// every kernel can discover the budgets before opening service calls.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/ids.hpp"
+
+namespace dps {
+
+/// Per-tenant resource limits. Zero always means "no limit / inherit".
+struct TenantConfig {
+  /// Max graph calls the tenant may have in flight at once; the next call
+  /// is shed with Error(kBackpressure). 0 = unlimited.
+  uint32_t max_inflight = 0;
+  /// Split–merge flow-control window for this tenant's contexts,
+  /// replacing the cluster-wide ClusterConfig::flow_window. 0 = inherit.
+  uint32_t flow_window = 0;
+  /// Shed new calls while the target service's entry collection holds at
+  /// least this many queued envelopes. 0 = never shed on depth.
+  uint32_t queue_high_water = 0;
+  /// Deadline armed on every call of this tenant, in milliseconds of the
+  /// cluster's time domain (virtual under simulation). 0 = none.
+  double default_deadline_ms = 0;
+};
+
+/// Name-registry prefix of tenant records ("tenant/<name>").
+inline constexpr const char* kTenantRecordPrefix = "tenant/";
+
+/// Record value published for one tenant; plain text so the TCP name
+/// server ships it unchanged.
+inline std::string encode_tenant_record(TenantId id, const TenantConfig& cfg) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%u %u %u %u %.17g", id, cfg.max_inflight,
+                cfg.flow_window, cfg.queue_high_water,
+                cfg.default_deadline_ms);
+  return buf;
+}
+
+/// Parses a record produced by encode_tenant_record; false on malformed
+/// input (callers treat that as "no such tenant").
+inline bool decode_tenant_record(const std::string& record, TenantId* id,
+                                 TenantConfig* cfg) {
+  TenantId t = kNoTenant;
+  TenantConfig c;
+  if (std::sscanf(record.c_str(), "%u %u %u %u %lg", &t, &c.max_inflight,
+                  &c.flow_window, &c.queue_high_water,
+                  &c.default_deadline_ms) != 5) {
+    return false;
+  }
+  *id = t;
+  *cfg = c;
+  return true;
+}
+
+}  // namespace dps

@@ -137,4 +137,39 @@ std::string NameClient::wait_for(const std::string& name) {
   return request("wait", name, "");
 }
 
+TenantId NameClient::register_tenant(const std::string& name,
+                                     const TenantConfig& config) {
+  for (;;) {
+    const std::string existing = lookup(kTenantRecordPrefix + name);
+    if (!existing.empty()) {
+      TenantId id = kNoTenant;
+      TenantConfig recorded;
+      if (!decode_tenant_record(existing, &id, &recorded)) {
+        raise(Errc::kProtocol, "malformed tenant record for '" + name + "'");
+      }
+      return id;  // re-join: keep the first registration's identity
+    }
+    // Two-step allocation over the claim primitive: "tenant/#<i>" names are
+    // id reservations, "tenant/<name>" the directory entry. A reservation
+    // burned by a lost name race stays burned — ids only need uniqueness.
+    TenantId id = 1;
+    while (!claim(kTenantRecordPrefix + ("#" + std::to_string(id)), name)) {
+      ++id;
+    }
+    if (claim(kTenantRecordPrefix + name, encode_tenant_record(id, config))) {
+      return id;
+    }
+  }
+}
+
+bool NameClient::tenant(const std::string& name, TenantId* id,
+                        TenantConfig* config) {
+  const std::string rec = lookup(kTenantRecordPrefix + name);
+  if (rec.empty()) return false;
+  if (!decode_tenant_record(rec, id, config)) {
+    raise(Errc::kProtocol, "malformed tenant record for '" + name + "'");
+  }
+  return true;
+}
+
 }  // namespace dps

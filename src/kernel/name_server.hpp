@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "core/tenant.hpp"
 #include "net/name_registry.hpp"
 #include "net/socket.hpp"
 #include "sim/domain.hpp"
@@ -49,6 +50,18 @@ class NameClient {
   std::string lookup(const std::string& name);
   /// Blocks until the name is published.
   std::string wait_for(const std::string& name);
+
+  // --- service-mesh tenant directory (docs/SERVICE_MESH.md) -----------------
+  /// Registers tenant `name` in the shared directory: claims a cluster-wide
+  /// unique id and publishes "tenant/<name>" with the same record codec the
+  /// in-process Cluster uses, so kernels of every process resolve the same
+  /// identity and budgets. Idempotent by name — a kernel re-joining (tenant
+  /// churn) gets the id and budgets of the first registration back.
+  TenantId register_tenant(const std::string& name,
+                           const TenantConfig& config = {});
+
+  /// Reads tenant `name`'s record; false when it is not registered.
+  bool tenant(const std::string& name, TenantId* id, TenantConfig* config);
 
  private:
   std::string request(const std::string& cmd, const std::string& a,

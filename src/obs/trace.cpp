@@ -35,6 +35,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kTxBatchEnd: return "tx_batch_end";
     case EventKind::kRxBatchStart: return "rx_batch_start";
     case EventKind::kRxBatchEnd: return "rx_batch_end";
+    case EventKind::kSvcAdmit: return "svc_admit";
+    case EventKind::kSvcShed: return "svc_shed";
+    case EventKind::kSvcDeadline: return "svc_deadline";
   }
   return "unknown";
 }

@@ -69,6 +69,9 @@ enum class EventKind : uint16_t {
   kTxBatchEnd = 24,     ///< coalesced batch fully on the wire
   kRxBatchStart = 25,   ///< receiver begins delivering one decoded chunk
   kRxBatchEnd = 26,     ///< grouped delivery of the chunk handed off
+  kSvcAdmit = 27,       ///< service call admitted (a=tenant, d=inflight)
+  kSvcShed = 28,        ///< service call shed with kBackpressure (a=tenant)
+  kSvcDeadline = 29,    ///< call retired by deadline expiry (a=tenant)
 };
 
 const char* to_string(EventKind kind) noexcept;

@@ -86,6 +86,12 @@ class ExecDomain {
 
   virtual bool simulated() const = 0;
 
+  /// Quiesces any domain-owned scheduler thread. After stop() returns, the
+  /// domain no longer touches WaitPoints registered by past waiters — the
+  /// teardown barrier Cluster::shutdown() needs before worker memory (which
+  /// embeds those WaitPoints) is freed. Idempotent; wall clock: no-op.
+  virtual void stop() {}
+
   /// Predicate-driven wait; throws Error(kDeadlock) if the simulation
   /// stalls while this waiter still needs progress.
   template <class Pred>

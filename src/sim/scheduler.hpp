@@ -50,7 +50,7 @@ class SimDomain : public ExecDomain {
 
   /// Ends the simulation: wakes every parked actor and stops the scheduler
   /// thread. Called automatically on destruction.
-  void stop();
+  void stop() override;
 
   /// Number of timed events fired so far (test/diagnostic hook).
   uint64_t events_fired() const;

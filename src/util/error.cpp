@@ -16,6 +16,8 @@ const char* to_string(Errc code) noexcept {
     case Errc::kState: return "state";
     case Errc::kDeadlock: return "deadlock";
     case Errc::kNodeDown: return "node_down";
+    case Errc::kBackpressure: return "backpressure";
+    case Errc::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ enum class Errc {
   kState,             ///< operation invalid in the current state
   kDeadlock,          ///< watchdog detected a self-deadlocked mapping
   kNodeDown,          ///< a cluster node was declared failed mid-run
+  kBackpressure,      ///< call shed: tenant budget or queue high-water hit
+  kDeadlineExceeded,  ///< per-call deadline expired before the result
 };
 
 /// Human-readable name of an error class ("type_mismatch", ...).

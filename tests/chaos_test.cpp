@@ -414,6 +414,81 @@ TEST(Chaos, TcpBatchedSendsDeliverExactlyOnceUnderSeededSweep) {
       << "injected duplicates must be suppressed, not re-dispatched";
 }
 
+// Service-mesh churn (docs/SERVICE_MESH.md): client tenants join and leave
+// across rounds — one identity re-joining every round, one fresh per round —
+// while a seeded drop/duplicate sweep runs underneath and small in-flight
+// budgets force load shedding. Every call must either complete with the
+// exact clean-run result (exactly-once delivery) or shed synchronously with
+// kBackpressure; completed + shed must account for every issue, the peak
+// per-tenant in-flight must respect the budget, and nothing may hang.
+// Replay: DPS_TEST_SEED=<seed> ./dps_tests --gtest_filter=Chaos.TenantChurn*
+TEST(Chaos, TenantChurnShedsCleanlyAndDeliversExactlyOnce) {
+  const uint32_t seed = dps_testing::effective_seed(0x7e4a);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.all.drop = 0.05;
+  plan.all.duplicate = 0.05;
+  plan.all.duplicate_every = 5;
+  std::shared_ptr<ChaosFabric> chaos;
+  Cluster cluster(chaos_config(3, plan, &chaos));
+  ActorScope scope(cluster.domain(), "main");
+
+  TenantConfig budget;
+  budget.max_inflight = 2;
+  uint64_t issued = 0, completed = 0, shed = 0;
+  TenantId rejoiner_id = kNoTenant;
+  for (int round = 0; round < 6; ++round) {
+    Application rejoiner(cluster, "churn-rejoiner");
+    rejoiner.set_tenant_config(budget);
+    if (round == 0) rejoiner_id = rejoiner.tenant();
+    EXPECT_EQ(rejoiner.tenant(), rejoiner_id)
+        << "a re-joining tenant keeps its identity";
+    Application drifter(cluster, "churn-round" + std::to_string(round));
+    drifter.set_tenant_config(budget);
+    auto g1 = build_toupper_graph(rejoiner, 4);
+    auto g2 = build_toupper_graph(drifter, 4);
+
+    // Burst faster than the service can drain: with a budget of two, part
+    // of each burst must shed — synchronously, with the named error.
+    std::vector<CallHandle> live;
+    for (int i = 0; i < 10; ++i) {
+      Flowgraph* graph = (i % 2 == 0) ? g1.get() : g2.get();
+      ++issued;
+      try {
+        live.push_back(graph->call_async(new StringToken(kPhrase)));
+      } catch (const Error& e) {
+        ASSERT_EQ(e.code(), Errc::kBackpressure) << e.what();
+        ++shed;
+      }
+    }
+    for (auto& call : live) {
+      auto result = token_cast<StringToken>(call.wait());
+      ASSERT_TRUE(result);
+      EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+                kPhraseUpper);
+      ++completed;
+    }
+
+    const Controller::SvcStats stats =
+        cluster.controller(rejoiner.home()).svc_stats(rejoiner.tenant());
+    EXPECT_LE(stats.peak_inflight, budget.max_inflight)
+        << "admission must bound concurrent calls per tenant";
+    EXPECT_EQ(stats.inflight, 0u) << "all slots retired at round end";
+  }  // both clients leave; the next round re-creates them
+
+  EXPECT_EQ(completed + shed, issued) << "every call accounted for";
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(shed, 0u) << "the bursts must actually exercise shedding";
+  EXPECT_GT(chaos->frames_dropped(), 0u)
+      << "the sweep must actually have exercised loss";
+  const Controller::SvcStats stats =
+      cluster.controller(0).svc_stats(rejoiner_id);
+  EXPECT_EQ(stats.admitted + stats.shed,
+            static_cast<uint64_t>(issued) / 2)
+      << "the re-joining tenant's stats must survive churn rounds";
+}
+
 // Reliable delivery and heartbeats are wall-clock mechanisms; under virtual
 // time they must disarm rather than freeze the simulation.
 TEST(Chaos, FaultToleranceDisarmsUnderVirtualTime) {

@@ -83,6 +83,59 @@ TEST(DispatchOrder, RunQueuePopFrontMaintainsBuckets) {
   EXPECT_TRUE(q.empty());
 }
 
+Envelope pending_for(TenantId tenant, uint32_t seq) {
+  Envelope e = pending(2, 0, seq);
+  e.tenant = tenant;
+  return e;
+}
+
+TEST(DispatchOrder, RunQueueRoundRobinsAcrossTenants) {
+  RunQueue q;
+  // Tenant 1 floods the queue before tenants 2 and 3 contribute anything;
+  // pop_dispatchable must still alternate across all three (seq encodes
+  // tenant*100 + arrival index, so FIFO-within-tenant is checked too).
+  for (uint32_t i = 0; i < 4; ++i) q.push(pending_for(1, 100 + i), true);
+  for (uint32_t i = 0; i < 4; ++i) q.push(pending_for(2, 200 + i), true);
+  for (uint32_t i = 0; i < 4; ++i) q.push(pending_for(3, 300 + i), true);
+  Envelope out;
+  for (uint32_t round = 0; round < 4; ++round) {
+    for (uint32_t tenant = 1; tenant <= 3; ++tenant) {
+      ASSERT_TRUE(q.pop_dispatchable(&out));
+      EXPECT_EQ(out.tenant, tenant) << "round " << round;
+      EXPECT_EQ(out.frames.back().seq, tenant * 100 + round);
+    }
+  }
+  EXPECT_FALSE(q.pop_dispatchable(&out));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DispatchOrder, RunQueueRoundRobinSkipsDrainedTenants) {
+  RunQueue q;
+  // Uneven backlogs: once a tenant drains, the rotation tightens to the
+  // remaining ones instead of burning turns on the empty queue.
+  q.push(pending_for(7, 700), true);
+  for (uint32_t i = 0; i < 3; ++i) q.push(pending_for(8, 800 + i), true);
+  Envelope out;
+  std::vector<uint32_t> order;
+  while (q.pop_dispatchable(&out)) order.push_back(out.frames.back().seq);
+  EXPECT_EQ(order, (std::vector<uint32_t>{700, 800, 801, 802}));
+}
+
+TEST(DispatchOrder, RunQueuePopFrontMaintainsTenantFifos) {
+  RunQueue q;
+  // Stealing a dispatchable envelope through the global FIFO must unlink
+  // it from its tenant queue as well.
+  q.push(pending_for(5, 1), true);
+  q.push(pending_for(6, 2), true);
+  Envelope out;
+  ASSERT_TRUE(q.pop_front(&out));
+  EXPECT_EQ(out.frames.back().seq, 1u);
+  ASSERT_TRUE(q.pop_dispatchable(&out));
+  EXPECT_EQ(out.frames.back().seq, 2u) << "tenant 5's entry already taken";
+  EXPECT_FALSE(q.has_dispatchable());
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(DispatchOrder, RunQueueSlotsRecycle) {
   RunQueue q;
   Envelope out;

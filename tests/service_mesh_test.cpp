@@ -1,0 +1,399 @@
+// Service-mesh robustness tests (docs/SERVICE_MESH.md): tenant identity,
+// admission control and load shedding, per-call deadlines, per-tenant flow
+// windows, and the window-leak regression (a poisoned flow account whose
+// credits died with a peer must still be reaped).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "util/mapping.hpp"
+
+namespace dps {
+namespace {
+
+class ReqToken : public SimpleToken {
+ public:
+  int v;
+  ReqToken(int x = 0) : v(x) {}
+  DPS_IDENTIFY(ReqToken);
+};
+
+class RepToken : public SimpleToken {
+ public:
+  int v;
+  RepToken(int x = 0) : v(x) {}
+  DPS_IDENTIFY(RepToken);
+};
+
+class PartTok : public SimpleToken {
+ public:
+  int v;
+  PartTok(int x = 0) : v(x) {}
+  DPS_IDENTIFY(PartTok);
+};
+
+class SumTok : public SimpleToken {
+ public:
+  int total;
+  SumTok(int t = 0) : total(t) {}
+  DPS_IDENTIFY(SumTok);
+};
+
+class MeshThread : public Thread {
+  DPS_IDENTIFY_THREAD(MeshThread);
+};
+
+/// Test-global gate the blocking operations park on, so tests control
+/// exactly when in-flight calls complete. reset() re-arms it per test.
+struct Gate {
+  Mutex mu;
+  CondVar cv;
+  bool open DPS_GUARDED_BY(mu) = false;
+
+  void release() {
+    {
+      MutexLock lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    MutexLock lock(mu);
+    cv.wait(mu, [this]() DPS_REQUIRES(mu) { return open; });
+  }
+  void reset() {
+    MutexLock lock(mu);
+    open = false;
+  }
+};
+Gate g_gate;
+
+DPS_ROUTE(MeshReqRoute, MeshThread, ReqToken, 0);
+DPS_ROUTE(MeshRepRoute, MeshThread, RepToken, 0);
+DPS_ROUTE(MeshPartSpread, MeshThread, PartTok, currentToken->v % threadCount());
+DPS_ROUTE(MeshPartLast, MeshThread, PartTok, threadCount() - 1);
+
+// --- Blocking echo service (admission / deadline tests) ---------------------
+
+class MeshGatedEcho
+    : public LeafOperation<MeshThread, TV1(ReqToken), TV1(RepToken)> {
+ public:
+  void execute(ReqToken* in) override {
+    g_gate.wait();
+    postToken(new RepToken(in->v));
+  }
+  DPS_IDENTIFY_OPERATION(MeshGatedEcho);
+};
+
+class MeshRepForward
+    : public LeafOperation<MeshThread, TV1(RepToken), TV1(RepToken)> {
+ public:
+  void execute(RepToken* in) override { postToken(new RepToken(in->v)); }
+  DPS_IDENTIFY_OPERATION(MeshRepForward);
+};
+
+std::shared_ptr<Flowgraph> build_echo_service(Application& app) {
+  auto threads = app.thread_collection<MeshThread>("mesh-echo");
+  threads->map(app.cluster().node_name(0));
+  FlowgraphBuilder b = FlowgraphNode<MeshGatedEcho, MeshReqRoute>(threads) >>
+                       FlowgraphNode<MeshRepForward, MeshRepRoute>(threads);
+  return app.build_graph(b, "gated-echo");
+}
+
+// --- Split through a gated remote leaf (flow-window tests) ------------------
+
+class MeshFanSplit
+    : public SplitOperation<MeshThread, TV1(ReqToken), TV1(PartTok)> {
+ public:
+  void execute(ReqToken* in) override {
+    for (int k = 1; k <= in->v; ++k) postToken(new PartTok(k));
+  }
+  DPS_IDENTIFY_OPERATION(MeshFanSplit);
+};
+
+class MeshGatedPart : public LeafOperation<MeshThread, TV1(PartTok), TV1(PartTok)> {
+ public:
+  void execute(PartTok* in) override {
+    g_gate.wait();
+    postToken(new PartTok(in->v));
+  }
+  DPS_IDENTIFY_OPERATION(MeshGatedPart);
+};
+
+class MeshSumMerge : public MergeOperation<MeshThread, TV1(PartTok), TV1(SumTok)> {
+ public:
+  void execute(PartTok* first) override {
+    int total = first->v;
+    while (auto t = waitForNextToken()) total += token_cast<PartTok>(t)->v;
+    postToken(new SumTok(total));
+  }
+  DPS_IDENTIFY_OPERATION(MeshSumMerge);
+};
+
+/// split(node0) -> gated leaf(node1) -> merge(node0): the split's flow
+/// account is anchored on node 0 while the credits come back from node 1.
+/// Split and merge run on different worker threads — a split blocked in
+/// flow_acquire cannot pump the merge that would refill its window.
+std::shared_ptr<Flowgraph> build_fan_graph(Application& app) {
+  auto mains = app.thread_collection<MeshThread>("fan-main");
+  const std::string n0 = app.cluster().node_name(0);
+  mains->map(n0 + " " + n0);
+  auto parts = app.thread_collection<MeshThread>("fan-part");
+  parts->map(app.cluster().node_name(app.cluster().node_count() > 1 ? 1 : 0));
+  FlowgraphBuilder b = FlowgraphNode<MeshFanSplit, MeshReqRoute>(mains) >>
+                       FlowgraphNode<MeshGatedPart, MeshPartSpread>(parts) >>
+                       FlowgraphNode<MeshSumMerge, MeshPartLast>(mains);
+  return app.build_graph(b, "gated-fan");
+}
+
+bool wait_until(const std::function<bool()>& pred, double seconds = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// --- Tenant identity --------------------------------------------------------
+
+TEST(ServiceMesh, TenantRegistrationIsIdempotent) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  TenantConfig cfg;
+  cfg.max_inflight = 3;
+  cfg.flow_window = 8;
+  const TenantId a = cluster.register_tenant("alice", cfg);
+  ASSERT_NE(a, kNoTenant);
+  // Re-join under the same name (tenant churn): same identity, and the
+  // budgets of the first registration stick.
+  const TenantId b = cluster.register_tenant("alice", TenantConfig{});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cluster.tenant_config(a).max_inflight, 3u);
+  EXPECT_EQ(cluster.tenant_config(a).flow_window, 8u);
+  EXPECT_EQ(cluster.tenant_name(a), "alice");
+  const TenantId other = cluster.register_tenant("bob");
+  EXPECT_NE(other, a);
+
+  // The record is published in the service registry with the shared codec.
+  auto rec = cluster.services().lookup("tenant/alice");
+  ASSERT_TRUE(rec.has_value());
+  TenantId decoded_id = kNoTenant;
+  TenantConfig decoded;
+  ASSERT_TRUE(decode_tenant_record(*rec, &decoded_id, &decoded));
+  EXPECT_EQ(decoded_id, a);
+  EXPECT_EQ(decoded.max_inflight, 3u);
+  EXPECT_EQ(decoded.flow_window, 8u);
+}
+
+TEST(ServiceMesh, ApplicationsAreTenants) {
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application app(cluster, "tenant-app");
+  EXPECT_NE(app.tenant(), kNoTenant);
+  EXPECT_EQ(cluster.tenant_name(app.tenant()), "tenant-app");
+  // Unknown / kNoTenant ids resolve to the unlimited default config.
+  EXPECT_EQ(cluster.tenant_config(kNoTenant).max_inflight, 0u);
+  EXPECT_EQ(cluster.tenant_config(9999).max_inflight, 0u);
+}
+
+// --- Admission control ------------------------------------------------------
+
+TEST(ServiceMesh, ShedsWithBackpressureAtBudget) {
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "echo-svc");
+  service.publish_graph(build_echo_service(service), "mesh/echo");
+
+  Application client(cluster, "client");
+  TenantConfig cfg;
+  cfg.max_inflight = 2;
+  client.set_tenant_config(cfg);
+
+  ActorScope scope(cluster.domain(), "main");
+  CallHandle h1 = client.call_service_async("mesh/echo", new ReqToken(1));
+  CallHandle h2 = client.call_service_async("mesh/echo", new ReqToken(2));
+  try {
+    (void)client.call_service_async("mesh/echo", new ReqToken(3));
+    FAIL() << "expected the third call to be shed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kBackpressure);
+  }
+
+  Controller::SvcStats stats =
+      cluster.controller(client.home()).svc_stats(client.tenant());
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.inflight, 2u);
+  EXPECT_EQ(stats.peak_inflight, 2u);
+
+  g_gate.release();
+  EXPECT_EQ(token_cast<RepToken>(h1.wait())->v, 1);
+  EXPECT_EQ(token_cast<RepToken>(h2.wait())->v, 2);
+
+  // Completed calls returned their slots: the budget refills.
+  stats = cluster.controller(client.home()).svc_stats(client.tenant());
+  EXPECT_EQ(stats.inflight, 0u);
+  CallHandle h4 = client.call_service_async("mesh/echo", new ReqToken(4));
+  EXPECT_EQ(token_cast<RepToken>(h4.wait())->v, 4);
+}
+
+TEST(ServiceMesh, UnconfiguredTenantIsNeverShed) {
+  g_gate.reset();
+  g_gate.release();  // run the service open
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "echo-svc");
+  service.publish_graph(build_echo_service(service), "mesh/echo");
+  Application client(cluster, "client");
+
+  ActorScope scope(cluster.domain(), "main");
+  std::vector<CallHandle> calls;
+  for (int i = 0; i < 64; ++i) {
+    calls.push_back(client.call_service_async("mesh/echo", new ReqToken(i)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(token_cast<RepToken>(calls[static_cast<size_t>(i)].wait())->v, i);
+  }
+  const Controller::SvcStats stats =
+      cluster.controller(client.home()).svc_stats(client.tenant());
+  EXPECT_EQ(stats.admitted, 64u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+// --- Deadlines --------------------------------------------------------------
+
+TEST(ServiceMesh, DeadlineFailsCallAndRetiresSlot) {
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "echo-svc");
+  service.publish_graph(build_echo_service(service), "mesh/echo");
+
+  Application client(cluster, "client");
+  TenantConfig cfg;
+  cfg.max_inflight = 1;
+  client.set_tenant_config(cfg);
+
+  ActorScope scope(cluster.domain(), "main");
+  CallHandle h =
+      client.call_service_async("mesh/echo", new ReqToken(1)).with_deadline(25);
+  try {
+    (void)h.wait();
+    FAIL() << "expected the deadline to expire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kDeadlineExceeded);
+  }
+
+  const Controller::SvcStats stats =
+      cluster.controller(client.home()).svc_stats(client.tenant());
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.inflight, 0u);  // the expired call returned its slot
+
+  // The budget of 1 is free again: a new call is admitted, completes once
+  // the gate opens, and the expired call's late result is dropped as stray.
+  g_gate.release();
+  CallHandle h2 = client.call_service_async("mesh/echo", new ReqToken(2));
+  EXPECT_EQ(token_cast<RepToken>(h2.wait())->v, 2);
+}
+
+TEST(ServiceMesh, TenantDefaultDeadlineApplies) {
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(1));
+  Application service(cluster, "echo-svc");
+  service.publish_graph(build_echo_service(service), "mesh/echo");
+
+  Application client(cluster, "client");
+  TenantConfig cfg;
+  cfg.default_deadline_ms = 20;
+  client.set_tenant_config(cfg);
+
+  ActorScope scope(cluster.domain(), "main");
+  try {
+    (void)client.call_service("mesh/echo", new ReqToken(1));
+    FAIL() << "expected the tenant's default deadline to expire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kDeadlineExceeded);
+  }
+  g_gate.release();  // let the parked worker finish before shutdown
+}
+
+TEST(ServiceMesh, DeadlineExpiresUnderVirtualTime) {
+  // Deadlines ride the cluster's ExecDomain, so under simulation they
+  // expire in virtual time without any wall-clock waiting.
+  Cluster cluster(ClusterConfig::simulated(1));
+  Application app(cluster, "sim-client");
+  ActorScope scope(cluster.domain(), "main");
+  const CallId fake = cluster.new_call_id();
+  auto state = cluster.create_call(fake);
+  cluster.arm_deadline(fake, 0.5);
+  // No envelope was ever sent for this call: only the deadline can end it.
+  // Wait the way CallHandle::wait does, through the time domain.
+  MutexLock lock(state->mu);
+  cluster.domain().wait_until(state->wp, state->mu,
+                              [&]() DPS_REQUIRES(state->mu) {
+                                return state->done;
+                              });
+  EXPECT_TRUE(state->failed);
+  EXPECT_EQ(state->err, Errc::kDeadlineExceeded);
+  EXPECT_GE(cluster.domain().now(), 0.5);
+}
+
+// --- Per-tenant flow windows and the window-leak regression -----------------
+
+TEST(ServiceMesh, TenantFlowWindowDrainsAndRefills) {
+  g_gate.reset();
+  g_gate.release();
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "fan-app");
+  TenantConfig cfg;
+  cfg.flow_window = 2;  // 6 tokens must recycle the 2-slot window
+  app.set_tenant_config(cfg);
+  auto graph = build_fan_graph(app);
+
+  ActorScope scope(cluster.domain(), "main");
+  auto sum = token_cast<SumTok>(graph->call(new ReqToken(6)));
+  ASSERT_TRUE(sum);
+  EXPECT_EQ(sum->total, 1 + 2 + 3 + 4 + 5 + 6);
+  // The split's account drained once the merge returned every credit.
+  EXPECT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 0; }));
+}
+
+TEST(ServiceMesh, PoisonedWindowDoesNotLeakAccounts) {
+  // Regression for the window-leak hazard: the split exhausts its window
+  // against a gated remote leaf, the remote node dies, and the poisoned
+  // account — whose outstanding credits can never return — must still be
+  // reaped when the split unwinds.
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "fan-app");
+  TenantConfig cfg;
+  cfg.flow_window = 2;
+  app.set_tenant_config(cfg);
+  auto graph = build_fan_graph(app);
+
+  ActorScope scope(cluster.domain(), "main");
+  CallHandle h = graph->call_async(new ReqToken(8));
+  // The split blocks in flow_acquire once both window slots are in flight
+  // toward the gated leaf on node 1.
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  cluster.mark_node_down(1, "test-induced failure");
+  try {
+    (void)h.wait();
+    FAIL() << "expected the call to fail with the node";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kNodeDown);
+  }
+  // The poisoned account is erased even though in_flight never reached 0.
+  EXPECT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 0; }));
+  g_gate.release();  // unpark node 1's worker so shutdown can join it
+}
+
+}  // namespace
+}  // namespace dps
