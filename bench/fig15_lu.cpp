@@ -16,7 +16,15 @@
 // (110 MFLOPS), preserving the paper's communication/computation balance
 // (comm ~ n^2, comp ~ n^3) at a laptop-friendly size; pass `4096 220` for
 // the paper's exact matrix.
+//
+// `--check-scaleout` turns the run into a regression gate: panel and
+// row-flip fan-out rides the node-level multicast path, so adding nodes
+// must actually help — the 8-node pipelined time has to beat the 1-node
+// time, and the pipelined variant must beat the barrier variant at every
+// node count. Violations exit nonzero (tier1.sh's bench smoke relies on
+// this).
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "apps/lu.hpp"
@@ -41,6 +49,15 @@ double run(int n, int blocks, int nodes, bool pipelined, double rate) {
 
 int main(int argc, char** argv) {
   bench::JsonWriter json(&argc, argv);
+  bool check_scaleout = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-scaleout") == 0) {
+      check_scaleout = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
   const double rate = (argc > 2 ? std::atof(argv[2]) : 110.0) * 1e6;
   const int blocks = argc > 3 ? std::atoi(argv[3]) : 32;
@@ -53,6 +70,8 @@ int main(int argc, char** argv) {
             << " MFLOPS per node)\n\n";
 
   const double base = run(n, blocks, 1, false, rate);
+  double piped_1 = 0, piped_8 = 0;
+  bool piped_beats_barrier = true;
   std::printf("nodes   pipelined[speedup]   non-pipelined[speedup]\n");
   for (int nodes = 1; nodes <= max_nodes; ++nodes) {
     const double piped = run(n, blocks, nodes, true, rate);
@@ -62,10 +81,33 @@ int main(int argc, char** argv) {
     const std::string cfg = "nodes=" + std::to_string(nodes);
     json.record("fig15_lu", cfg + "/pipelined", piped * 1e6, base / piped);
     json.record("fig15_lu", cfg + "/barrier", barrier * 1e6, base / barrier);
+    if (nodes == 1) piped_1 = piped;
+    if (nodes == max_nodes) piped_8 = piped;
+    piped_beats_barrier = piped_beats_barrier && piped <= barrier;
   }
   std::cout << "\nExpected shape (paper): the pipelined curve sits clearly "
                "above the non-pipelined one at every node count; both are "
                "sub-linear (communication and the sequential panel "
                "factorizations bound the speedup).\n";
+  if (check_scaleout) {
+    bool ok = true;
+    if (piped_8 >= piped_1) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: %d-node pipelined (%.3f ms) is not "
+                   "faster than 1-node (%.3f ms) — scale-out regressed\n",
+                   max_nodes, piped_8 * 1e3, piped_1 * 1e3);
+      ok = false;
+    }
+    if (!piped_beats_barrier) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: pipelined variant slower than the "
+                   "barrier variant at some node count\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("scale-out check passed: %d-node pipelined %.3f ms < "
+                "1-node %.3f ms\n",
+                max_nodes, piped_8 * 1e3, piped_1 * 1e3);
+  }
   return 0;
 }

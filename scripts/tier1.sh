@@ -15,12 +15,14 @@
 #        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
 #            every bench binary with --json, concatenate the records into
-#            BENCH_pr6.json (includes micro_serialization's zero-realloc
-#            assertion, micro_engine's flat-dispatch assertion, and the
-#            table2_services service-mesh sweep + overload self-checks —
-#            slowdown bound, kBackpressure-only shedding, per-tenant budget
-#            ceilings), and flag fig15_lu / fig6_throughput throughput
-#            regressions >10% against the committed BENCH_pr5.json baseline
+#            BENCH_pr7.json (includes micro_serialization's zero-realloc
+#            assertion, micro_engine's flat-dispatch assertion, the
+#            table2_services service-mesh sweep + overload self-checks,
+#            fig15_lu's --check-scaleout gate — 8-node pipelined must beat
+#            1-node — and ablation_flowctl's knee + adaptive-window gates:
+#            adaptive within 5% of the best static window at every message
+#            size), and flag fig15_lu / fig6_throughput throughput
+#            regressions >10% against the committed BENCH_pr6.json baseline
 set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -119,13 +121,17 @@ if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench smoke: tiny configurations of every harness, machine-readable
-# results concatenated into BENCH_pr6.json for cross-commit diffing.
+# results concatenated into BENCH_pr7.json for cross-commit diffing.
 # micro_serialization exits nonzero if an envelope encode reallocates,
-# micro_engine exits nonzero if merge matching scales with queue depth, and
-# the table2_services sweep/overload pass exits nonzero if the service mesh
+# micro_engine exits nonzero if merge matching scales with queue depth, the
+# table2_services sweep/overload pass exits nonzero if the service mesh
 # breaks its contract (iteration slowdown >= 2x at 100 clients, a shed call
 # reporting anything but kBackpressure, or a tenant exceeding its in-flight
-# budget), so all three invariants are enforced here too.
+# budget), fig15_lu --check-scaleout exits nonzero unless the 8-node
+# pipelined run actually beats 1 node (multicast scale-out), and
+# ablation_flowctl exits nonzero unless a flow-window knee exists and the
+# adaptive controller lands within 5% of the best static window at every
+# message size — all of those invariants are enforced here too.
 set -e
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -133,7 +139,8 @@ b=build/bench
 "$b/fig6_throughput"    4    --json "$smoke_dir/fig6.json"
 "$b/table1_overlap"     256  --json "$smoke_dir/table1.json"
 "$b/fig9_life"          1    --json "$smoke_dir/fig9.json"
-"$b/fig15_lu"           512  --json "$smoke_dir/fig15.json"
+"$b/fig15_lu"           512 110 32 --check-scaleout \
+  --json "$smoke_dir/fig15.json"
 "$b/table2_services"    1024 1 --json "$smoke_dir/table2.json"
 "$b/table2_services"    512 1 --sweep 1,10,100 --overload 100 2 \
   --json "$smoke_dir/table2_mesh.json"
@@ -142,8 +149,10 @@ b=build/bench
   --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256|BM_DispatchMergeMatch'
 "$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
   --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
-cat "$smoke_dir"/*.json > BENCH_pr6.json
-echo "bench smoke: $(wc -l < BENCH_pr6.json) records -> BENCH_pr6.json"
+cat "$smoke_dir"/*.json > BENCH_pr7.json
+echo "bench smoke: $(wc -l < BENCH_pr7.json) records -> BENCH_pr7.json"
 # Guard the hot-path wins: any fig15_lu / fig6_throughput config more than
-# 10% below the PR-5 baseline fails the smoke stage.
-python3 scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json
+# 10% below the PR-6 baseline fails the smoke stage. (The PR-6 fig15_lu
+# scale-out numbers predate node-grouped multicast, so today's curve only
+# moves up; the gate catches any future slide.)
+python3 scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json

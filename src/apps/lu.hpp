@@ -298,16 +298,20 @@ inline void factorize_panel(LuColumnThread* st, int step, double sim_rate) {
   st->last_rate = sim_rate;
 }
 
-/// Emits the row flips of `step` to every already-factorized column.
+/// Emits the row flips of `step` to every already-factorized column as one
+/// multicast collective (thread index == column; receivers only read the
+/// shared pivot list).
 template <class Op>
 void post_row_flips(Op* op, LuColumnThread* st, int step) {
-  for (int c = 0; c < step; ++c) {
-    auto* flip = new LuRowFlip();
-    flip->step = step;
-    flip->target = c;
-    for (int p : st->panel_piv) flip->pivots.push_back(p);
-    op->postToken(flip);
-  }
+  if (step <= 0) return;
+  auto* flip = new LuRowFlip();
+  flip->step = step;
+  flip->target = 0;  // destination travels in the collective header
+  for (int p : st->panel_piv) flip->pivots.push_back(p);
+  std::vector<int> dests;
+  dests.reserve(static_cast<size_t>(step));
+  for (int c = 0; c < step; ++c) dests.push_back(c);
+  op->postTokenMulticast(flip, dests);
 }
 
 /// Common body of the stage openers: charge and factorize panel `step`
@@ -321,14 +325,20 @@ void open_stage(Op* op, LuColumnThread* st, int step, double sim_rate) {
     op->charge(factor_flops(st->n - step * st->r, st->r) / sim_rate);
   }
   factorize_panel(st, step, sim_rate);
-  for (int c = step + 1; c < st->blocks; ++c) {
+  if (step + 1 < st->blocks) {
+    // One panel token multicast to every right-hand column: the (large)
+    // panel is encoded once and each destination node receives one frame
+    // instead of one per column (the paper's per-step broadcast).
     auto* req = new LuTrsmRequest();
     req->step = step;
-    req->target = c;
+    req->target = step + 1;  // destinations travel in the collective header
     req->sim_rate = sim_rate;
     req->panel.assign(st->panel.data(), st->panel.data() + st->panel.size());
     for (int p : st->panel_piv) req->pivots.push_back(p);
-    op->postToken(req);
+    std::vector<int> dests;
+    dests.reserve(static_cast<size_t>(st->blocks - step - 1));
+    for (int c = step + 1; c < st->blocks; ++c) dests.push_back(c);
+    op->postTokenMulticast(req, dests);
   }
   post_row_flips(op, st, step);
 }

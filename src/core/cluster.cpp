@@ -523,6 +523,10 @@ void Cluster::shutdown() {
     monitor_.join();
   }
   for (auto& c : controllers_) c->shutdown();
+  // Calls still in the table lost their workers above and can never
+  // complete; waiters would block forever (a collective caught mid-flight
+  // by shutdown, for instance). Fail them like a node death does.
+  fail_all_calls(Errc::kState, "cluster shut down with the call in flight");
   fabric_->shutdown();
   // Join the domain's scheduler thread while the workers it may still be
   // waking (a stall handler's WaitPoint snapshot) are alive; the member

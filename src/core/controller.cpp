@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <optional>
 
 #include <cstring>
+
+#include "core/flow_adapt.hpp"
 
 #include "core/application.hpp"
 #include "core/checkpoint.hpp"
@@ -89,13 +92,19 @@ struct Controller::Worker {
 struct Controller::FlowAccount {
   Mutex mu;
   WaitPoint wp DPS_GUARDED_BY(mu);
-  /// Window of the owning tenant, frozen at split start (per-tenant flow
-  /// control, docs/SERVICE_MESH.md).
+  /// Window ceiling of the owning tenant, frozen at split start (per-tenant
+  /// flow control, docs/SERVICE_MESH.md). With `adaptive` set this is the
+  /// upper clamp; otherwise it is the static window itself.
   uint32_t window = 0;
   uint32_t in_flight DPS_GUARDED_BY(mu) = 0;
   /// Owning split/stream execution completed.
   bool finished DPS_GUARDED_BY(mu) = false;
   bool poison DPS_GUARDED_BY(mu) = false;
+  /// ClusterConfig::adaptive_flow controller; null = static window.
+  std::unique_ptr<AdaptiveWindow> adaptive DPS_GUARDED_BY(mu);
+  /// domain().now() stamps of in-flight credits, oldest first — the RTT
+  /// source of the adaptive controller (credit round trip, not frame RTT).
+  std::deque<double> sends DPS_GUARDED_BY(mu);
 };
 
 /// Per-peer reliable-delivery state (docs/FAULT_TOLERANCE.md). One link per
@@ -108,6 +117,10 @@ struct Controller::ReliableLink {
     /// Kept whole so a retransmit only patches the ack field and copies —
     /// no re-wrap, and the buffer recycles through the pool once acked.
     std::vector<std::byte> wrapped;
+    /// Shared multicast body appended after `wrapped` on every transmit;
+    /// null for ordinary frames. Dropped (not released) on ack — the last
+    /// per-link reference frees the one encoded payload.
+    SharedPayload body;
     double next_due = 0;             ///< wall-clock retransmit deadline
     double rto = 0;                  ///< current backoff interval
     int retries = 0;
@@ -248,7 +261,17 @@ class Controller::ExecCtx : public detail::OpServices {
       held_->frames.back().total = posted_;
       Envelope last = std::move(*held_);
       held_.reset();
-      send_now(std::move(last));
+      const bool routed = held_routed_;
+      held_routed_ = false;
+      // send_now acquires a flow credit; a shutdown/node-down poison can
+      // raise out of it, and the account must be finished either way or it
+      // leaks (poison passes only reap finished accounts).
+      try {
+        send_now(std::move(last), routed);
+      } catch (...) {
+        controller_.finish_flow_account(split_ctx_);
+        throw;
+      }
       controller_.finish_flow_account(split_ctx_);
 #ifdef DPS_TRACE
       if (t_on) {
@@ -339,11 +362,207 @@ class Controller::ExecCtx : public detail::OpServices {
       // final one can carry the context total while the rest pipeline out
       // eagerly.
       std::optional<Envelope> to_send;
-      if (held_.has_value()) to_send = std::move(held_);
+      bool to_send_routed = false;
+      if (held_.has_value()) {
+        to_send = std::move(held_);
+        to_send_routed = held_routed_;
+      }
       held_ = std::move(out);
-      if (to_send.has_value()) send_now(std::move(*to_send));
+      held_routed_ = false;
+      if (to_send.has_value()) send_now(std::move(*to_send), to_send_routed);
     } else {
       send_now(std::move(out));
+    }
+  }
+
+  void post_multicast(Ptr<Token> token, const std::vector<int>& threads) override {
+    DPS_CHECK(token.get() != nullptr, "postTokenMulticast(nullptr)");
+    if (threads.empty()) return;
+    if (kind_ != OpKind::kSplit && kind_ != OpKind::kStream) {
+      raise(Errc::kState,
+            "postTokenMulticast outside a split/stream operation");
+    }
+    const Flowgraph::Vertex& v = graph_.vertex(vertex_);
+    const uint64_t tid = token->typeInfo().id;
+    VertexId target = kNoVertex;
+    for (VertexId s : v.successors) {
+      if (accepts(graph_.vertex(s), tid)) {
+        DPS_CHECK(target == kNoVertex,
+                  "ambiguous successor (validated at build; registry drift?)");
+        target = s;
+      }
+    }
+    if (target == kNoVertex) {
+      raise(Errc::kUnroutable,
+            "no successor of vertex " + std::to_string(vertex_) +
+                " accepts multicast token type '" + token->typeInfo().name +
+                "'");
+    }
+    const Flowgraph::Vertex& tv = graph_.vertex(target);
+    ThreadCollectionBase* coll = tv.collection;
+    for (int t : threads) {
+      if (t < 0 || t >= coll->size()) {
+        raise(Errc::kState, "multicast destination thread " +
+                                std::to_string(t) + " outside collection '" +
+                                coll->name() + "'");
+      }
+    }
+
+    // FIFO with earlier posts: flush the previously held token before any
+    // of the collective's envelopes leave.
+    if (held_.has_value()) {
+      Envelope prev = std::move(*held_);
+      held_.reset();
+      const bool routed = held_routed_;
+      held_routed_ = false;
+      send_now(std::move(prev), routed);
+    }
+
+    // One envelope per destination shares the frame stack and the token
+    // object; destinations receive it read-only. The last destination is
+    // held back (pre-routed) so split finalization can stamp the total.
+    Envelope base;
+    base.app = env_.app;
+    base.graph = env_.graph;
+    base.vertex = target;
+    base.call = env_.call;
+    base.call_reply_node = env_.call_reply_node;
+    base.tenant = env_.tenant;
+    base.collection = coll->id();
+    base.frames = out_frames_;
+    base.token = std::move(token);
+
+    const size_t K = threads.size();
+    std::vector<McastEntry> entries;  // all but the held-back last
+    entries.reserve(K - 1);
+    for (size_t i = 0; i + 1 < K; ++i) {
+      entries.push_back(McastEntry{coll->node_of(threads[i]),
+                                   static_cast<uint32_t>(threads[i]),
+                                   posted_});
+      ++posted_;
+    }
+    {
+      Envelope last;
+      last.app = base.app;
+      last.graph = base.graph;
+      last.vertex = base.vertex;
+      last.call = base.call;
+      last.call_reply_node = base.call_reply_node;
+      last.tenant = base.tenant;
+      last.collection = base.collection;
+      last.thread = static_cast<ThreadIndex>(threads.back());
+      last.frames = base.frames;
+      last.frames.back().seq = posted_;
+      ++posted_;
+      last.token = base.token;
+      held_ = std::move(last);
+      held_routed_ = true;  // thread chosen here, not by the route
+    }
+    if (entries.empty()) return;  // K == 1 collapses to a routed post
+
+    // Partition: remote destinations grouped by node (groups ordered by
+    // first appearance; entries keep posting order within their node, so
+    // per-link FIFO holds). The encode happens once, before any receiver
+    // can touch the token.
+    std::vector<McastGroup> remote;
+    size_t remote_count = 0;
+    for (const McastEntry& e : entries) {
+      if (e.node == controller_.self_) continue;
+      McastGroup* g = nullptr;
+      for (McastGroup& have : remote) {
+        if (have.node == e.node) {
+          g = &have;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        remote.push_back(McastGroup{e.node, {}});
+        g = &remote.back();
+      }
+      g->entries.push_back(e);
+      ++remote_count;
+    }
+
+    SharedPayload body;
+    if (!remote.empty()) {
+      // The one-encode-K-transmit payload: a single exact-size pooled
+      // buffer, shared by every transmit (and retransmit) of this
+      // collective, recycled into the pool when the last frame drops it.
+      base.thread = 0;  // placeholders; receivers stamp their header entry
+      base.frames.back().seq = 0;
+      Writer w(BufferPool::instance().acquire(base.encoded_size()));
+      base.encode(w);
+      BufferPool::instance().note_growth(w.growth_count());
+      auto* vec = new std::vector<std::byte>(w.take());
+      body = SharedPayload(vec, [](const std::vector<std::byte>* p) {
+        BufferPool::instance().release(
+            std::move(*const_cast<std::vector<std::byte>*>(p)));
+        delete p;
+      });
+      controller_.mcast_encodes_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kMcastSend,
+                                    controller_.self_, target, K,
+                                    remote_count,
+                                    body == nullptr ? 0 : body->size());
+      static obs::Counter& collectives =
+          obs::Metrics::instance().counter("dps.mcast.collectives");
+      collectives.inc();
+    }
+#endif
+
+    // Local destinations: envelope copies sharing the token pointer.
+    for (const McastEntry& e : entries) {
+      if (e.node != controller_.self_) continue;
+      acquire_collective_credit();
+      Envelope env;
+      env.app = base.app;
+      env.graph = base.graph;
+      env.vertex = base.vertex;
+      env.call = base.call;
+      env.call_reply_node = base.call_reply_node;
+      env.tenant = base.tenant;
+      env.collection = base.collection;
+      env.thread = static_cast<ThreadIndex>(e.thread);
+      env.frames = out_frames_;
+      env.frames.back().seq = e.seq;
+      env.token = base.token;
+      controller_.send(std::move(env));
+    }
+    if (remote.empty()) return;
+
+    // Remote fan-out. Credits are acquired here (the split end) for every
+    // remote destination; the window floor above keeps the acquisition
+    // live even when the window is smaller than the collective, but a
+    // structured topology that outsizes the window still degrades to flat
+    // so its per-frame chunks interleave with credit returns instead of
+    // bursting past the receivers' advertised capacity.
+    McastTopology topo = controller_.cluster_.config().mcast_topology;
+    const uint32_t window =
+        std::max<uint32_t>(1, controller_.tenant_window(env_.tenant));
+    if (topo != McastTopology::kFlat && remote_count >= window) {
+      topo = McastTopology::kFlat;
+    }
+    if (topo == McastTopology::kFlat) {
+      for (const McastGroup& g : remote) {
+        for (size_t lo = 0; lo < g.entries.size(); lo += window) {
+          const size_t n = std::min<size_t>(window, g.entries.size() - lo);
+          for (size_t i = 0; i < n; ++i) {
+            acquire_collective_credit();
+          }
+          McastGroup chunk{g.node,
+                          {g.entries.begin() + lo, g.entries.begin() + lo + n}};
+          controller_.mcast_ship(McastTopology::kFlat, {chunk}, body);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < remote_count; ++i) {
+        acquire_collective_credit();
+      }
+      controller_.mcast_ship(topo, remote, body);
     }
   }
 
@@ -441,18 +660,51 @@ class Controller::ExecCtx : public detail::OpServices {
     claimed_ = false;
   }
 
-  void send_now(Envelope e) {
+  /// Takes a flow credit for a collective. Scalar posts block one token at
+  /// a time — that blocking IS the throttle — but a collective acquires its
+  /// whole fan-out before the operation yields the worker, and a merge
+  /// colocated on that worker cannot run (and release credits) until it
+  /// does. Flooring the window at one past everything this execution
+  /// already holds makes that self-deadlock impossible; backpressure still
+  /// applies across executions, whose accounts are independent.
+  void acquire_collective_credit() {
+    controller_.flow_acquire(split_ctx_, credits_taken_ + 1);
+    ++credits_taken_;
+  }
+
+  /// `routed == true` skips the routing function: the destination thread
+  /// was already chosen (multicast held-back last token).
+  void send_now(Envelope e, bool routed = false) {
     if (kind_ == OpKind::kSplit || kind_ == OpKind::kStream) {
-      controller_.flow_acquire(split_ctx_);
+      if (routed) {
+        // The held-back last token of a collective: its siblings' credits
+        // may still be in flight, so it floors past them like they did.
+        acquire_collective_credit();
+      } else {
+        controller_.flow_acquire(split_ctx_);
+        ++credits_taken_;
+      }
     }
-    controller_.route_and_send(graph_, std::move(e));
+    if (routed) {
+      controller_.send(std::move(e));
+    } else {
+      controller_.route_and_send(graph_, std::move(e));
+    }
+  }
+
+  /// This worker's inbox depth, piggybacked on flow acks as the receiver
+  /// congestion signal of the adaptive window controller.
+  uint32_t inbox_depth() const {
+    return worker_.depth_slot == nullptr
+               ? 0
+               : worker_.depth_slot->load(std::memory_order_relaxed);
   }
 
   /// Records one consumed token of the merge/stream input context; credits
   /// to remote splits are batched and flushed by flush_acks().
   void note_consumed(const SplitFrame& frame) {
     if (frame.split_node == controller_.self_) {
-      controller_.apply_flow_release(frame.context, 1);
+      controller_.apply_flow_release(frame.context, 1, inbox_depth());
       return;
     }
     if (acks_pending_ == 0) ack_frame_ = frame;
@@ -466,7 +718,7 @@ class Controller::ExecCtx : public detail::OpServices {
     acks_pending_ = 0;
     // All tokens of one merge context share the split's context id and
     // node, so the whole batch collapses into one frame.
-    controller_.send_flow_ack(ack_frame_, n);
+    controller_.send_flow_ack(ack_frame_, n, inbox_depth());
   }
 
   void cleanup_after_failure() {
@@ -489,6 +741,13 @@ class Controller::ExecCtx : public detail::OpServices {
   std::vector<SplitFrame> out_frames_;
   uint32_t posted_ = 0;
   std::optional<Envelope> held_;
+  /// The held envelope is pre-routed (multicast last destination): send it
+  /// via Controller::send, not through the routing function.
+  bool held_routed_ = false;
+  /// Flow credits this execution has acquired (released ones included — a
+  /// conservative overcount only ever raises the collective floor, never
+  /// breaks it). See acquire_collective_credit().
+  uint32_t credits_taken_ = 0;
   ContextId split_ctx_ = 0;  // split/stream output context
   ContextId merge_ctx_ = 0;  // merge/stream input context
   bool claimed_ = false;
@@ -1072,9 +1331,16 @@ void Controller::handle_frame(FrameKind kind, NodeId from,
       Reader r(data, size);
       const ContextId ctx = r.get<ContextId>();
       const uint32_t n = r.get<uint32_t>();
-      apply_flow_release(ctx, n);
+      // Receiver inbox depth rides as an optional trailer (wire compat
+      // with pre-adaptive senders that stop after the count).
+      const uint32_t depth =
+          r.remaining() >= sizeof(uint32_t) ? r.get<uint32_t>() : 0;
+      apply_flow_release(ctx, n, depth);
       break;
     }
+    case FrameKind::kMcastEnvelope:
+      handle_mcast(from, data, size, batch);
+      break;
     case FrameKind::kCallReply: {
       Reader r(data, size);
       Envelope env = Envelope::decode(r);
@@ -1087,6 +1353,77 @@ void Controller::handle_frame(FrameKind kind, NodeId from,
   }
 }
 
+void Controller::handle_mcast(NodeId from, const std::byte* data, size_t size,
+                              DeliveryBatch* batch) {
+  (void)from;
+  Reader r(data, size);
+  McastTopology topo = McastTopology::kFlat;
+  const std::vector<McastEntry> entries = decode_mcast_header(r, &topo);
+  const size_t body_off = size - r.remaining();
+  Envelope base = Envelope::decode(r);
+  if (base.frames.empty()) {
+    raise(Errc::kProtocol, "multicast envelope without a split frame");
+  }
+
+  // Local entries become envelope copies sharing one decode of the token;
+  // everything else is regrouped by node (first-appearance group order,
+  // per-node posting order kept) for the next hop.
+  std::vector<McastGroup> remote;
+  uint64_t delivered = 0;
+  for (const McastEntry& e : entries) {
+    if (e.node != self_) {
+      McastGroup* g = nullptr;
+      for (McastGroup& have : remote) {
+        if (have.node == e.node) {
+          g = &have;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        remote.push_back(McastGroup{e.node, {}});
+        g = &remote.back();
+      }
+      g->entries.push_back(e);
+      continue;
+    }
+    Envelope env = base;  // token pointer shared, not re-decoded
+    env.thread = static_cast<ThreadIndex>(e.thread);
+    env.frames.back().seq = e.seq;
+    ++delivered;
+    if (batch != nullptr) {
+      batch->add(std::move(env));
+    } else {
+      deliver_local(std::move(env));
+    }
+  }
+#ifdef DPS_TRACE
+  if (delivered > 0 && obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kMcastDeliver, self_,
+                                  base.vertex, delivered, entries.size(),
+                                  size - body_off);
+    static obs::Counter& deliveries =
+        obs::Metrics::instance().counter("dps.mcast.deliveries");
+    deliveries.inc(delivered);
+  }
+#endif
+  if (remote.empty()) return;
+
+  // Relay hop of a tree/ring collective: the body bytes are copied out of
+  // the arrival frame once and shared by every forwarded subtree frame.
+  auto body = std::make_shared<const std::vector<std::byte>>(data + body_off,
+                                                             data + size);
+#ifdef DPS_TRACE
+  if (obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kMcastForward, self_,
+                                  base.vertex, remote.size(), 0, body->size());
+    static obs::Counter& forwards =
+        obs::Metrics::instance().counter("dps.mcast.forwards");
+    forwards.inc();
+  }
+#endif
+  mcast_ship(topo, remote, body);
+}
+
 // --- Flow control ------------------------------------------------------------
 
 ContextId Controller::new_context_id() {
@@ -1097,11 +1434,21 @@ ContextId Controller::new_context_id() {
 void Controller::create_flow_account(ContextId ctx, uint32_t window) {
   auto acc = std::make_unique<FlowAccount>();
   acc->window = window;
+  if (cluster_.config().adaptive_flow) {
+    // No concurrency before the account is published; the lock only
+    // satisfies the GUARDED_BY annotation.
+    MutexLock al(acc->mu);
+    acc->adaptive = std::make_unique<AdaptiveWindow>(window);
+  }
   MutexLock lock(flow_mu_);
+  if (flow_down_) {
+    MutexLock al(acc->mu);
+    acc->poison = true;
+  }
   accounts_.emplace(ctx, std::move(acc));
 }
 
-void Controller::flow_acquire(ContextId ctx) {
+void Controller::flow_acquire(ContextId ctx, uint32_t min_window) {
   FlowAccount* acc = nullptr;
   {
     MutexLock lock(flow_mu_);
@@ -1109,15 +1456,25 @@ void Controller::flow_acquire(ContextId ctx) {
     DPS_CHECK(it != accounts_.end(), "flow_acquire on unknown account");
     acc = it->second.get();
   }
-  const uint32_t window = acc->window;  // per-tenant, frozen at split start
   MutexLock lock(acc->mu);
-  cluster_.domain().wait_until(
-      acc->wp, acc->mu,
-      [&] { return acc->poison || acc->in_flight < window; });
+  // Static accounts freeze the tenant window at split start; adaptive ones
+  // re-read the controller's current window on every acquire. `min_window`
+  // keeps a collective live: its posting worker may also serve the merge
+  // that returns these very credits, so a wait that can only be satisfied
+  // by releases is a deadlock, not backpressure.
+  cluster_.domain().wait_until(acc->wp, acc->mu, [&] {
+    uint32_t window =
+        acc->adaptive != nullptr ? acc->adaptive->window() : acc->window;
+    if (window < min_window) window = min_window;
+    return acc->poison || acc->in_flight < window;
+  });
   if (acc->poison) {
     raise(Errc::kState, "shutdown while waiting for flow-control window");
   }
   ++acc->in_flight;
+  if (acc->adaptive != nullptr) {
+    acc->sends.push_back(cluster_.domain().now());
+  }
 #ifdef DPS_TRACE
   obs::Trace::instance().record(obs::EventKind::kFlowAcquire, self_, ctx, 0, 0,
                                 acc->in_flight);
@@ -1140,7 +1497,8 @@ void Controller::finish_flow_account(ContextId ctx) {
   if (drained) accounts_.erase(it);
 }
 
-void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
+void Controller::apply_flow_release(ContextId ctx, uint32_t n,
+                                    uint32_t receiver_depth) {
   MutexLock lock(flow_mu_);
   auto it = accounts_.find(ctx);
   if (it == accounts_.end()) return;  // late ack after account drained
@@ -1149,6 +1507,29 @@ void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
     MutexLock al(it->second->mu);
     FlowAccount& acc = *it->second;
     acc.in_flight = (acc.in_flight >= n) ? acc.in_flight - n : 0;
+    if (acc.adaptive != nullptr) {
+      // Credit round trip, measured from the oldest outstanding acquire.
+      double rtt = 0;
+      if (!acc.sends.empty()) {
+        rtt = cluster_.domain().now() - acc.sends.front();
+        for (uint32_t i = 0; i < n && !acc.sends.empty(); ++i) {
+          acc.sends.pop_front();
+        }
+      }
+      if (acc.adaptive->on_ack(rtt, receiver_depth, n)) {
+#ifdef DPS_TRACE
+        if (obs::tracing_active()) {
+          obs::Trace::instance().record(obs::EventKind::kFlowWindow, self_,
+                                        ctx, acc.adaptive->window(),
+                                        receiver_depth, acc.in_flight);
+          static obs::Gauge& window_gauge =
+              obs::Metrics::instance().gauge("dps.flow.window");
+          window_gauge.set(acc.adaptive->window());
+          window_gauge.update_max(acc.adaptive->window());
+        }
+#endif
+      }
+    }
 #ifdef DPS_TRACE
     obs::Trace::instance().record(obs::EventKind::kFlowRelease, self_, ctx, 0,
                                   n, acc.in_flight);
@@ -1159,15 +1540,17 @@ void Controller::apply_flow_release(ContextId ctx, uint32_t n) {
   if (drained) accounts_.erase(it);
 }
 
-void Controller::send_flow_ack(const SplitFrame& frame, uint32_t n) {
+void Controller::send_flow_ack(const SplitFrame& frame, uint32_t n,
+                               uint32_t receiver_depth) {
   if (n == 0) return;
   if (frame.split_node == self_) {
-    apply_flow_release(frame.context, n);
+    apply_flow_release(frame.context, n, receiver_depth);
     return;
   }
   Writer w;
   w.put<ContextId>(frame.context);
   w.put<uint32_t>(n);
+  w.put<uint32_t>(receiver_depth);
   fabric_send(frame.split_node, FrameKind::kFlowAck, w.take());
 }
 
@@ -1328,6 +1711,63 @@ void Controller::fabric_send(NodeId target, FrameKind kind,
   send_reliable_wrapped(target, kind, w.take());
 }
 
+void Controller::fabric_send_shared(NodeId target, FrameKind kind,
+                                    std::vector<std::byte> prefix,
+                                    SharedPayload body) {
+  if (!reliable_) {
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(
+          obs::EventKind::kFabricSend, self_, target,
+          static_cast<uint64_t>(kind), 0,
+          prefix.size() + (body == nullptr ? 0 : body->size()));
+      static obs::Counter& sent_raw =
+          obs::Metrics::instance().counter("dps.fabric.frames_sent");
+      sent_raw.inc();
+    }
+#endif
+    cluster_.fabric().send_shared(self_, target, kind, std::move(prefix),
+                                  std::move(body));
+    return;
+  }
+  // Only the small per-receiver prefix is wrapped with [seq|ack|kind]; the
+  // shared body stays outside the sequenced buffer and rides every
+  // (re)transmit of this link's frame untouched.
+  Writer w(BufferPool::instance().acquire(kRelHeaderSize + prefix.size()));
+  w.put<uint64_t>(0);  // seq placeholder, patched under rel_mu_
+  w.put<uint64_t>(0);  // cumulative-ack placeholder
+  w.put<uint16_t>(static_cast<uint16_t>(kind));
+  w.put_raw(prefix.data(), prefix.size());
+  BufferPool::instance().release(std::move(prefix));
+  send_reliable_wrapped(target, kind, w.take(), std::move(body));
+}
+
+void Controller::mcast_ship(McastTopology topo,
+                            const std::vector<McastGroup>& groups,
+                            const SharedPayload& body) {
+  mcast_fanout(topo, groups, [&](NodeId to, const McastGroup* g,
+                                 size_t count) {
+    size_t n = 0;
+    for (size_t i = 0; i < count; ++i) n += g[i].entries.size();
+    Writer w(BufferPool::instance().acquire(mcast_header_size(n)));
+    w.put(static_cast<uint8_t>(topo));
+    w.put(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < count; ++i) {
+      w.put_raw(g[i].entries.data(), g[i].entries.size() * sizeof(McastEntry));
+    }
+    BufferPool::instance().note_growth(w.growth_count());
+    mcast_frames_.fetch_add(1, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      static obs::Counter& frames =
+          obs::Metrics::instance().counter("dps.mcast.frames");
+      frames.inc();
+    }
+#endif
+    fabric_send_shared(to, FrameKind::kMcastEnvelope, w.take(), body);
+  });
+}
+
 void Controller::send_envelope(NodeId target, FrameKind kind,
                                const Envelope& env) {
   // One exact-size pooled allocation per cross-node envelope: encoded_size
@@ -1362,12 +1802,14 @@ void Controller::send_envelope(NodeId target, FrameKind kind,
 }
 
 void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
-                                       std::vector<std::byte> wrapped) {
+                                       std::vector<std::byte> wrapped,
+                                       SharedPayload body) {
   const FaultToleranceConfig& ft = cluster_.config().fault;
   std::vector<std::byte> out;
 #ifdef DPS_TRACE
   uint64_t t_seq = 0;
-  const uint64_t t_size = wrapped.size() - kRelHeaderSize;
+  const uint64_t t_size = wrapped.size() - kRelHeaderSize +
+                          (body == nullptr ? 0 : body->size());
 #endif
   {
     MutexLock lock(rel_mu_);
@@ -1388,6 +1830,7 @@ void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
     ReliableLink::Pending p;
     p.kind = kind;
     p.wrapped = std::move(wrapped);
+    p.body = body;
     p.rto = ft.rto_initial;
     p.next_due = mono_seconds() + p.rto;
     out = p.wrapped;  // the in-flight copy; the original arms retransmission
@@ -1403,8 +1846,13 @@ void Controller::send_reliable_wrapped(NodeId target, FrameKind kind,
   }
 #endif
   try {
-    cluster_.fabric().send(self_, target, FrameKind::kReliable,
-                           std::move(out));
+    if (body != nullptr) {
+      cluster_.fabric().send_shared(self_, target, FrameKind::kReliable,
+                                    std::move(out), std::move(body));
+    } else {
+      cluster_.fabric().send(self_, target, FrameKind::kReliable,
+                             std::move(out));
+    }
   } catch (const Error& e) {
     // A torn transport is just a lossy link here: the retransmission timer
     // retries until the ack arrives or the peer is declared down.
@@ -1524,6 +1972,7 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
     NodeId to;
     FrameKind kind;
     std::vector<std::byte> payload;
+    SharedPayload body;  ///< shared multicast payload; null for most frames
   };
   std::vector<Out> outs;
   std::vector<NodeId> suspects;
@@ -1539,7 +1988,7 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
         obs::Trace::instance().record(obs::EventKind::kAckSend, self_, peer, 0,
                                       l.rx_contig, 0);
 #endif
-        outs.push_back({peer, FrameKind::kAck, w.take()});
+        outs.push_back({peer, FrameKind::kAck, w.take(), nullptr});
         l.acked_sent = l.rx_contig;
         l.ack_pending = false;
       }
@@ -1560,7 +2009,7 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
         // armed for the next timeout).
         patch_u64(p.wrapped, kRelAckOffset, l.rx_contig);
         l.acked_sent = std::max(l.acked_sent, l.rx_contig);
-        outs.push_back({peer, FrameKind::kReliable, p.wrapped});
+        outs.push_back({peer, FrameKind::kReliable, p.wrapped, p.body});
         retransmissions_.fetch_add(1, std::memory_order_relaxed);
 #ifdef DPS_TRACE
         if (obs::tracing_active()) {
@@ -1578,7 +2027,12 @@ std::vector<NodeId> Controller::reliability_tick(double now) {
   }
   for (auto& o : outs) {
     try {
-      cluster_.fabric().send(self_, o.to, o.kind, std::move(o.payload));
+      if (o.body != nullptr) {
+        cluster_.fabric().send_shared(self_, o.to, o.kind,
+                                      std::move(o.payload), std::move(o.body));
+      } else {
+        cluster_.fabric().send(self_, o.to, o.kind, std::move(o.payload));
+      }
     } catch (const Error&) {
       // transport refused: indistinguishable from a drop; retry next tick
     }
@@ -1708,10 +2162,21 @@ void Controller::shutdown() {
     w->poison = true;
     cluster_.domain().notify_all(w->wp);
   }
+  {
+    // Accounts created from here on are born poisoned (see flow_down_); a
+    // split already mid-dispatch can otherwise publish one after the
+    // poison pass below and leak it.
+    MutexLock lock(flow_mu_);
+    flow_down_ = true;
+  }
   poison_flow_accounts();
   for (Worker* w : workers) {
     if (w->os_thread.joinable()) w->os_thread.join();
   }
+  // Splits that raced the poison pass finished (or unwound) during the
+  // join above; their accounts are poisoned, so this pass reaps any that
+  // retired with credits still in flight.
+  poison_flow_accounts();
 }
 
 }  // namespace dps

@@ -25,6 +25,7 @@
 
 #include "core/envelope.hpp"
 #include "core/flowgraph.hpp"
+#include "core/mcast.hpp"
 #include "core/operation.hpp"
 #include "core/thread.hpp"
 #include "net/fabric.hpp"
@@ -147,6 +148,21 @@ class Controller {
     return retransmissions_.load(std::memory_order_relaxed);
   }
 
+  // --- multicast collectives (docs/PERFORMANCE.md) --------------------------
+  /// Envelope bodies encoded for multicast on this node. The one-encode-
+  /// K-transmit invariant is `multicast_encodes() == collectives with >= 1
+  /// remote destination` while `multicast_frames_sent()` counts the actual
+  /// kMcastEnvelope transmits — always-on so every build flavor can assert
+  /// it (tests/core_engine_test.cpp).
+  uint64_t multicast_encodes() const {
+    return mcast_encodes_.load(std::memory_order_relaxed);
+  }
+  /// kMcastEnvelope frames shipped from this node (root sends + relay
+  /// forwards).
+  uint64_t multicast_frames_sent() const {
+    return mcast_frames_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker;
   struct FlowAccount;
@@ -174,31 +190,58 @@ class Controller {
   // Flow control (accounts anchored at this node for splits running here).
   ContextId new_context_id();
   void create_flow_account(ContextId ctx, uint32_t window);
-  void flow_acquire(ContextId ctx);           // blocks until window slot free
+  /// Blocks until a window slot is free. `min_window` floors the effective
+  /// window: a collective passes one more than the credits its execution
+  /// already holds, so it can never park its own worker waiting for
+  /// releases that only a merge colocated on that worker could produce.
+  void flow_acquire(ContextId ctx, uint32_t min_window = 0);
   /// Split done; erase when drained — or immediately when poisoned, since
   /// a poisoned account's outstanding credits can never return.
   void finish_flow_account(ContextId ctx);
-  void apply_flow_release(ContextId ctx, uint32_t n);
+  /// `receiver_depth` is the consuming worker's inbox depth piggybacked on
+  /// the ack — one input of the adaptive window controller.
+  void apply_flow_release(ContextId ctx, uint32_t n,
+                          uint32_t receiver_depth = 0);
   /// Unblocks every flow waiter (node death / shutdown) and reaps the
   /// accounts whose splits already finished.
   void poison_flow_accounts();
   /// Returns `n` consumed-token credits to the split's flow account —
   /// locally, or as one batched kFlowAck frame (ExecCtx coalesces).
-  void send_flow_ack(const SplitFrame& frame, uint32_t n);
+  /// `receiver_depth` reports the consumer's current inbox depth.
+  void send_flow_ack(const SplitFrame& frame, uint32_t n,
+                     uint32_t receiver_depth);
 
   // Reliable delivery internals. fabric_send is the single exit point for
   // engine frames: it either forwards to the fabric directly or wraps the
   // frame in a sequence-numbered kReliable envelope.
   void fabric_send(NodeId target, FrameKind kind,
                    std::vector<std::byte> payload);
+  /// fabric_send for prefix+shared-body frames (multicast): in reliable
+  /// mode only the small prefix is wrapped with [seq|ack|kind]; the shared
+  /// body rides every transmit — and every retransmit — untouched, so
+  /// exactly-once composes per link over the one encoded payload.
+  void fabric_send_shared(NodeId target, FrameKind kind,
+                          std::vector<std::byte> prefix, SharedPayload body);
+  /// Ships one hop's worth of multicast frames over `groups` (posting-order
+  /// node groups) according to `topo`. Used by the posting root and by
+  /// relays forwarding a subtree.
+  void mcast_ship(McastTopology topo, const std::vector<McastGroup>& groups,
+                  const SharedPayload& body);
+  /// kMcastEnvelope arrival: decode the body once, deliver local entries
+  /// (token pointer shared between co-located receivers), forward remaining
+  /// subtree groups per the frame's topology.
+  void handle_mcast(NodeId from, const std::byte* data, size_t size,
+                    DeliveryBatch* batch);
   /// Encodes `env` into one exact-size pooled buffer and ships it — in
   /// reliable mode the kReliable header and envelope share that single
   /// buffer (no double-wrap copy).
   void send_envelope(NodeId target, FrameKind kind, const Envelope& env);
   /// Assigns a sequence number into the pre-encoded [seq|ack|kind|payload]
-  /// buffer, records it for retransmission, and ships it.
+  /// buffer, records it for retransmission, and ships it. A non-null `body`
+  /// is a shared multicast payload appended to every (re)transmit.
   void send_reliable_wrapped(NodeId target, FrameKind kind,
-                             std::vector<std::byte> wrapped);
+                             std::vector<std::byte> wrapped,
+                             SharedPayload body = nullptr);
   /// `batch == nullptr` delivers envelopes directly (single-message path);
   /// otherwise they are collected for one grouped inbox append per worker.
   void handle_frame(FrameKind kind, NodeId from,
@@ -236,8 +279,15 @@ class Controller {
   mutable Mutex flow_mu_;
   std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_
       DPS_GUARDED_BY(flow_mu_);
+  /// Set by shutdown() before it poisons the account table: a split that
+  /// slips in after the poison pass (its worker was mid-dispatch when the
+  /// poison flag was raised) gets an account that is born poisoned, so it
+  /// unwinds at its first flow_acquire instead of leaking the account.
+  bool flow_down_ DPS_GUARDED_BY(flow_mu_) = false;
   std::atomic<uint64_t> context_counter_{0};
   std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> mcast_encodes_{0};
+  std::atomic<uint64_t> mcast_frames_{0};
 
   // Service-mesh admission state: one record per tenant that ever called
   // through this node (its home). svc_mu_ is a leaf lock — taken with no

@@ -1,0 +1,98 @@
+// AdaptiveWindow: Vegas-style controller for the split flow-control window.
+//
+// The static per-split window (PR 6's TenantConfig::flow_window) is a
+// ceiling, not a good operating point: too small and the split stalls on
+// round trips, too large and receiver queues bloat. AdaptiveWindow moves
+// the window between a small floor and that ceiling from two signals the
+// engine already measures on the ack path:
+//
+//  * round-trip time of a flow credit (flow_acquire stamp -> kFlowAck),
+//    compared against the minimum RTT seen on this split, and
+//  * the receiver's inbox depth, piggybacked on every kFlowAck.
+//
+// Control law (per window-of-acks, so at most one adjustment per RTT):
+//  * additive increase (+1) while smoothed RTT stays within `slack` of the
+//    floor and the receiver queue is shallow;
+//  * multiplicative decrease (halve, never below min_window) when smoothed
+//    RTT exceeds `choke` times the floor or the receiver queue is deep.
+//
+// The class is a pure state machine — no clocks, no locks (the caller holds
+// the owning FlowAccount's mutex) — so tests/flow_adapt_test.cpp can drive
+// it with injected signals and assert bounds, monotonicity and convergence
+// deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace dps {
+
+struct AdaptiveWindowConfig {
+  uint32_t initial = 4;      ///< starting window (clamped to the ceiling)
+  uint32_t min_window = 2;   ///< floor the decrease never crosses (2 keeps
+                             ///< double-buffering: a window of 1 serializes
+                             ///< the pipeline and never wins on throughput)
+  double rtt_alpha = 0.2;    ///< EWMA weight of the newest RTT sample
+  double slack = 1.5;        ///< grow while srtt < slack * rtt_min
+  double choke = 2.5;        ///< shrink when srtt > choke * rtt_min
+  uint64_t depth_high = 64;  ///< receiver inbox depth that forces a shrink
+};
+
+class AdaptiveWindow {
+ public:
+  /// The tenant ceiling always wins: a ceiling below min_window lowers the
+  /// floor rather than the floor raising the ceiling.
+  explicit AdaptiveWindow(uint32_t ceiling, AdaptiveWindowConfig cfg = {})
+      : cfg_(cfg),
+        ceiling_(std::max<uint32_t>(1, ceiling)),
+        floor_(std::min(std::max<uint32_t>(1, cfg.min_window), ceiling_)),
+        window_(std::clamp(cfg.initial, floor_, ceiling_)) {}
+
+  uint32_t window() const { return window_; }
+  uint32_t ceiling() const { return ceiling_; }
+  uint32_t floor() const { return floor_; }
+  double srtt() const { return srtt_; }
+  double rtt_min() const { return rtt_min_; }
+
+  /// Feeds `n` acknowledged credits with the measured round trip of the
+  /// oldest one and the receiver's reported queue depth. Returns true when
+  /// the window changed (callers mirror the new value into dps.flow.window).
+  bool on_ack(double rtt_s, uint64_t receiver_depth, uint32_t n) {
+    if (rtt_s > 0) {
+      rtt_min_ = std::min(rtt_min_, rtt_s);
+      srtt_ = srtt_ == 0 ? rtt_s
+                         : (1 - cfg_.rtt_alpha) * srtt_ + cfg_.rtt_alpha * rtt_s;
+    }
+    acks_ += n;
+    if (acks_ < window_) return false;  // at most one step per window-of-acks
+    acks_ = 0;
+    const bool have_rtt = rtt_min_ != std::numeric_limits<double>::infinity();
+    const bool congested = receiver_depth >= cfg_.depth_high ||
+                           (have_rtt && srtt_ > cfg_.choke * rtt_min_);
+    if (congested) {
+      const uint32_t next = std::max(floor_, window_ / 2);
+      const bool changed = next != window_;
+      window_ = next;
+      return changed;
+    }
+    const bool healthy = receiver_depth < (cfg_.depth_high + 1) / 2 &&
+                         (!have_rtt || srtt_ <= cfg_.slack * rtt_min_);
+    if (healthy && window_ < ceiling_) {
+      ++window_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  AdaptiveWindowConfig cfg_;
+  uint32_t ceiling_;
+  uint32_t floor_;
+  uint32_t window_;
+  double rtt_min_ = std::numeric_limits<double>::infinity();
+  double srtt_ = 0;
+  uint64_t acks_ = 0;  ///< credits acknowledged since the last adjustment
+};
+
+}  // namespace dps

@@ -48,6 +48,10 @@ class OpServices {
  public:
   virtual ~OpServices() = default;
   virtual void post(Ptr<Token> token) = 0;
+  /// Posts one token to every listed destination thread of the successor
+  /// collection (multicast collective). Split/stream only.
+  virtual void post_multicast(Ptr<Token> token,
+                              const std::vector<int>& threads) = 0;
   virtual Ptr<Token> wait_next() = 0;
   virtual Thread* user_thread() = 0;
   virtual ExecDomain& domain() = 0;
@@ -89,6 +93,12 @@ class Operation {
   void postTokenErased(Ptr<Token> token) {
     DPS_CHECK(services_ != nullptr, "postToken outside an execution");
     services_->post(std::move(token));
+  }
+  void postTokenMulticastErased(Ptr<Token> token,
+                                const std::vector<int>& threads) {
+    DPS_CHECK(services_ != nullptr,
+              "postTokenMulticast outside an execution");
+    services_->post_multicast(std::move(token), threads);
   }
   Ptr<Token> waitForNextTokenErased() {
     DPS_CHECK(services_ != nullptr, "waitForNextToken outside an execution");
@@ -169,6 +179,29 @@ class TypedOperation : public Operation, public ExecDispatch<In> {
     static_assert(tl::contains_v<T, Out>,
                   "postToken: type is not in this operation's output list");
     postTokenErased(token);
+  }
+
+  /// Multicast collective: posts `token` once to every thread index in
+  /// `threads` of the successor collection (split/stream only). Counts as
+  /// threads.size() posts toward the context total. The token object is
+  /// SHARED by co-located destinations and by the encoder — receivers must
+  /// treat it as read-only. Cross-node destinations get one encode into one
+  /// pooled buffer and one frame per node (or per tree/ring hop, see
+  /// ClusterConfig::mcast_topology).
+  template <class T>
+  void postTokenMulticast(T* token, const std::vector<int>& threads) {
+    static_assert(tl::contains_v<T, Out>,
+                  "postTokenMulticast: type is not in this operation's "
+                  "output list");
+    postTokenMulticastErased(Ptr<Token>(token), threads);
+  }
+  template <class T>
+  void postTokenMulticast(const Ptr<T>& token,
+                          const std::vector<int>& threads) {
+    static_assert(tl::contains_v<T, Out>,
+                  "postTokenMulticast: type is not in this operation's "
+                  "output list");
+    postTokenMulticastErased(token, threads);
   }
 
   /// The executing DPS thread's user state.

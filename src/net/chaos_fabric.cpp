@@ -65,11 +65,32 @@ bool ChaosFabric::severed(NodeId from, NodeId to) const {
 
 void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
                        std::vector<std::byte> payload) {
+  inject(from, to, kind, std::move(payload), nullptr);
+}
+
+void ChaosFabric::send_shared(NodeId from, NodeId to, FrameKind kind,
+                              std::vector<std::byte> prefix,
+                              SharedPayload body) {
+  inject(from, to, kind, std::move(prefix), std::move(body));
+}
+
+void ChaosFabric::forward(NodeId from, NodeId to, FrameKind kind,
+                          std::vector<std::byte> prefix, SharedPayload body) {
+  if (body) {
+    inner_->send_shared(from, to, kind, std::move(prefix), std::move(body));
+  } else {
+    inner_->send(from, to, kind, std::move(prefix));
+  }
+}
+
+void ChaosFabric::inject(NodeId from, NodeId to, FrameKind kind,
+                         std::vector<std::byte> payload, SharedPayload body) {
+  const size_t frame_bytes = payload.size() + (body ? body->size() : 0);
   {
     MutexLock lock(mu_);
     if (down_) return;
     if (severed(from, to)) {
-      note_drop(kind, from, to, payload.size());
+      note_drop(kind, from, to, frame_bytes);
       return;
     }
   }
@@ -96,22 +117,23 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
     }
   }
   if (drop) {
-    note_drop(kind, from, to, payload.size());
+    note_drop(kind, from, to, frame_bytes);
     return;
   }
   if (dup) {
     duplicated_.fetch_add(1, std::memory_order_relaxed);
 #ifdef DPS_TRACE
     obs::Trace::instance().record(obs::EventKind::kChaosDup, from, to,
-                                  static_cast<uint64_t>(kind), 0,
-                                  payload.size());
+                                  static_cast<uint64_t>(kind), 0, frame_bytes);
 #endif
+    // Only the owned prefix is copied; a duplicated multicast frame keeps
+    // sharing the encoded body with the original.
     std::vector<std::byte> copy = payload;
     if (dup_delay > 0) {
       enqueue_delayed({mono_seconds() + dup_delay, 0, from, to, kind,
-                       std::move(copy)});
+                       std::move(copy), body});
     } else {
-      inner_->send(from, to, kind, std::move(copy));
+      forward(from, to, kind, std::move(copy), body);
     }
   }
   if (delay > 0) {
@@ -120,13 +142,13 @@ void ChaosFabric::send(NodeId from, NodeId to, FrameKind kind,
     obs::Trace::instance().record(obs::EventKind::kChaosDelay, from, to,
                                   static_cast<uint64_t>(kind),
                                   static_cast<uint64_t>(delay * 1e9),
-                                  payload.size());
+                                  frame_bytes);
 #endif
-    enqueue_delayed(
-        {mono_seconds() + delay, 0, from, to, kind, std::move(payload)});
+    enqueue_delayed({mono_seconds() + delay, 0, from, to, kind,
+                     std::move(payload), std::move(body)});
     return;
   }
-  inner_->send(from, to, kind, std::move(payload));
+  forward(from, to, kind, std::move(payload), std::move(body));
 }
 
 void ChaosFabric::enqueue_delayed(Delayed d) {
@@ -160,10 +182,12 @@ void ChaosFabric::timer_loop() {
       cut = down_ || severed(d.from, d.to);
     }
     if (cut) {
-      note_drop(d.kind, d.from, d.to, d.payload.size());
+      note_drop(d.kind, d.from, d.to,
+                d.payload.size() + (d.shared ? d.shared->size() : 0));
     } else {
       try {
-        inner_->send(d.from, d.to, d.kind, std::move(d.payload));
+        forward(d.from, d.to, d.kind, std::move(d.payload),
+                std::move(d.shared));
       } catch (const Error& e) {
         DPS_WARN("chaos fabric: delayed delivery failed: " << e.what());
       }

@@ -59,6 +59,10 @@ class ChaosFabric : public Fabric {
   void attach_batch(NodeId self, BatchHandler handler) override;
   void send(NodeId from, NodeId to, FrameKind kind,
             std::vector<std::byte> payload) override;
+  /// Multicast frames draw per-link faults exactly like unicast ones; a
+  /// duplicate copies only the owned prefix and re-shares the body.
+  void send_shared(NodeId from, NodeId to, FrameKind kind,
+                   std::vector<std::byte> prefix, SharedPayload body) override;
   void shutdown() override;
   uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
   uint64_t messages_sent() const override { return inner_->messages_sent(); }
@@ -97,6 +101,7 @@ class ChaosFabric : public Fabric {
     NodeId from, to;
     FrameKind kind;
     std::vector<std::byte> payload;
+    SharedPayload shared;  ///< optional shared body (multicast frames)
     bool operator>(const Delayed& o) const {
       return due != o.due ? due > o.due : order > o.order;
     }
@@ -104,6 +109,12 @@ class ChaosFabric : public Fabric {
 
   LinkState& link(NodeId from, NodeId to);
   bool severed(NodeId from, NodeId to) const DPS_REQUIRES(mu_);
+  /// Shared fault pipeline for send() and send_shared(); `body` may be null.
+  void inject(NodeId from, NodeId to, FrameKind kind,
+              std::vector<std::byte> prefix, SharedPayload body);
+  /// Hands a (possibly shared-body) frame to the inner fabric.
+  void forward(NodeId from, NodeId to, FrameKind kind,
+               std::vector<std::byte> prefix, SharedPayload body);
   void enqueue_delayed(Delayed d);
   void timer_loop();
   void note_drop(FrameKind kind, NodeId from, NodeId to, size_t bytes);

@@ -61,6 +61,21 @@ class Fabric {
   virtual void send(NodeId from, NodeId to, FrameKind kind,
                     std::vector<std::byte> payload) = 0;
 
+  /// Sends one message whose wire payload is `prefix` followed by `*body`.
+  /// The body is immutable and may be shared by many concurrent sends —
+  /// this is the multicast hot path: one encode, K transmits. The default
+  /// materializes the two segments into one owned payload; TcpFabric
+  /// overrides it to point an extra writev iovec at the shared bytes, and
+  /// ChaosFabric to inject per-link faults without copying the body.
+  virtual void send_shared(NodeId from, NodeId to, FrameKind kind,
+                           std::vector<std::byte> prefix, SharedPayload body) {
+    std::vector<std::byte> payload = std::move(prefix);
+    if (body && !body->empty()) {
+      payload.insert(payload.end(), body->begin(), body->end());
+    }
+    send(from, to, kind, std::move(payload));
+  }
+
   /// Stops delivery and releases transport resources. Idempotent.
   virtual void shutdown() = 0;
 

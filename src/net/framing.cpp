@@ -19,31 +19,40 @@ struct WireHeader {
 };
 static_assert(sizeof(WireHeader) == 16);
 
+size_t shared_size(const Frame& frame) {
+  return frame.shared ? frame.shared->size() : 0;
+}
+
 WireHeader make_header(const Frame& frame) {
   WireHeader h{};
   h.magic = kFrameMagic;
   h.kind = static_cast<uint16_t>(frame.kind);
   h.reserved = 0;
   h.from = frame.from;
-  h.length = static_cast<uint32_t>(frame.payload.size());
+  h.length = static_cast<uint32_t>(frame.payload.size() + shared_size(frame));
   return h;
 }
 }  // namespace
 
 size_t frame_wire_size(const Frame& frame) {
-  return sizeof(WireHeader) + frame.payload.size();
+  return sizeof(WireHeader) + frame.payload.size() + shared_size(frame);
 }
 
 void write_frame(TcpConn& conn, const Frame& frame) {
   WireHeader h = make_header(frame);
-  iovec iov[2];
+  iovec iov[3];
   iov[0].iov_base = &h;
   iov[0].iov_len = sizeof(h);
   size_t cnt = 1;
   if (!frame.payload.empty()) {
-    iov[1].iov_base = const_cast<std::byte*>(frame.payload.data());
-    iov[1].iov_len = frame.payload.size();
-    cnt = 2;
+    iov[cnt].iov_base = const_cast<std::byte*>(frame.payload.data());
+    iov[cnt].iov_len = frame.payload.size();
+    ++cnt;
+  }
+  if (shared_size(frame) > 0) {
+    iov[cnt].iov_base = const_cast<std::byte*>(frame.shared->data());
+    iov[cnt].iov_len = frame.shared->size();
+    ++cnt;
   }
   conn.writev_all(iov, cnt);
 }
@@ -51,16 +60,21 @@ void write_frame(TcpConn& conn, const Frame& frame) {
 void write_frames(TcpConn& conn, const Frame* frames, size_t count) {
   if (count == 0) return;
   // Headers live in one contiguous array so their iovecs stay valid for the
-  // whole scatter-gather write; payload iovecs point into the frames.
+  // whole scatter-gather write; payload (and shared-body) iovecs point into
+  // the frames.
   std::vector<WireHeader> headers(count);
   std::vector<iovec> iov;
-  iov.reserve(2 * count);
+  iov.reserve(3 * count);
   for (size_t i = 0; i < count; ++i) {
     headers[i] = make_header(frames[i]);
     iov.push_back({&headers[i], sizeof(WireHeader)});
     if (!frames[i].payload.empty()) {
       iov.push_back({const_cast<std::byte*>(frames[i].payload.data()),
                      frames[i].payload.size()});
+    }
+    if (shared_size(frames[i]) > 0) {
+      iov.push_back({const_cast<std::byte*>(frames[i].shared->data()),
+                     frames[i].shared->size()});
     }
   }
   conn.writev_all(iov.data(), iov.size());

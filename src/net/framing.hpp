@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/socket.hpp"
@@ -15,6 +16,11 @@ namespace dps {
 
 /// Logical node index within one cluster run.
 using NodeId = uint32_t;
+
+/// Immutable payload bytes shared between several in-flight frames — the
+/// multicast body: one encode, K transmits. Receivers always see the frame
+/// as one contiguous payload; sharing is a sender-side optimization.
+using SharedPayload = std::shared_ptr<const std::vector<std::byte>>;
 
 /// Frame kinds understood by the controller.
 enum class FrameKind : uint16_t {
@@ -29,12 +35,20 @@ enum class FrameKind : uint16_t {
   kHeartbeat = 8,  ///< liveness beacon, carries the link's cumulative ack
   kPeerDown = 9,   ///< synthesized by a fabric: peer channel failed
                    ///< (payload = human-readable reason)
+  // Multicast collectives (docs/PERFORMANCE.md):
+  kMcastEnvelope = 10,  ///< one envelope body fanned out to K destinations:
+                        ///< [u8 topology | u32 n | n x {node,thread,seq} |
+                        ///<  envelope body]
 };
 
+/// On the wire a frame's payload is `payload` followed by `*shared` (when
+/// set). The owned part carries per-destination prefixes (headers, seq/ack
+/// wraps); the shared part is the multicast body encoded exactly once.
 struct Frame {
   FrameKind kind = FrameKind::kEnvelope;
   NodeId from = 0;
   std::vector<std::byte> payload;
+  SharedPayload shared;  ///< optional trailing segment, shared across frames
 };
 
 inline constexpr uint32_t kFrameMagic = 0x44505331;  // "DPS1"

@@ -342,11 +342,26 @@ TcpFabric::OutConn& TcpFabric::out_conn(NodeId from, NodeId to) {
 
 void TcpFabric::send(NodeId from, NodeId to, FrameKind kind,
                      std::vector<std::byte> payload) {
-  OutConn& oc = out_conn(from, to);
   Frame f;
   f.kind = kind;
   f.from = from;
   f.payload = std::move(payload);
+  enqueue_frame(from, to, std::move(f));
+}
+
+void TcpFabric::send_shared(NodeId from, NodeId to, FrameKind kind,
+                            std::vector<std::byte> prefix, SharedPayload body) {
+  Frame f;
+  f.kind = kind;
+  f.from = from;
+  f.payload = std::move(prefix);
+  f.shared = std::move(body);
+  enqueue_frame(from, to, std::move(f));
+}
+
+void TcpFabric::enqueue_frame(NodeId from, NodeId to, Frame f) {
+  OutConn& oc = out_conn(from, to);
+  const FrameKind kind = f.kind;
   const size_t wire = frame_wire_size(f);
   {
     MutexLock lock(oc.mu);

@@ -40,6 +40,11 @@ class TcpFabric : public Fabric {
   void attach_batch(NodeId self, BatchHandler handler) override;
   void send(NodeId from, NodeId to, FrameKind kind,
             std::vector<std::byte> payload) override;
+  /// Zero-copy multicast hot path: the shared body rides the frame as a
+  /// separate writev iovec, never copied into the per-frame payload. The
+  /// sender releases only the owned prefix buffer to the BufferPool.
+  void send_shared(NodeId from, NodeId to, FrameKind kind,
+                   std::vector<std::byte> prefix, SharedPayload body) override;
   void shutdown() override;
   uint64_t bytes_sent() const override;
   uint64_t messages_sent() const override;
@@ -87,6 +92,9 @@ class TcpFabric : public Fabric {
   void receiver_loop(NodeId self, std::shared_ptr<TcpConn> conn);
   void sender_loop(OutConn& oc);
   OutConn& out_conn(NodeId from, NodeId to);
+  /// Common enqueue path for send() and send_shared(): backpressure wait,
+  /// FIFO queue append, stats, sender wakeup.
+  void enqueue_frame(NodeId from, NodeId to, Frame f);
   std::string node_label(NodeId node) const DPS_REQUIRES(mu_);
 
   // Default per-connection queue budget: deep enough to decouple a worker

@@ -72,6 +72,16 @@ enum class EventKind : uint16_t {
   kSvcAdmit = 27,       ///< service call admitted (a=tenant, d=inflight)
   kSvcShed = 28,        ///< service call shed with kBackpressure (a=tenant)
   kSvcDeadline = 29,    ///< call retired by deadline expiry (a=tenant)
+
+  // Multicast collectives + adaptive flow control (docs/PERFORMANCE.md).
+  kMcastSend = 30,     ///< collective posted (a=target vertex, b=K,
+                       ///< c=remote dests, d=encoded body bytes)
+  kMcastForward = 31,  ///< relay forwarded a subtree (a=target vertex,
+                       ///< b=groups, d=body bytes)
+  kMcastDeliver = 32,  ///< local deliveries of one frame (a=target vertex,
+                       ///< b=delivered, c=header entries, d=body bytes)
+  kFlowWindow = 33,    ///< adaptive window changed (a=flow context,
+                       ///< b=new window, c=receiver depth, d=in_flight)
 };
 
 const char* to_string(EventKind kind) noexcept;

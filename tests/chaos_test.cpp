@@ -20,6 +20,7 @@
 #include "obs/trace_query.hpp"
 #include "serial/wire.hpp"
 #include "test_seed.hpp"
+#include "tests/mcast_app.hpp"
 #include "tests/toupper_app.hpp"
 
 namespace dps {
@@ -487,6 +488,142 @@ TEST(Chaos, TenantChurnShedsCleanlyAndDeliversExactlyOnce) {
   EXPECT_EQ(stats.admitted + stats.shed,
             static_cast<uint64_t>(issued) / 2)
       << "the re-joining tenant's stats must survive churn rounds";
+}
+
+// Multicast collectives under chaos: a broadcast to K receivers rides ONE
+// shared payload per link (kMcastEnvelope frames), and exactly-once
+// delivery composes per-link — so a seeded drop/duplicate/reorder sweep
+// over both the inproc and the real-TCP fabric must still deliver the
+// collective exactly once to every receiver: K distinct echoes, zero
+// duplicates, every receiver decoding the identical payload. Replay:
+// DPS_TEST_SEED=<seed> ./dps_tests --gtest_filter=Chaos.Mcast*
+TEST(Chaos, McastExactlyOnceUnderSeededFaultSweepInprocAndTcp) {
+  const uint32_t seed = dps_testing::effective_seed(0x3ca57);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  constexpr int kFanout = 6;
+  uint64_t dropped = 0, duplicated = 0;
+  for (int use_tcp : {0, 1}) {
+    for (int round = 0; round < 2; ++round) {
+      FaultPlan plan;
+      plan.seed = seed + static_cast<uint64_t>(round) * 0x9e3779b9u +
+                  static_cast<uint64_t>(use_tcp) * 0x85ebca6bu;
+      plan.all.drop = 0.05 * round;  // clean round, then 5% loss
+      plan.all.duplicate = 0.08;
+      plan.all.duplicate_every = 5;
+      plan.all.delay_min = 0.0;
+      plan.all.delay_max = 0.001;  // reordering pressure
+      ClusterConfig cfg =
+          use_tcp ? ClusterConfig::tcp(3) : ClusterConfig::inproc(3);
+      std::shared_ptr<Fabric> inner;
+      if (use_tcp) {
+        inner = std::make_shared<TcpFabric>(3);
+      } else {
+        inner = std::make_shared<InprocFabric>(3);
+      }
+      auto chaos = std::make_shared<ChaosFabric>(inner, plan);
+      cfg.external_fabric = chaos;
+      cfg.fault.reliable = true;
+      Cluster cluster(cfg);
+      Application app(cluster, "bcast");
+      auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+      ActorScope scope(cluster.domain(), "main");
+      for (int call = 0; call < 3; ++call) {
+        auto res = dps_mcast::run_bcast(
+            *graph, kFanout, 0xabc0 + static_cast<uint64_t>(call), 2048);
+        ASSERT_TRUE(res) << "tcp=" << use_tcp << " round=" << round;
+        EXPECT_EQ(res->distinct, kFanout)
+            << "every receiver exactly once (tcp=" << use_tcp << ")";
+        EXPECT_EQ(res->total, kFanout);
+        EXPECT_EQ(res->duplicates, 0);
+        EXPECT_EQ(res->uniform, 1)
+            << "all receivers must decode the identical shared payload";
+      }
+      dropped += chaos->frames_dropped();
+      duplicated += chaos->frames_duplicated();
+    }
+  }
+  EXPECT_GT(dropped, 0u) << "the sweep must actually have exercised loss";
+  EXPECT_GT(duplicated, 0u) << "the sweep must have injected duplicates";
+}
+
+// The tree fan-out relays kMcastEnvelope frames through intermediate nodes;
+// each hop is its own reliable link, so exactly-once must survive the same
+// sweep when forwarding is in play.
+TEST(Chaos, McastTreeTopologySurvivesSeededFaults) {
+  const uint32_t seed = dps_testing::effective_seed(0x7ee3);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  constexpr int kFanout = 8;
+  uint64_t dropped = 0;
+  for (int round = 0; round < 2; ++round) {
+    FaultPlan plan;
+    plan.seed = seed + static_cast<uint64_t>(round) * 0x9e3779b9u;
+    plan.all.drop = 0.04;
+    plan.all.duplicate_every = 6;
+    ClusterConfig cfg = ClusterConfig::inproc(4);
+    cfg.mcast_topology = McastTopology::kTree;
+    auto chaos = std::make_shared<ChaosFabric>(
+        std::make_shared<InprocFabric>(4), plan);
+    cfg.external_fabric = chaos;
+    cfg.fault.reliable = true;
+    Cluster cluster(cfg);
+    Application app(cluster, "bcast");
+    auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+    ActorScope scope(cluster.domain(), "main");
+    for (int call = 0; call < 3; ++call) {
+      auto res = dps_mcast::run_bcast(
+          *graph, kFanout, 0x7ee30 + static_cast<uint64_t>(call), 1024);
+      ASSERT_TRUE(res) << "round " << round;
+      EXPECT_EQ(res->distinct, kFanout);
+      EXPECT_EQ(res->total, kFanout);
+      EXPECT_EQ(res->duplicates, 0);
+      EXPECT_EQ(res->uniform, 1);
+    }
+    dropped += chaos->frames_dropped();
+  }
+  EXPECT_GT(dropped, 0u) << "the sweep must actually have exercised loss";
+}
+
+// A link partition opened mid-collective must stall the multicast (reliable
+// retransmission keeps trying), and healing the link must let the same call
+// complete exactly-once — no loss, no duplicate deliveries from the
+// retransmit storm that crossed the heal.
+TEST(Chaos, McastPartitionHealDeliversExactlyOnce) {
+  FaultPlan plan;  // clean links; the only fault is the partition below
+  std::shared_ptr<ChaosFabric> chaos;
+  ClusterConfig cfg = chaos_config(3, plan, &chaos);
+  Cluster cluster(cfg);
+  Application app(cluster, "bcast");
+  constexpr int kFanout = 6;
+  auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+  ActorScope scope(cluster.domain(), "main");
+
+  // Warm-up proves the graph works before the fault.
+  auto warm = dps_mcast::run_bcast(*graph, kFanout, 1, 512);
+  ASSERT_TRUE(warm);
+  ASSERT_EQ(warm->distinct, kFanout);
+
+  chaos->partition(0, 2);  // node 2's receivers unreachable from the master
+  CallHandle call = [&] {
+    auto* req = new dps_mcast::BcastPayload();
+    req->fanout = kFanout;
+    req->stamp = 2;
+    req->blob.resize(512);
+    for (size_t i = 0; i < 512; ++i) {
+      req->blob[i] = static_cast<uint8_t>((2 + i * 131) & 0xff);
+    }
+    return graph->call_async(req);
+  }();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  chaos->heal(0, 2);
+
+  auto res = token_cast<dps_mcast::BcastResult>(call.wait());
+  ASSERT_TRUE(res) << "healed partition must let the collective finish";
+  EXPECT_EQ(res->distinct, kFanout);
+  EXPECT_EQ(res->total, kFanout);
+  EXPECT_EQ(res->duplicates, 0);
+  EXPECT_EQ(res->uniform, 1);
+  EXPECT_GT(chaos->frames_dropped(), 0u)
+      << "the partition must actually have severed frames";
 }
 
 // Reliable delivery and heartbeats are wall-clock mechanisms; under virtual

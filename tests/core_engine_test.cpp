@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "net/fabric.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_query.hpp"
+#include "serial/buffer_pool.hpp"
+#include "tests/mcast_app.hpp"
 #include "tests/toupper_app.hpp"
 
 namespace dps {
@@ -235,6 +241,197 @@ TEST(GraphValidation, EmptySplitIsAnError) {
   ActorScope scope(cluster.domain(), "test-main");
   auto handle = graph->call_async(new StringToken("ignored"));
   EXPECT_THROW((void)handle.wait(), Error);  // deadlock diagnosis
+}
+
+// ---------------------------------------------------------------------------
+// Multicast collectives: one encode, K transmits (docs/PERFORMANCE.md)
+// ---------------------------------------------------------------------------
+
+/// Pass-through fabric wrapper that records the shared-body pointer of
+/// every send_shared call — the proof that K multicast transmits reference
+/// ONE encoded payload instead of K copies.
+class SharedBodyRecorder : public Fabric {
+ public:
+  explicit SharedBodyRecorder(std::shared_ptr<Fabric> inner)
+      : inner_(std::move(inner)) {}
+
+  void attach(NodeId self, Handler handler) override {
+    inner_->attach(self, std::move(handler));
+  }
+  void attach_batch(NodeId self, BatchHandler handler) override {
+    inner_->attach_batch(self, std::move(handler));
+  }
+  void send(NodeId from, NodeId to, FrameKind kind,
+            std::vector<std::byte> payload) override {
+    inner_->send(from, to, kind, std::move(payload));
+  }
+  void send_shared(NodeId from, NodeId to, FrameKind kind,
+                   std::vector<std::byte> prefix, SharedPayload body) override {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      bodies.push_back(body.get());
+      body_bytes.push_back(body ? body->size() : 0);
+    }
+    inner_->send_shared(from, to, kind, std::move(prefix), std::move(body));
+  }
+  void shutdown() override { inner_->shutdown(); }
+  uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+  uint64_t messages_sent() const override { return inner_->messages_sent(); }
+
+  std::mutex mu;
+  std::vector<const void*> bodies;
+  std::vector<size_t> body_bytes;
+
+ private:
+  std::shared_ptr<Fabric> inner_;
+};
+
+// One collective with 8 destinations over 4 nodes must cost exactly one
+// envelope encode and one kMcastEnvelope frame per remote node (the last
+// destination rides the held-back unicast, so nodes 1..3 get one shared
+// frame each); every frame's body is the SAME allocation, and no encode
+// grows its pooled buffer.
+TEST(Mcast, OneEncodeKTransmitSharesOnePayload) {
+  constexpr int kFanout = 8;
+  ClusterConfig cfg = ClusterConfig::inproc(4);
+  auto recorder =
+      std::make_shared<SharedBodyRecorder>(std::make_shared<InprocFabric>(4));
+  cfg.external_fabric = recorder;
+  BufferPool::instance().reset_stats();
+  Cluster cluster(cfg);
+  Application app(cluster, "bcast");
+  auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+  ActorScope scope(cluster.domain(), "main");
+
+  auto res = dps_mcast::run_bcast(*graph, kFanout, 0x5eed, 4096);
+  ASSERT_TRUE(res);
+  EXPECT_EQ(res->distinct, kFanout);
+  EXPECT_EQ(res->duplicates, 0);
+  EXPECT_EQ(res->uniform, 1);
+
+  EXPECT_EQ(cluster.controller(0).multicast_encodes(), 1u)
+      << "one collective => one envelope encode";
+  EXPECT_EQ(cluster.controller(0).multicast_frames_sent(), 3u)
+      << "flat fan-out: one frame per remote node (last dest held back as "
+         "the unicast carrying the split total)";
+  {
+    std::lock_guard<std::mutex> lock(recorder->mu);
+    ASSERT_EQ(recorder->bodies.size(), 3u);
+    EXPECT_EQ(recorder->bodies[0], recorder->bodies[1]);
+    EXPECT_EQ(recorder->bodies[1], recorder->bodies[2])
+        << "all transmits must share one payload allocation";
+    EXPECT_GT(recorder->body_bytes[0], size_t{4096})
+        << "the shared body carries the encoded blob";
+  }
+  EXPECT_EQ(BufferPool::instance().stats().encode_growths, 0u)
+      << "the single multicast encode must get an exact-size pooled buffer";
+}
+
+// Repeated collectives scale the counters linearly — the encode count stays
+// one per collective regardless of fan-out, never one per destination.
+TEST(Mcast, EncodeCountStaysOnePerCollective) {
+  constexpr int kFanout = 12;
+  constexpr int kCalls = 5;
+  Cluster cluster(ClusterConfig::inproc(3));
+  Application app(cluster, "bcast");
+  auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+  ActorScope scope(cluster.domain(), "main");
+  for (int i = 0; i < kCalls; ++i) {
+    auto res = dps_mcast::run_bcast(*graph, kFanout,
+                                    static_cast<uint64_t>(i), 1024);
+    ASSERT_TRUE(res);
+    EXPECT_EQ(res->distinct, kFanout);
+  }
+  EXPECT_EQ(cluster.controller(0).multicast_encodes(),
+            static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(cluster.controller(0).multicast_frames_sent(),
+            static_cast<uint64_t>(kCalls) * 2)  // nodes 1 and 2, one frame each
+      << "K destinations never cost K frames";
+}
+
+// The bcast app maps its master collection onto a single thread, so the
+// split and the merge share one worker. The adaptive window starts at 4 —
+// below the fan-out — and a collective that parked that worker in
+// flow_acquire would deadlock: the only releases come from the colocated
+// merge queued behind it. The collective window floor must keep it live,
+// over both fabrics (the huge static default window used to mask this).
+TEST(Mcast, AdaptiveWindowBelowFanoutCannotStarveSharedSplitMergeWorker) {
+  constexpr int kFanout = 9;  // > AdaptiveWindowConfig initial window (4)
+  for (const bool tcp : {false, true}) {
+    SCOPED_TRACE(tcp ? "tcp" : "inproc");
+    ClusterConfig cfg =
+        tcp ? ClusterConfig::tcp(3) : ClusterConfig::inproc(3);
+    cfg.adaptive_flow = true;
+    Cluster cluster(cfg);
+    Application app(cluster, "bcast");
+    auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+    ActorScope scope(cluster.domain(), "main");
+    for (int r = 0; r < 3; ++r) {
+      auto res = dps_mcast::run_bcast(*graph, kFanout,
+                                      static_cast<uint64_t>(0xadab + r), 2048);
+      ASSERT_TRUE(res);
+      EXPECT_EQ(res->distinct, kFanout);
+      EXPECT_EQ(res->duplicates, 0);
+      EXPECT_EQ(res->uniform, 1);
+    }
+    EXPECT_EQ(cluster.controller(0).multicast_encodes(), 3u);
+  }
+}
+
+// Trace-driven proof over the real TCP fabric: the flight recorder shows
+// exactly one kMcastSend for the collective, one kMcastDeliver per remote
+// node's frame, and the frames ride the async sender's coalesced kTxBatch
+// windows — while the fabric-level recorder still sees a single shared
+// body. This is the wire-level half of the one-encode-K-transmit claim.
+TEST(Mcast, TraceShowsSharedTransmitsOverTcp) {
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "built without DPS_TRACE; use the trace preset";
+  }
+  constexpr int kFanout = 8;
+  obs::Trace::instance().reset();
+  obs::Trace::instance().configure(
+      {/*enabled=*/true, /*sample_every=*/1, /*buffer_capacity=*/1u << 15});
+
+  ClusterConfig cfg = ClusterConfig::tcp(4);
+  auto recorder =
+      std::make_shared<SharedBodyRecorder>(std::make_shared<TcpFabric>(4));
+  cfg.external_fabric = recorder;
+  uint64_t mcast_frames = 0;
+  {
+    Cluster cluster(cfg);
+    Application app(cluster, "bcast");
+    auto graph = dps_mcast::build_bcast_graph(app, kFanout);
+    ActorScope scope(cluster.domain(), "main");
+    auto res = dps_mcast::run_bcast(*graph, kFanout, 0x7cb, 2048);
+    ASSERT_TRUE(res);
+    EXPECT_EQ(res->distinct, kFanout);
+    EXPECT_EQ(res->uniform, 1);
+    mcast_frames = cluster.controller(0).multicast_frames_sent();
+  }
+
+  obs::TraceQuery q(obs::Trace::instance().collect());
+  obs::Trace::instance().set_enabled(false);
+  obs::Trace::instance().reset();
+
+  EXPECT_EQ(q.count(obs::EventKind::kMcastSend), 1u)
+      << "one collective => one mcast_send event";
+  EXPECT_EQ(q.count(obs::EventKind::kMcastDeliver), mcast_frames)
+      << "one grouped delivery per remote node's frame";
+  uint64_t delivered = 0;
+  for (const auto& ev : q.of_kind(obs::EventKind::kMcastDeliver)) {
+    delivered += ev.e.b;  // a = target vertex, b = tokens delivered
+  }
+  EXPECT_EQ(delivered, 5u)
+      << "threads 1,2,3,5,6 arrive via mcast frames (0,4 are local; 7 is "
+         "the held-back unicast)";
+  EXPECT_GE(q.transmit_intervals(0).size(), 1u)
+      << "the shared frames must ride the async sender's kTxBatch windows";
+  {
+    std::lock_guard<std::mutex> lock(recorder->mu);
+    ASSERT_GE(recorder->bodies.size(), 3u);
+    EXPECT_EQ(recorder->bodies[0], recorder->bodies[1]);
+    EXPECT_EQ(recorder->bodies[1], recorder->bodies[2]);
+  }
 }
 
 }  // namespace

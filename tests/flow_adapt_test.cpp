@@ -1,0 +1,168 @@
+// Property tests for the adaptive split flow-control window
+// (src/core/flow_adapt.hpp). AdaptiveWindow is a pure state machine, so the
+// properties are driven with injected signals and seeded randomness:
+//
+//  * bounds      — the window never leaves [floor, ceiling] under ANY signal
+//                  sequence, and a tenant ceiling below the floor wins;
+//  * monotone    — from an identical controller state, one ack with worse
+//                  signals (higher RTT, deeper receiver queue) never yields
+//                  a LARGER window than an ack with better signals;
+//  * convergence — persistent health drives the window to the ceiling,
+//                  persistent congestion to the floor, in bounded acks; and
+//                  end-to-end on the simulated matmul the adaptive engine
+//                  path lands within 5% of the best static window (the
+//                  bench/ablation_flowctl gate, asserted here at test size).
+//
+// Randomized cases replay via DPS_TEST_SEED=<seed> ./dps_tests
+// --gtest_filter=FlowAdapt.*
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "apps/matmul.hpp"
+#include "core/flow_adapt.hpp"
+#include "test_seed.hpp"
+
+namespace dps {
+namespace {
+
+TEST(FlowAdapt, WindowStaysWithinBoundsUnderRandomSignals) {
+  const uint32_t seed = dps_testing::effective_seed(0xf10a);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> rtt(1e-6, 5e-3);
+  std::uniform_int_distribution<uint64_t> depth(0, 256);
+  std::uniform_int_distribution<uint32_t> acks(1, 8);
+  for (uint32_t ceiling : {1u, 2u, 3u, 8u, 64u, 1024u}) {
+    AdaptiveWindow w(ceiling);
+    const uint32_t lo = w.floor();
+    const uint32_t hi = w.ceiling();
+    ASSERT_LE(lo, hi);
+    for (int step = 0; step < 2000; ++step) {
+      w.on_ack(rtt(rng), depth(rng), acks(rng));
+      ASSERT_GE(w.window(), lo) << "ceiling " << ceiling << " step " << step;
+      ASSERT_LE(w.window(), hi) << "ceiling " << ceiling << " step " << step;
+    }
+  }
+}
+
+TEST(FlowAdapt, TenantCeilingBelowFloorWins) {
+  AdaptiveWindowConfig cfg;
+  cfg.min_window = 4;
+  AdaptiveWindow w(2, cfg);  // tenant allows at most 2 in flight
+  EXPECT_EQ(w.ceiling(), 2u);
+  EXPECT_EQ(w.floor(), 2u) << "the floor must drop to the ceiling, never "
+                              "raise the tenant's limit";
+  EXPECT_LE(w.window(), 2u);
+  for (int i = 0; i < 100; ++i) {
+    w.on_ack(1e-4, 0, 1);  // perfectly healthy: still must not exceed 2
+    ASSERT_LE(w.window(), 2u);
+  }
+}
+
+// Step response is monotone in the signals: clone one controller state,
+// feed the twin a strictly worse ack, and the twin may never end up with
+// the bigger window.
+TEST(FlowAdapt, StepResponseMonotoneInSignals) {
+  const uint32_t seed = dps_testing::effective_seed(0xf10b);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> rtt(1e-5, 2e-3);
+  std::uniform_int_distribution<uint64_t> depth(0, 128);
+  std::uniform_int_distribution<int> len(0, 200);
+  for (int trial = 0; trial < 200; ++trial) {
+    AdaptiveWindow base(64);
+    const int prefix = len(rng);
+    for (int i = 0; i < prefix; ++i) base.on_ack(rtt(rng), depth(rng), 1);
+
+    AdaptiveWindow good = base;  // identical state
+    AdaptiveWindow bad = base;
+    const double r = rtt(rng);
+    const uint64_t d = depth(rng);
+    good.on_ack(r, d, 1);
+    bad.on_ack(r * 4, d + 64, 1);  // worse RTT, deeper receiver queue
+    ASSERT_LE(bad.window(), good.window())
+        << "trial " << trial << ": worse signals produced a larger window";
+  }
+}
+
+TEST(FlowAdapt, ConvergesToCeilingWhenHealthy) {
+  AdaptiveWindow w(32);
+  // Flat RTT at the floor value, empty receiver queue: pure health. The
+  // additive increase must reach the ceiling within ceiling windows-of-acks
+  // (sum of window sizes is < 32*32 acks).
+  int acks_needed = 0;
+  while (w.window() < w.ceiling() && acks_needed < 32 * 32 + 1) {
+    w.on_ack(1e-4, 0, 1);
+    ++acks_needed;
+  }
+  EXPECT_EQ(w.window(), w.ceiling())
+      << "healthy signals must grow the window to the tenant ceiling";
+}
+
+TEST(FlowAdapt, ConvergesToFloorWhenCongested) {
+  AdaptiveWindowConfig cfg;
+  cfg.initial = 1024;
+  AdaptiveWindow w(1024, cfg);
+  // Receiver queue pinned far beyond depth_high: multiplicative decrease
+  // must reach the floor in ~log2(1024) adjustments; each adjustment takes
+  // at most one window-of-acks.
+  for (int i = 0; i < 1024 * 16 && w.window() > w.floor(); ++i) {
+    w.on_ack(5e-3, 10000, 16);
+  }
+  EXPECT_EQ(w.window(), w.floor())
+      << "persistent congestion must shrink the window to the floor";
+}
+
+// RTT inflation alone (no queue-depth signal) must also shrink the window:
+// srtt beyond choke * rtt_min is the Vegas-style congestion verdict.
+TEST(FlowAdapt, RttInflationAloneShrinksWindow) {
+  AdaptiveWindowConfig cfg;
+  cfg.initial = 16;
+  AdaptiveWindow w(64, cfg);
+  for (int i = 0; i < 32; ++i) w.on_ack(1e-4, 0, 1);  // establish rtt_min
+  const uint32_t before = w.window();
+  for (int i = 0; i < 256; ++i) w.on_ack(5e-3, 0, 1);  // 50x the floor RTT
+  EXPECT_LT(w.window(), before)
+      << "a 50x RTT inflation must register as congestion";
+  EXPECT_EQ(w.window(), w.floor());
+}
+
+// End-to-end convergence on the engine path: the adaptive controller,
+// driven by real flow-credit RTTs and piggybacked queue depths on the
+// simulated matmul, must land within 5% of the best static window found by
+// a sweep — the same gate bench/ablation_flowctl enforces at full size.
+TEST(FlowAdapt, AdaptiveWithinFivePercentOfBestStaticOnSimMatmul) {
+  constexpr int kN = 128;
+  constexpr int kS = 8;
+  constexpr int kWorkers = 4;
+  constexpr double kRate = 220e6;
+  auto run = [&](uint32_t window, bool adaptive) {
+    ClusterConfig cfg = ClusterConfig::simulated(kWorkers + 1);
+    cfg.flow_window = window;
+    cfg.adaptive_flow = adaptive;
+    Cluster cluster(cfg);
+    Application app(cluster, "matmul");
+    auto graph = apps::build_matmul_graph(app, kWorkers);
+    ActorScope scope(cluster.domain(), "main");
+    la::Matrix a(kN, kN);
+    la::Matrix b(kN, kN);
+    const double t0 = cluster.domain().now();
+    (void)apps::run_matmul(*graph, a, b, kS, kRate);
+    return cluster.domain().now() - t0;
+  };
+  double best = -1;
+  for (uint32_t window : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const double dt = run(window, false);
+    if (best < 0 || dt < best) best = dt;
+  }
+  const double adaptive = run(1024, true);
+  EXPECT_LE(adaptive, best / 0.95)
+      << "adaptive " << adaptive * 1e3 << " ms vs best static " << best * 1e3
+      << " ms";
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,159 @@
+// Broadcast test graph for the multicast collective path: a split posts ONE
+// payload token to every compute thread via postTokenMulticast, each worker
+// echoes its thread index plus a checksum of the shared payload, and the
+// merge tallies distinct workers, duplicate deliveries and checksum
+// mismatches. Exactly-once multicast therefore shows up as
+//   distinct == fanout, total == fanout, duplicates == 0, uniform checksum —
+// and any loss hangs the call (caught by test timeouts) while any duplicate
+// or corruption lands in the counters. Shared by chaos_test.cpp,
+// core_engine_test.cpp and service_mesh_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "util/mapping.hpp"
+
+namespace dps_mcast {
+
+using namespace dps;
+
+class BcastPayload : public ComplexToken {
+ public:
+  CT<int32_t> fanout;   ///< number of destination threads
+  CT<uint64_t> stamp;   ///< caller-chosen value every receiver must see
+  Buffer<uint8_t> blob;  ///< bulk payload (exercises the one-encode path)
+  DPS_IDENTIFY(BcastPayload);
+};
+
+class BcastEcho : public SimpleToken {
+ public:
+  int32_t worker;
+  uint64_t checksum;
+  explicit BcastEcho(int32_t w = 0, uint64_t c = 0) : worker(w), checksum(c) {}
+  DPS_IDENTIFY(BcastEcho);
+};
+
+class BcastResult : public SimpleToken {
+ public:
+  int32_t distinct;    ///< workers seen at least once
+  int32_t total;       ///< echoes received in all
+  int32_t duplicates;  ///< echoes beyond the first per worker
+  uint64_t checksum;   ///< first echo's checksum
+  int32_t uniform;     ///< 1 while every checksum matched the first
+  BcastResult()
+      : distinct(0), total(0), duplicates(0), checksum(0), uniform(1) {}
+  DPS_IDENTIFY(BcastResult);
+};
+
+inline uint64_t bcast_checksum(const BcastPayload& p) {
+  uint64_t h = p.stamp.get();
+  for (size_t i = 0; i < p.blob.size(); ++i) {
+    h = h * 1099511628211ull + p.blob[i];
+  }
+  return h;
+}
+
+class BcastMasterThread : public Thread {
+  DPS_IDENTIFY_THREAD(BcastMasterThread);
+};
+
+class BcastWorkThread : public Thread {
+ public:
+  int deliveries = 0;  ///< tokens this thread consumed (per-thread state)
+  DPS_IDENTIFY_THREAD(BcastWorkThread);
+};
+
+DPS_ROUTE(BcastRequestRoute, BcastMasterThread, BcastPayload, 0);
+DPS_ROUTE(BcastEchoRoute, BcastMasterThread, BcastEcho, 0);
+// Multicast posts are pre-routed per destination; this route only serves
+// validation and any non-multicast fallback.
+DPS_ROUTE(BcastWorkRoute, BcastWorkThread, BcastPayload, 0);
+
+/// One postTokenMulticast to threads {0..fanout-1} of the compute
+/// collection: a single encode, node-grouped frames on the wire.
+class BcastSplit : public SplitOperation<BcastMasterThread, TV1(BcastPayload),
+                                         TV1(BcastPayload)> {
+ public:
+  void execute(BcastPayload* in) override {
+    std::vector<int> dests;
+    for (int32_t t = 0; t < in->fanout.get(); ++t) dests.push_back(t);
+    postTokenMulticast(in, dests);
+  }
+  DPS_IDENTIFY_OPERATION(BcastSplit);
+};
+
+class BcastWork : public LeafOperation<BcastWorkThread, TV1(BcastPayload),
+                                       TV1(BcastEcho)> {
+ public:
+  void execute(BcastPayload* in) override {
+    thread()->deliveries++;
+    postToken(new BcastEcho(static_cast<int32_t>(threadIndex()),
+                            bcast_checksum(*in)));
+  }
+  DPS_IDENTIFY_OPERATION(BcastWork);
+};
+
+class BcastMerge : public MergeOperation<BcastMasterThread, TV1(BcastEcho),
+                                         TV1(BcastResult)> {
+ public:
+  void execute(BcastEcho* first) override {
+    auto* out = new BcastResult();
+    std::vector<int> seen;
+    Ptr<BcastEcho> cur(first);
+    for (;;) {
+      out->total++;
+      if (out->total == 1) out->checksum = cur->checksum;
+      if (cur->checksum != out->checksum) out->uniform = 0;
+      const int w = cur->worker;
+      if (static_cast<size_t>(w) >= seen.size()) seen.resize(w + 1, 0);
+      if (seen[w]++ == 0) {
+        out->distinct++;
+      } else {
+        out->duplicates++;
+      }
+      auto t = waitForNextToken();
+      if (!t) break;
+      cur = token_cast<BcastEcho>(t);
+    }
+    postToken(out);
+  }
+  DPS_IDENTIFY_OPERATION(BcastMerge);
+};
+
+/// Builds the broadcast graph: master split/merge on node 0, `threads`
+/// compute threads round-robin over every node of the cluster.
+inline std::shared_ptr<Flowgraph> build_bcast_graph(Application& app,
+                                                    int threads) {
+  auto master = app.thread_collection<BcastMasterThread>("bcast-master");
+  master->map(app.cluster().node_name(0));
+  auto compute = app.thread_collection<BcastWorkThread>("bcast-work");
+  std::vector<std::string> nodes;
+  for (size_t i = 0; i < app.cluster().node_count(); ++i) {
+    nodes.push_back(app.cluster().node_name(static_cast<NodeId>(i)));
+  }
+  compute->map(round_robin_mapping(nodes, threads));
+
+  FlowgraphBuilder builder =
+      FlowgraphNode<BcastSplit, BcastRequestRoute>(master) >>
+      FlowgraphNode<BcastWork, BcastWorkRoute>(compute) >>
+      FlowgraphNode<BcastMerge, BcastEchoRoute>(master);
+  return app.build_graph(builder, "bcast");
+}
+
+/// One broadcast call: returns the merge's tally for `fanout` receivers.
+inline Ptr<BcastResult> run_bcast(Flowgraph& graph, int fanout,
+                                  uint64_t stamp, size_t blob_bytes) {
+  auto* req = new BcastPayload();
+  req->fanout = fanout;
+  req->stamp = stamp;
+  req->blob.resize(blob_bytes);
+  for (size_t i = 0; i < blob_bytes; ++i) {
+    req->blob[i] = static_cast<uint8_t>((stamp + i * 131) & 0xff);
+  }
+  return token_cast<BcastResult>(graph.call(req));
+}
+
+}  // namespace dps_mcast

@@ -149,6 +149,39 @@ std::shared_ptr<Flowgraph> build_fan_graph(Application& app) {
   return app.build_graph(b, "gated-fan");
 }
 
+// --- Multicast through gated remote receivers (mid-collective faults) -------
+
+/// One collective to every thread of the receiver collection; with the
+/// receivers gated and a small tenant window, the split blocks in
+/// flow_acquire part-way through shipping the collective.
+class MeshMcastSplit
+    : public SplitOperation<MeshThread, TV1(ReqToken), TV1(PartTok)> {
+ public:
+  void execute(ReqToken* in) override {
+    std::vector<int> dests;
+    for (int k = 0; k < in->v; ++k) dests.push_back(k);
+    postTokenMulticast(new PartTok(7), dests);
+  }
+  DPS_IDENTIFY_OPERATION(MeshMcastSplit);
+};
+
+/// split(node0) -> multicast to `dests` gated threads, all on node 1 ->
+/// merge(node0): every multicast credit crosses the link, so node-1 faults
+/// strand the split's flow account mid-collective.
+std::shared_ptr<Flowgraph> build_mcast_fan_graph(Application& app, int dests) {
+  auto mains = app.thread_collection<MeshThread>("mfan-main");
+  const std::string n0 = app.cluster().node_name(0);
+  mains->map(n0 + " " + n0);
+  auto parts = app.thread_collection<MeshThread>("mfan-part");
+  std::vector<std::string> remote = {
+      app.cluster().node_name(app.cluster().node_count() > 1 ? 1 : 0)};
+  parts->map(round_robin_mapping(remote, dests));
+  FlowgraphBuilder b = FlowgraphNode<MeshMcastSplit, MeshReqRoute>(mains) >>
+                       FlowgraphNode<MeshGatedPart, MeshPartSpread>(parts) >>
+                       FlowgraphNode<MeshSumMerge, MeshPartLast>(mains);
+  return app.build_graph(b, "gated-mcast-fan");
+}
+
 bool wait_until(const std::function<bool()>& pred, double seconds = 5.0) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
@@ -393,6 +426,88 @@ TEST(ServiceMesh, PoisonedWindowDoesNotLeakAccounts) {
   EXPECT_TRUE(wait_until(
       [&] { return cluster.controller(0).flow_account_count() == 0; }));
   g_gate.release();  // unpark node 1's worker so shutdown can join it
+}
+
+// Sanity for the multicast fan graph: with open gates, the collective
+// delivers to every receiver and the flow account fully drains.
+TEST(ServiceMesh, McastFanGraphDrainsCleanly) {
+  g_gate.reset();
+  g_gate.release();
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "mcast-fan");
+  TenantConfig cfg;
+  cfg.flow_window = 2;  // the collective's 8 credits recycle 2 slots
+  app.set_tenant_config(cfg);
+  auto graph = build_mcast_fan_graph(app, 8);
+  ActorScope scope(cluster.domain(), "main");
+  auto sum = token_cast<SumTok>(graph->call(new ReqToken(8)));
+  ASSERT_TRUE(sum);
+  EXPECT_EQ(sum->total, 7 * 8) << "one shared token to each of 8 receivers";
+  EXPECT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 0; }));
+}
+
+// Node death mid-multicast: the split is blocked in flow_acquire with part
+// of the collective shipped when the receiving node dies. The blocked
+// waiter must be poisoned awake (the call fails with kNodeDown, never
+// hangs) and the stranded account reaped — flow_account_count() back to 0.
+TEST(ServiceMesh, NodeDeathMidMulticastUnblocksAndReapsAccounts) {
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "mcast-fan");
+  TenantConfig cfg;
+  cfg.flow_window = 2;
+  app.set_tenant_config(cfg);
+  auto graph = build_mcast_fan_graph(app, 8);
+
+  ActorScope scope(cluster.domain(), "main");
+  CallHandle h = graph->call_async(new ReqToken(8));
+  // Both window slots in flight toward the gated receivers: the split is
+  // parked inside postTokenMulticast's flow_acquire.
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  cluster.mark_node_down(1, "test-induced failure");
+  try {
+    (void)h.wait();
+    FAIL() << "a collective toward a dead node must fail, not hang";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kNodeDown);
+  }
+  EXPECT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 0; }))
+      << "the mid-multicast account must be reaped after poison";
+  g_gate.release();  // unpark node 1's worker so shutdown can join it
+}
+
+// Shutdown mid-multicast: tearing the cluster down while a split is parked
+// in flow_acquire part-way through a collective must poison the account
+// (no blocked waiter survives) and drain the account table before the
+// destructor returns — a hang here fails the test by timeout.
+TEST(ServiceMesh, ShutdownMidMulticastLeavesNoBlockedWaiters) {
+  g_gate.reset();
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "mcast-fan");
+  TenantConfig cfg;
+  cfg.flow_window = 2;
+  app.set_tenant_config(cfg);
+  auto graph = build_mcast_fan_graph(app, 8);
+
+  ActorScope scope(cluster.domain(), "main");
+  CallHandle h = graph->call_async(new ReqToken(8));
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 1; }));
+
+  g_gate.release();   // receivers may drain, but the collective is underway
+  cluster.shutdown();  // must poison flow accounts and unblock the split
+  EXPECT_TRUE(wait_until(
+      [&] { return cluster.controller(0).flow_account_count() == 0; }))
+      << "shutdown must reap every flow account";
+  try {
+    (void)h.wait();  // either outcome is fine; hanging is not
+  } catch (const Error&) {
+  }
 }
 
 }  // namespace
