@@ -1,0 +1,171 @@
+// Work-stealing ablation: an imbalanced pipeline on one node.
+//
+// The route sends every compute-heavy leaf token to worker 0 of a
+// four-worker collection — the pathological mapping a static route can
+// produce when the token distribution is skewed. Without stealing the
+// whole batch serializes on one worker while three siblings idle; with
+// ClusterConfig::work_stealing the siblings steal halves of the backlog
+// (context-granular, FIFO-prefix), so wall time approaches total/4.
+//
+// Self-check: on hosts with >= 4 cores, the stealing run must beat the
+// non-stealing run (reduced idle is the acceptance criterion; wall time of
+// an otherwise-idle machine is its direct proxy).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dps;
+
+constexpr int kWorkers = 4;
+constexpr int kTokens = 64;
+constexpr int kSpin = 120000;  // ~100 us of register-only work per token
+constexpr int kRounds = 5;
+
+class SNumToken : public SimpleToken {
+ public:
+  int64_t value;
+  int index;
+  SNumToken(int64_t v = 0, int i = 0) : value(v), index(i) {}
+  DPS_IDENTIFY(SNumToken);
+};
+
+class SRangeToken : public SimpleToken {
+ public:
+  int count;
+  SRangeToken(int c = 0) : count(c) {}
+  DPS_IDENTIFY(SRangeToken);
+};
+
+class SMainThread : public Thread {
+  DPS_IDENTIFY_THREAD(SMainThread);
+};
+class SWorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(SWorkThread);
+};
+
+DPS_ROUTE(SMainRoute, SMainThread, SRangeToken, 0);
+DPS_ROUTE(SMainNumRoute, SMainThread, SNumToken, 0);
+// The imbalance under test: every token lands on worker 0.
+DPS_ROUTE(SWorkRoute, SWorkThread, SNumToken, 0);
+
+class SSplit
+    : public SplitOperation<SMainThread, TV1(SRangeToken), TV1(SNumToken)> {
+ public:
+  void execute(SRangeToken* in) override {
+    for (int i = 0; i < in->count; ++i) postToken(new SNumToken(i, i));
+  }
+  DPS_IDENTIFY_OPERATION(SSplit);
+};
+
+class SWork
+    : public LeafOperation<SWorkThread, TV1(SNumToken), TV1(SNumToken)> {
+ public:
+  void execute(SNumToken* in) override {
+    uint64_t x = static_cast<uint64_t>(in->value) + 1;
+    for (int i = 0; i < kSpin; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    postToken(new SNumToken(static_cast<int64_t>(x), in->index));
+  }
+  DPS_IDENTIFY_OPERATION(SWork);
+};
+
+class SMerge
+    : public MergeOperation<SMainThread, TV1(SNumToken), TV1(SRangeToken)> {
+ public:
+  void execute(SNumToken* first) override {
+    (void)first;
+    int n = 1;
+    while (waitForNextToken()) ++n;
+    postToken(new SRangeToken(n));
+  }
+  DPS_IDENTIFY_OPERATION(SMerge);
+};
+
+struct Result {
+  double seconds;
+  uint64_t steals;
+  uint64_t stolen;
+};
+
+Result run(bool stealing) {
+  ClusterConfig cfg = ClusterConfig::inproc(1);
+  cfg.work_stealing = stealing;
+  Cluster cluster(cfg);
+  Application app(cluster, "steal");
+  auto mains = app.thread_collection<SMainThread>("main");
+  mains->map("node0");
+  auto collectors = app.thread_collection<SMainThread>("coll");
+  collectors->map("node0");
+  auto workers = app.thread_collection<SWorkThread>("work");
+  std::string mapping;
+  for (int i = 0; i < kWorkers; ++i) {
+    if (i != 0) mapping += ' ';
+    mapping += "node0";
+  }
+  workers->map(mapping);
+  auto graph = app.build_graph(
+      FlowgraphNode<SSplit, SMainRoute>(mains) >>
+          FlowgraphNode<SWork, SWorkRoute>(workers) >>
+          FlowgraphNode<SMerge, SMainNumRoute>(collectors),
+      "steal");
+  ActorScope scope(cluster.domain(), "main");
+  (void)graph->call(new SRangeToken(kWorkers));  // warmup: spin up workers
+  Stopwatch sw;
+  for (int r = 0; r < kRounds; ++r) {
+    auto done = token_cast<SRangeToken>(graph->call(new SRangeToken(kTokens)));
+    DPS_CHECK(done && done->count == kTokens, "steal bench run failed");
+  }
+  Result res;
+  res.seconds = sw.seconds();
+  res.steals = cluster.controller(0).steals();
+  res.stolen = cluster.controller(0).stolen_envelopes();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dps::bench::JsonWriter json(&argc, argv);
+  std::printf("Work-stealing ablation: %d tokens x %d rounds, all routed to "
+              "worker 0 of %d\n",
+              kTokens, kRounds, kWorkers);
+  const Result off = run(false);
+  const Result on = run(true);
+  const double total = static_cast<double>(kTokens) * kRounds;
+  std::printf("stealing=off  %.1f ms  (%ju steals)\n", off.seconds * 1e3,
+              static_cast<uintmax_t>(off.steals));
+  std::printf("stealing=on   %.1f ms  (%ju steals, %ju envelopes moved)\n",
+              on.seconds * 1e3, static_cast<uintmax_t>(on.steals),
+              static_cast<uintmax_t>(on.stolen));
+  std::printf("speedup       %.2fx\n", off.seconds / on.seconds);
+  json.record("micro_steal", "stealing=off", off.seconds * 1e6,
+              total / off.seconds);
+  json.record("micro_steal", "stealing=on", on.seconds * 1e6,
+              total / on.seconds);
+
+  if (std::thread::hardware_concurrency() < kWorkers) {
+    std::printf("SKIP self-check: fewer than %d hardware threads\n", kWorkers);
+    return 0;
+  }
+  if (on.steals == 0) {
+    std::fprintf(stderr, "FAIL: stealing enabled but no steals happened\n");
+    return 1;
+  }
+  if (on.seconds >= off.seconds) {
+    std::fprintf(stderr,
+                 "FAIL: stealing did not reduce wall time on an imbalanced "
+                 "pipeline (%.1f ms on vs %.1f ms off)\n",
+                 on.seconds * 1e3, off.seconds * 1e3);
+    return 1;
+  }
+  return 0;
+}

@@ -54,6 +54,8 @@ THREAD_SPAWNER_ALLOWLIST = {
     "src/kernel/name_server.cpp",
     "src/net/chaos_fabric.cpp",
     "src/net/chaos_fabric.hpp",   # delay-delivery thread member
+    "src/net/shm_fabric.cpp",
+    "src/net/shm_fabric.hpp",     # inbox rx thread member
     "src/net/tcp_transport.cpp",
     "src/net/tcp_transport.hpp",  # acceptor/receiver/sender thread members
     "src/sim/domain.cpp",

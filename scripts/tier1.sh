@@ -15,14 +15,17 @@
 #        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
 #            every bench binary with --json, concatenate the records into
-#            BENCH_pr7.json (includes micro_serialization's zero-realloc
+#            BENCH_pr8.json (includes micro_serialization's zero-realloc
 #            assertion, micro_engine's flat-dispatch assertion, the
 #            table2_services service-mesh sweep + overload self-checks,
 #            fig15_lu's --check-scaleout gate — 8-node pipelined must beat
-#            1-node — and ablation_flowctl's knee + adaptive-window gates:
-#            adaptive within 5% of the best static window at every message
-#            size), and flag fig15_lu / fig6_throughput throughput
-#            regressions >10% against the committed BENCH_pr6.json baseline
+#            1-node — fig6_throughput's --check-shm gate — shm must beat
+#            TCP loopback 2x at 1 KB on multi-core hosts — micro_steal's
+#            work-stealing gate, and ablation_flowctl's knee +
+#            adaptive-window gates: adaptive within 5% of the best static
+#            window at every message size), and flag fig15_lu /
+#            fig6_throughput throughput regressions >10% against the
+#            committed BENCH_pr7.json baseline
 set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -51,6 +54,18 @@ if python3 scripts/dps_lint.py; then
   pass "dps_lint (token registration, trace gating, raw primitives, tsan coverage)"
 else
   fail "dps_lint"
+fi
+
+# --- shared-memory fabric (skipped where POSIX shm is unusable: no
+# --- /dev/shm in the container, or an explicit DPS_SHM=0 opt-out) -----------
+if [ "${DPS_SHM:-1}" = "0" ]; then
+  skip "shm fabric" "DPS_SHM=0"
+elif [ ! -d /dev/shm ]; then
+  skip "shm fabric" "/dev/shm not mounted"
+elif build/tests/dps_tests --gtest_filter='ShmFabric.*' >/dev/null 2>&1; then
+  pass "shm fabric (ShmFabric.* suite)"
+else
+  fail "shm fabric (ShmFabric.* suite)"
 fi
 
 # --- ThreadSanitizer over the concurrency subset ----------------------------
@@ -121,22 +136,28 @@ if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench smoke: tiny configurations of every harness, machine-readable
-# results concatenated into BENCH_pr7.json for cross-commit diffing.
+# results concatenated into BENCH_pr8.json for cross-commit diffing.
 # micro_serialization exits nonzero if an envelope encode reallocates,
 # micro_engine exits nonzero if merge matching scales with queue depth, the
 # table2_services sweep/overload pass exits nonzero if the service mesh
 # breaks its contract (iteration slowdown >= 2x at 100 clients, a shed call
 # reporting anything but kBackpressure, or a tenant exceeding its in-flight
 # budget), fig15_lu --check-scaleout exits nonzero unless the 8-node
-# pipelined run actually beats 1 node (multicast scale-out), and
-# ablation_flowctl exits nonzero unless a flow-window knee exists and the
-# adaptive controller lands within 5% of the best static window at every
-# message size — all of those invariants are enforced here too.
+# pipelined run actually beats 1 node (multicast scale-out),
+# fig6_throughput --check-shm exits nonzero unless the shm ring beats DPS
+# over TCP loopback 2x at 1 KB tokens (skipped on single-core hosts, where
+# a pipelined ring cannot overlap transport with compute), micro_steal
+# exits nonzero unless enabling work stealing actually steals and speeds up
+# an imbalanced pipeline (skipped below 4 cores), and ablation_flowctl
+# exits nonzero unless a flow-window knee exists and the adaptive
+# controller lands within 5% of the best static window at every message
+# size — all of those invariants are enforced here too.
 set -e
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 b=build/bench
-"$b/fig6_throughput"    4    --json "$smoke_dir/fig6.json"
+"$b/fig6_throughput"    4    --check-shm --json "$smoke_dir/fig6.json"
+"$b/micro_steal"             --json "$smoke_dir/micro_steal.json"
 "$b/table1_overlap"     256  --json "$smoke_dir/table1.json"
 "$b/fig9_life"          1    --json "$smoke_dir/fig9.json"
 "$b/fig15_lu"           512 110 32 --check-scaleout \
@@ -149,10 +170,8 @@ b=build/bench
   --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256|BM_DispatchMergeMatch'
 "$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
   --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
-cat "$smoke_dir"/*.json > BENCH_pr7.json
-echo "bench smoke: $(wc -l < BENCH_pr7.json) records -> BENCH_pr7.json"
+cat "$smoke_dir"/*.json > BENCH_pr8.json
+echo "bench smoke: $(wc -l < BENCH_pr8.json) records -> BENCH_pr8.json"
 # Guard the hot-path wins: any fig15_lu / fig6_throughput config more than
-# 10% below the PR-6 baseline fails the smoke stage. (The PR-6 fig15_lu
-# scale-out numbers predate node-grouped multicast, so today's curve only
-# moves up; the gate catches any future slide.)
-python3 scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json
+# 10% below the PR-7 baseline fails the smoke stage.
+python3 scripts/bench_compare.py BENCH_pr7.json BENCH_pr8.json

@@ -7,6 +7,7 @@
 #include "core/controller.hpp"
 #include "core/thread_collection.hpp"
 #include "net/inproc_transport.hpp"
+#include "net/shm_fabric.hpp"
 #include "net/tcp_transport.hpp"
 #include "sim/scheduler.hpp"
 #include "util/logging.hpp"
@@ -49,6 +50,13 @@ ClusterConfig ClusterConfig::simulated(int node_count, LinkModel link) {
   return cfg;
 }
 
+ClusterConfig ClusterConfig::shm(int node_count) {
+  ClusterConfig cfg;
+  cfg.nodes = default_names(node_count);
+  cfg.fabric = FabricKind::kShm;
+  return cfg;
+}
+
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   DPS_CHECK(!config_.nodes.empty(), "cluster needs at least one node");
   const size_t n = config_.nodes.size();
@@ -71,6 +79,10 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       case ClusterConfig::FabricKind::kSim:
         domain_ = std::make_unique<SimDomain>(config_.sim_cpus_per_node);
         fabric_ = std::make_unique<SimFabric>(n, *domain_, config_.link);
+        break;
+      case ClusterConfig::FabricKind::kShm:
+        domain_ = std::make_unique<WallDomain>();
+        fabric_ = std::make_unique<ShmFabric>(n);
         break;
     }
   }

@@ -66,7 +66,14 @@ struct FaultToleranceConfig {
 };
 
 struct ClusterConfig {
-  enum class FabricKind { kInproc, kTcp, kSim };
+  enum class FabricKind { kInproc, kTcp, kSim, kShm };
+
+  /// Worker-thread CPU affinity (docs/PERFORMANCE.md, "Core pinning").
+  /// kNone leaves placement to the OS scheduler. kCompact pins workers to
+  /// consecutive cores in spawn order (cache sharing between pipeline
+  /// stages); kScatter strides them across the socket (memory-bandwidth
+  /// bound stages). Linux only; a no-op elsewhere.
+  enum class PinPolicy { kNone, kCompact, kScatter };
 
   std::vector<std::string> nodes;  ///< node names; size = node count
   FabricKind fabric = FabricKind::kInproc;
@@ -104,10 +111,25 @@ struct ClusterConfig {
   /// fabrics pay zero overhead and keep their exact frame accounting).
   FaultToleranceConfig fault;
 
+  /// Worker CPU affinity policy; see PinPolicy. The resulting pinning map
+  /// is exported through Controller::worker_pinning() and svc stats.
+  PinPolicy pin_workers = PinPolicy::kNone;
+
+  /// Idle workers steal dispatchable work from sibling workers of the same
+  /// collection (core/run_queue.hpp). Off by default: stealing moves a
+  /// token to a different thread index than its route chose, which is only
+  /// sound for load-balanced routes — content-addressed routes (a merge's
+  /// context affinity, hash routing) must keep it off.
+  bool work_stealing = false;
+
   static ClusterConfig inproc(int node_count);
   static ClusterConfig tcp(int node_count);
   static ClusterConfig simulated(
       int node_count, LinkModel link = LinkModel::gigabit_ethernet());
+  /// Several-kernels-on-one-host mode over the shared-memory fabric
+  /// (net/shm_fabric.hpp): real /dev/shm rings between thread-group nodes.
+  /// Throws Error(kNetwork) when shm is unavailable (probe shm_available()).
+  static ClusterConfig shm(int node_count);
 };
 
 class Cluster {
@@ -148,6 +170,11 @@ class Cluster {
   NodeId node_id(const std::string& name) const;
   const std::string& node_name(NodeId node) const;
   Controller& controller(NodeId node);
+
+  /// Cluster-wide worker spawn sequence for ClusterConfig::pin_workers:
+  /// every engine worker of every (in-process) node draws one slot, so the
+  /// pinning formulas distribute across the whole process, not per node.
+  int next_pin_seq() { return pin_seq_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Parallel-service registry (published flow graphs), the in-process
   /// equivalent of the paper's name server.
@@ -270,6 +297,7 @@ class Cluster {
   std::vector<std::shared_ptr<ThreadCollectionBase>> collections_
       DPS_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_call_{1};
+  std::atomic<int> pin_seq_{0};
   std::unordered_map<CallId, std::shared_ptr<detail::CallState>> calls_
       DPS_GUARDED_BY(mu_);
   std::unordered_map<ContextId, const void*> claims_ DPS_GUARDED_BY(mu_);

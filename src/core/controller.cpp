@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <numeric>
 #include <optional>
 
 #include <cstring>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "core/flow_adapt.hpp"
 
@@ -81,12 +86,35 @@ struct Controller::Worker {
   std::atomic<bool> poison{false};
   std::atomic<uint32_t>* depth_slot = nullptr;
 
-  /// Worker-thread-private run state: only the owning OS thread touches
-  /// these (producers stop at the inbox), so they take no lock.
+  /// Run-queue state. The owning OS thread is the only pusher and the
+  /// dominant popper; with ClusterConfig::work_stealing, idle siblings
+  /// additionally call run.steal_context() — the RunQueue serializes
+  /// internally. drain_buf stays worker-private (thieves never drain a
+  /// sibling's inbox: two interleaved drains could invert the same-context
+  /// arrival order while the envelopes sit in separate swap buffers).
   RunQueue run;
   std::vector<Envelope> drain_buf;  ///< recycled swap target for drains
 
+  /// This worker's steal domain (siblings of its collection on this node);
+  /// null when work stealing is off. Set before the OS thread starts.
+  StealGroup* steal_group = nullptr;
+  /// Raised (under mu) by a backlogged sibling: "wake up and steal".
+  std::atomic<bool> steal_hint{false};
+  /// CPU this worker pinned itself to; -1 while unpinned. Written once by
+  /// the worker thread, read by worker_pinning().
+  std::atomic<int> pinned_cpu{-1};
+
   std::thread os_thread;
+};
+
+/// The workers of one collection on one node — the domain inside which
+/// idle workers steal. Membership only grows (workers are never removed
+/// before controller shutdown joins them all), and the group object is
+/// heap-stable, so workers hold raw pointers.
+struct Controller::StealGroup {
+  Mutex mu;
+  std::vector<Worker*> members DPS_GUARDED_BY(mu);
+  size_t rr DPS_GUARDED_BY(mu) = 0;  ///< hint round-robin cursor
 };
 
 struct Controller::FlowAccount {
@@ -787,6 +815,13 @@ void Controller::spawn_worker(ThreadCollectionBase& collection,
     auto key = std::make_pair(collection.id(), index);
     DPS_CHECK(workers_.find(key) == workers_.end(),
               "thread already spawned at this (collection, index)");
+    if (cluster_.config().work_stealing) {
+      auto& group = steal_groups_[collection.id()];
+      if (!group) group = std::make_unique<StealGroup>();
+      raw->steal_group = group.get();
+      MutexLock glock(group->mu);
+      group->members.push_back(raw);
+    }
     workers_.emplace(key, std::move(w));
   }
   cluster_.domain().reserve_actor();
@@ -816,15 +851,25 @@ void Controller::worker_loop(Worker& w) {
 #endif
   // Under virtual time, this DPS thread competes for its node's CPUs.
   domain.bind_cpu(static_cast<int>(self_));
+  pin_worker(w);
+  const bool stealing = w.steal_group != nullptr;
   for (;;) {
-    drain_inbox(w);
+    const bool drained = drain_inbox(w);
+    if (stealing && drained) hint_siblings(w);
     if (w.run.empty()) {
+      if (stealing && try_steal(w)) continue;
       MutexLock lock(w.mu);
       try {
-        domain.wait_until(w.wp, w.mu,
-                          [&] { return w.poison || !w.inbox.empty(); });
+        domain.wait_until(w.wp, w.mu, [&] {
+          return w.poison || !w.inbox.empty() ||
+                 w.steal_hint.load(std::memory_order_relaxed);
+        });
       } catch (const Error&) {
         break;  // simulation stopped or stalled while idle
+      }
+      if (w.steal_hint.load(std::memory_order_relaxed)) {
+        w.steal_hint.store(false, std::memory_order_relaxed);
+        if (!w.poison || !w.inbox.empty()) continue;  // go drain + steal
       }
       if (w.inbox.empty()) break;  // poisoned and drained
       continue;  // re-drain outside the lock
@@ -855,6 +900,138 @@ void Controller::worker_loop(Worker& w) {
     }
   }
   domain.actor_finished();
+}
+
+void Controller::pin_worker(Worker& w) {
+#if defined(__linux__)
+  const ClusterConfig::PinPolicy policy = cluster_.config().pin_workers;
+  if (policy == ClusterConfig::PinPolicy::kNone) return;
+  const int ncpu =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int seq = cluster_.next_pin_seq();
+  int cpu;
+  if (policy == ClusterConfig::PinPolicy::kCompact) {
+    cpu = seq % ncpu;
+  } else {
+    // Scatter: stride workers across the socket. The stride is made
+    // coprime with the core count so `seq * stride % ncpu` visits every
+    // core before repeating.
+    int stride = std::max(2, ncpu / 2);
+    while (std::gcd(stride, ncpu) != 1) ++stride;
+    cpu = (seq * stride) % ncpu;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) == 0) {
+    w.pinned_cpu.store(cpu, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+    if (obs::tracing_active()) {
+      static obs::Gauge& pinned =
+          obs::Metrics::instance().gauge("dps.sched.pinned_workers");
+      pinned.add(1);
+    }
+#endif
+  }
+#else
+  (void)w;
+#endif
+}
+
+std::vector<Controller::WorkerPin> Controller::worker_pinning() const {
+  std::vector<WorkerPin> pins;
+  MutexLock lock(workers_mu_);
+  pins.reserve(workers_.size());
+  for (const auto& [key, w] : workers_) {
+    pins.push_back(WorkerPin{key.first, key.second,
+                             w->pinned_cpu.load(std::memory_order_relaxed)});
+  }
+  return pins;
+}
+
+bool Controller::try_steal(Worker& w) {
+  StealGroup* g = w.steal_group;
+  if (g == nullptr) return false;
+  // Victim choice: the sibling with the deepest queue (inbox + run). The
+  // depth slots are the same relaxed counters the routing load-balancers
+  // read, so this costs no extra bookkeeping.
+  Worker* victim = nullptr;
+  uint32_t best = 0;
+  {
+    MutexLock lock(g->mu);
+    for (Worker* m : g->members) {
+      if (m == &w || m->poison.load(std::memory_order_relaxed)) continue;
+      const uint32_t d = m->depth_slot != nullptr
+                             ? m->depth_slot->load(std::memory_order_relaxed)
+                             : 0;
+      if (d > best) {
+        best = d;
+        victim = m;
+      }
+    }
+  }
+  if (victim == nullptr) return false;
+  // Halving budget: taking at most half the victim's dispatchable backlog
+  // keeps repeated steals convergent (no whole-queue ping-pong between two
+  // idle workers) while still moving a meaningful chunk per operation.
+  const size_t victim_disp = victim->run.dispatchable_count();
+  if (victim_disp == 0) return false;
+  const size_t budget = std::max<size_t>(1, victim_disp / 2);
+  std::vector<Envelope> loot;
+  const size_t n = victim->run.steal_context(&loot, budget);
+  if (n == 0) return false;
+  const auto moved = static_cast<uint32_t>(n);
+  if (victim->depth_slot != nullptr) {
+    victim->depth_slot->fetch_sub(moved, std::memory_order_relaxed);
+  }
+  if (w.depth_slot != nullptr) {
+    w.depth_slot->fetch_add(moved, std::memory_order_relaxed);
+  }
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_envelopes_.fetch_add(n, std::memory_order_relaxed);
+#ifdef DPS_TRACE
+  if (obs::tracing_active()) {
+    obs::Trace::instance().record(obs::EventKind::kSteal, self_, w.collection,
+                                  victim->index, w.index, n);
+    static obs::Counter& steals =
+        obs::Metrics::instance().counter("dps.sched.steals");
+    steals.inc();
+    static obs::Counter& stolen =
+        obs::Metrics::instance().counter("dps.sched.stolen_envelopes");
+    stolen.inc(n);
+  }
+#endif
+  // The loot is a FIFO prefix of one (vertex, context) run; re-pushing in
+  // order makes this worker execute it in exactly that order.
+  for (Envelope& env : loot) w.run.push(std::move(env), true);
+  // Steal chaining: a thief that grabbed a real batch has become a victim
+  // worth stealing from, and other siblings may still be parked (the
+  // original victim hints one sibling per drain). Propagating the hint
+  // fans the backlog out to the whole group in O(log workers) wakes.
+  hint_siblings(w);
+  return true;
+}
+
+void Controller::hint_siblings(Worker& w) {
+  // Only worth waking anyone for a real backlog: one pending envelope is
+  // this worker's next dispatch anyway.
+  if (w.run.dispatchable_count() < 2) return;
+  StealGroup* g = w.steal_group;
+  if (g == nullptr) return;
+  Worker* target = nullptr;
+  {
+    MutexLock lock(g->mu);
+    const size_t k = g->members.size();
+    for (size_t i = 0; i < k && target == nullptr; ++i) {
+      Worker* m = g->members[g->rr++ % k];
+      if (m == &w || m->poison.load(std::memory_order_relaxed)) continue;
+      target = m;
+    }
+  }
+  if (target == nullptr) return;
+  MutexLock lock(target->mu);
+  target->steal_hint.store(true, std::memory_order_relaxed);
+  cluster_.domain().notify_all(target->wp);
 }
 
 bool Controller::drain_inbox(Worker& w) {

@@ -73,6 +73,25 @@ class Controller {
   /// Number of envelopes dispatched on this node (tests/benchmarks).
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
 
+  // --- work stealing (docs/PERFORMANCE.md) ----------------------------------
+  /// Always-on stealing counters (ClusterConfig::work_stealing): steal
+  /// operations and envelopes moved. The dps.sched.steals metric mirrors
+  /// these under DPS_TRACE; tests assert on the accessors in every flavor.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  uint64_t stolen_envelopes() const {
+    return stolen_envelopes_.load(std::memory_order_relaxed);
+  }
+
+  /// One worker's CPU-affinity record (ClusterConfig::pin_workers). cpu is
+  /// -1 while unpinned (policy kNone, non-Linux, or thread not started yet).
+  struct WorkerPin {
+    CollectionId collection = 0;
+    ThreadIndex index = 0;
+    int cpu = -1;
+  };
+  /// The pinning map of this node's workers, for svc stats and tests.
+  std::vector<WorkerPin> worker_pinning() const;
+
   // --- service-mesh admission control (docs/SERVICE_MESH.md) ----------------
   /// Always-on per-tenant admission counters. The authoritative source of
   /// the dps.svc.{admitted,shed,deadline_expired,inflight} metrics (the
@@ -165,6 +184,7 @@ class Controller {
 
  private:
   struct Worker;
+  struct StealGroup;
   struct FlowAccount;
   struct ReliableLink;
   class ExecCtx;
@@ -172,10 +192,20 @@ class Controller {
 
   // Engine internals.
   void worker_loop(Worker& w);
+  /// Applies ClusterConfig::pin_workers to the calling worker thread
+  /// (sched_setaffinity; Linux only, no-op elsewhere).
+  void pin_worker(Worker& w);
   /// Swaps the worker's inbox out under its lock and indexes every drained
   /// envelope into the worker-private run queue. Returns false when the
   /// inbox was empty. Must run on the worker's own thread.
   bool drain_inbox(Worker& w);
+  /// Steals the oldest dispatchable context run from the deepest sibling
+  /// worker of `w`'s collection into `w`'s run queue. Returns true when
+  /// anything was stolen. Called by idle workers only.
+  bool try_steal(Worker& w);
+  /// Wakes one sibling (round-robin) with a steal hint when `w` has a
+  /// backlog of dispatchable work. Called after a successful drain.
+  void hint_siblings(Worker& w);
   void dispatch(Worker& w, Envelope env);
   void dispatch_graph_call(Worker& w, Envelope env);
   void continue_graph_call(AppId app, GraphId graph, VertexId vertex,
@@ -271,10 +301,17 @@ class Controller {
   std::atomic<uint64_t> dup_suppressed_{0};
   std::atomic<uint64_t> retransmissions_{0};
 
-  Mutex workers_mu_;
+  mutable Mutex workers_mu_;
   std::map<std::pair<CollectionId, ThreadIndex>, std::unique_ptr<Worker>>
       workers_ DPS_GUARDED_BY(workers_mu_);
+  /// Steal domains, one per collection with workers on this node. Only
+  /// populated when ClusterConfig::work_stealing is on; groups are stable
+  /// heap objects so workers keep a raw pointer to their own.
+  std::map<CollectionId, std::unique_ptr<StealGroup>> steal_groups_
+      DPS_GUARDED_BY(workers_mu_);
   bool down_ DPS_GUARDED_BY(workers_mu_) = false;
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> stolen_envelopes_{0};
 
   mutable Mutex flow_mu_;
   std::unordered_map<ContextId, std::unique_ptr<FlowAccount>> accounts_

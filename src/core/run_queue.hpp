@@ -1,10 +1,9 @@
-// RunQueue: the worker-private indexed pending-envelope structure.
+// RunQueue: the worker's indexed pending-envelope structure.
 //
 // The engine's token-delivery hot path is two-phase (see controller.cpp):
 // producers append envelopes to a worker's MPSC *inbox* under a short lock,
 // and the owning worker thread drains the inbox in batch into this
-// structure, which it then queries without any locking. Three intrusive
-// lists over one node slab make every query O(1):
+// structure. Three intrusive lists over one node slab make every query O(1):
 //
 //   - a global FIFO of all pending envelopes (top-level worker_loop order),
 //   - per-(vertex, context) buckets, so a merge/stream collection waiting
@@ -25,8 +24,19 @@
 // growth), and freed nodes recycle through a free list, so steady-state
 // operation allocates nothing.
 //
-// Thread-compatibility: a RunQueue instance is owned by one worker thread
-// and never shared; it needs (and takes) no lock.
+// Threading: the queue is owned by one worker thread, but when work
+// stealing is enabled (ClusterConfig::work_stealing) idle sibling workers
+// call steal_context() concurrently with the owner's operations, so every
+// method serializes on an internal mutex. The owner is the only pusher and
+// the dominant popper; the lock is uncontended unless a thief is active.
+//
+// steal_context takes work at *context* granularity: it picks the oldest
+// dispatchable envelope and extracts a FIFO prefix of its (vertex,
+// context) run. Only dispatchable envelopes are ever stolen — bucketed
+// merge/stream openers keep their claim/re-entrancy semantics — and the
+// extraction removes nodes through the same unlink paths as pop_*, so the
+// victim's tenant round-robin and per-context FIFO of what remains are
+// untouched: everything left behind is strictly newer than what was taken.
 #pragma once
 
 #include <cstdint>
@@ -34,23 +44,40 @@
 #include <vector>
 
 #include "core/envelope.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dps {
 
 class RunQueue {
  public:
-  bool empty() const { return size_ == 0; }
-  size_t size() const { return size_; }
-  bool has_dispatchable() const { return disp_count_ != 0; }
+  bool empty() const {
+    MutexLock lock(mu_);
+    return size_ == 0;
+  }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return size_;
+  }
+  bool has_dispatchable() const {
+    MutexLock lock(mu_);
+    return disp_count_ != 0;
+  }
+  size_t dispatchable_count() const {
+    MutexLock lock(mu_);
+    return disp_count_;
+  }
 
   /// Appends `env`. `dispatchable` says whether the envelope may run
   /// re-entrantly under a waiting collection; when false it is bucketed
   /// under (env.vertex, input context) for O(1) merge matching.
   void push(Envelope&& env, bool dispatchable) {
+    MutexLock lock(mu_);
     const uint32_t n = alloc();
     Node& node = slab_[n];
     node.env = std::move(env);
     node.dispatchable = dispatchable;
+    node.key = key_of(node.env);
+    node.stamp = next_stamp_++;
     link_back(n, &global_head_, &global_tail_, &Node::gprev, &Node::gnext);
     if (dispatchable) {
       node.tq = tenant_queue(node.env.tenant);
@@ -58,7 +85,6 @@ class RunQueue {
       link_back(n, &tq.head, &tq.tail, &Node::sprev, &Node::snext);
       ++disp_count_;
     } else {
-      node.key = key_of(node.env);
       Bucket& b = buckets_[node.key];
       link_back(n, &b.head, &b.tail, &Node::sprev, &Node::snext);
     }
@@ -66,10 +92,14 @@ class RunQueue {
   }
 
   /// Oldest pending envelope regardless of kind (top-level dispatch order).
-  bool pop_front(Envelope* out) { return take(global_head_, out); }
+  bool pop_front(Envelope* out) {
+    MutexLock lock(mu_);
+    return take(global_head_, out);
+  }
 
   /// Oldest pending input of collection (vertex, ctx); FIFO per context.
   bool pop_context(VertexId vertex, ContextId ctx, Envelope* out) {
+    MutexLock lock(mu_);
     const auto it = buckets_.find(Key{vertex, ctx});
     if (it == buckets_.end()) return false;
     return take(it->second.head, out);
@@ -78,6 +108,7 @@ class RunQueue {
   /// Next envelope safe for re-entrant dispatch: round-robin across the
   /// tenants with pending dispatchable work, FIFO within each tenant.
   bool pop_dispatchable(Envelope* out) {
+    MutexLock lock(mu_);
     if (disp_count_ == 0) return false;
     const size_t k = tqs_.size();
     for (size_t i = 0; i < k; ++i) {
@@ -88,6 +119,42 @@ class RunQueue {
       }
     }
     return false;  // unreachable while disp_count_ is maintained
+  }
+
+  /// Work stealing (called by an idle sibling worker): removes up to
+  /// `max_envelopes` dispatchable envelopes of the *oldest* pending
+  /// (vertex, context) run, in FIFO order, and appends them to `out`.
+  /// Returns the number stolen. The thief must execute them in the
+  /// returned order; envelopes left behind are all newer than the ones
+  /// taken, so per-context relative order survives the split. Bucketed
+  /// (merge/stream-opening) envelopes are never stolen.
+  size_t steal_context(std::vector<Envelope>* out, size_t max_envelopes) {
+    MutexLock lock(mu_);
+    if (disp_count_ == 0 || max_envelopes == 0) return 0;
+    // Oldest dispatchable envelope overall: each tenant FIFO is
+    // stamp-ordered, so the minimum over the heads is the global minimum.
+    uint32_t oldest = kNil;
+    for (const TenantQ& tq : tqs_) {
+      if (tq.head == kNil) continue;
+      if (oldest == kNil || slab_[tq.head].stamp < slab_[oldest].stamp) {
+        oldest = tq.head;
+      }
+    }
+    if (oldest == kNil) return 0;
+    const Key key = slab_[oldest].key;
+    const uint32_t tqi = slab_[oldest].tq;
+    size_t stolen = 0;
+    uint32_t n = tqs_[tqi].head;
+    while (n != kNil && stolen < max_envelopes) {
+      const uint32_t next = slab_[n].snext;
+      if (slab_[n].key == key) {
+        out->emplace_back();
+        take(n, &out->back());
+        ++stolen;
+      }
+      n = next;
+    }
+    return stolen;
   }
 
  private:
@@ -124,6 +191,7 @@ class RunQueue {
   struct Node {
     Envelope env;
     Key key{0, 0};
+    uint64_t stamp = 0;  ///< push order, for oldest-context steal choice
     bool dispatchable = false;
     uint32_t tq = 0;                      ///< index into tqs_ (dispatchable)
     uint32_t gprev = kNil, gnext = kNil;  ///< global FIFO links
@@ -137,7 +205,7 @@ class RunQueue {
   /// Index of tenant `t`'s dispatchable FIFO, created on first use. Linear
   /// scan: a worker serves a handful of tenants, and the scan only runs on
   /// the push path.
-  uint32_t tenant_queue(TenantId t) {
+  uint32_t tenant_queue(TenantId t) DPS_REQUIRES(mu_) {
     for (uint32_t i = 0; i < tqs_.size(); ++i) {
       if (tqs_[i].tenant == t) return i;
     }
@@ -145,7 +213,7 @@ class RunQueue {
     return static_cast<uint32_t>(tqs_.size() - 1);
   }
 
-  uint32_t alloc() {
+  uint32_t alloc() DPS_REQUIRES(mu_) {
     if (free_head_ != kNil) {
       const uint32_t n = free_head_;
       free_head_ = slab_[n].gnext;
@@ -156,7 +224,8 @@ class RunQueue {
   }
 
   void link_back(uint32_t n, uint32_t* head, uint32_t* tail,
-                 uint32_t Node::* prev, uint32_t Node::* next) {
+                 uint32_t Node::* prev, uint32_t Node::* next)
+      DPS_REQUIRES(mu_) {
     Node& node = slab_[n];
     node.*prev = *tail;
     node.*next = kNil;
@@ -169,7 +238,8 @@ class RunQueue {
   }
 
   void unlink(uint32_t n, uint32_t* head, uint32_t* tail,
-              uint32_t Node::* prev, uint32_t Node::* next) {
+              uint32_t Node::* prev, uint32_t Node::* next)
+      DPS_REQUIRES(mu_) {
     Node& node = slab_[n];
     if (node.*prev != kNil) {
       slab_[node.*prev].*next = node.*next;
@@ -185,7 +255,7 @@ class RunQueue {
 
   /// Removes node `n` from all lists, moves its envelope to `out`, and
   /// recycles the slot. Returns false when n == kNil (empty list).
-  bool take(uint32_t n, Envelope* out) {
+  bool take(uint32_t n, Envelope* out) DPS_REQUIRES(mu_) {
     if (n == kNil) return false;
     Node& node = slab_[n];
     unlink(n, &global_head_, &global_tail_, &Node::gprev, &Node::gnext);
@@ -207,14 +277,17 @@ class RunQueue {
     return true;
   }
 
-  std::vector<Node> slab_;
-  std::unordered_map<Key, Bucket, KeyHash> buckets_;
-  std::vector<TenantQ> tqs_;  ///< per-tenant dispatchable FIFOs
-  size_t rr_next_ = 0;        ///< round-robin cursor into tqs_
-  size_t disp_count_ = 0;     ///< total dispatchable envelopes pending
-  uint32_t global_head_ = kNil, global_tail_ = kNil;
-  uint32_t free_head_ = kNil;
-  size_t size_ = 0;
+  mutable Mutex mu_;
+  std::vector<Node> slab_ DPS_GUARDED_BY(mu_);
+  std::unordered_map<Key, Bucket, KeyHash> buckets_ DPS_GUARDED_BY(mu_);
+  std::vector<TenantQ> tqs_ DPS_GUARDED_BY(mu_);  ///< per-tenant FIFOs
+  size_t rr_next_ DPS_GUARDED_BY(mu_) = 0;   ///< round-robin cursor
+  size_t disp_count_ DPS_GUARDED_BY(mu_) = 0;  ///< dispatchable pending
+  uint64_t next_stamp_ DPS_GUARDED_BY(mu_) = 0;
+  uint32_t global_head_ DPS_GUARDED_BY(mu_) = kNil;
+  uint32_t global_tail_ DPS_GUARDED_BY(mu_) = kNil;
+  uint32_t free_head_ DPS_GUARDED_BY(mu_) = kNil;
+  size_t size_ DPS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dps

@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "net/framing.hpp"
+#include "net/shm_fabric.hpp"
 #include "util/logging.hpp"
 
 namespace dps {
@@ -30,10 +33,22 @@ struct ProcessFabric::Impl {
   TcpListener listener;
   std::thread acceptor;
   Handler handler;
+  BatchHandler batch_handler;
+
+  /// Intra-node fast path: when two kernels share a host (the common case
+  /// for this SPMD runtime) and POSIX shm is usable, data frames bypass the
+  /// loopback sockets and go through a ShmPeerTx into the peer's ShmInbox.
+  /// The TCP connection is still established and carries kShutdown, so
+  /// mixed deployments (DPS_SHM=0 on one side, or shm probe failure)
+  /// degrade to pure TCP transparently. Created in announce(), before any
+  /// traffic; only the rx thread and senders touch it afterwards.
+  std::unique_ptr<ShmInbox> shm_inbox;
 
   Mutex mu;
   CondVar cv;
   std::map<NodeId, std::unique_ptr<TcpConn>> out DPS_GUARDED_BY(mu);
+  std::map<NodeId, std::unique_ptr<ShmPeerTx>> shm_out DPS_GUARDED_BY(mu);
+  std::set<NodeId> shm_failed DPS_GUARDED_BY(mu);  // negotiated down to TCP
   /// Per-connection write locks (one writer at a time per socket). The map
   /// itself is guarded by mu; the pointed-to mutexes are their own
   /// capabilities, locked without mu held.
@@ -47,6 +62,75 @@ struct ProcessFabric::Impl {
 
   std::string endpoint_key(NodeId node) const {
     return run_id + "/node" + std::to_string(node);
+  }
+
+  /// shm_open names allow exactly one leading slash, so the run id is
+  /// sanitized to [A-Za-z0-9-] before use.
+  std::string shm_segment_name(NodeId node) const {
+    std::string s = "/dps-";
+    for (const char c : run_id) {
+      s += std::isalnum(static_cast<unsigned char>(c)) ? c : '-';
+    }
+    s += "-n" + std::to_string(node);
+    return s;
+  }
+
+  /// Frames arriving over shared memory funnel into the same handling as
+  /// the TCP receive loop: kShutdown trips the serve-loop flag, everything
+  /// else goes to the (preferably batched) controller handler.
+  void deliver_shm(std::vector<NodeMessage>&& batch) {
+    size_t keep = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      NodeMessage& m = batch[i];
+      if (m.kind == FrameKind::kShutdown) {
+        MutexLock lock(mu);
+        shutdown_flag = true;
+        cv.notify_all();
+        continue;
+      }
+      // Guard against self-move: with no shutdown frame in the batch the
+      // compaction is the identity and must leave each payload untouched.
+      if (keep != i) batch[keep] = std::move(m);
+      ++keep;
+    }
+    batch.resize(keep);
+    if (batch.empty()) return;
+    if (batch_handler) {
+      batch_handler(std::move(batch));
+      return;
+    }
+    for (NodeMessage& m : batch) handler(std::move(m));
+  }
+
+  /// Returns the shm sender for `to`, opening it on first use, or nullptr
+  /// when the peer negotiated down to TCP. Callers must already hold a live
+  /// TCP connection (connection_to), which guarantees the peer has
+  /// announced — and the shm key is published before the TCP endpoint, so
+  /// an empty lookup here means "peer has no shm", not "peer not up yet".
+  ShmPeerTx* shm_tx_for(NodeId to) {
+    if (!shm_available()) return nullptr;
+    {
+      MutexLock lock(mu);
+      auto it = shm_out.find(to);
+      if (it != shm_out.end()) return it->second.get();
+      if (shm_failed.count(to) != 0) return nullptr;
+    }
+    std::unique_ptr<ShmPeerTx> tx;
+    try {
+      NameClient ns(ns_host, ns_port);
+      const std::string seg = ns.lookup(endpoint_key(to) + "/shm");
+      if (!seg.empty()) tx = std::make_unique<ShmPeerTx>(seg, self);
+    } catch (const Error& e) {
+      DPS_WARN("kernel " << self << ": shm to node " << to
+                         << " unavailable, staying on tcp: " << e.what());
+    }
+    MutexLock lock(mu);
+    if (!tx) {
+      shm_failed.insert(to);
+      return nullptr;
+    }
+    auto it = shm_out.emplace(to, std::move(tx)).first;  // first open wins
+    return it->second.get();
   }
 
   void accept_loop() {
@@ -173,8 +257,34 @@ void ProcessFabric::attach(NodeId self, Handler handler) {
   impl_->handler = std::move(handler);
 }
 
+void ProcessFabric::attach_batch(NodeId self, BatchHandler handler) {
+  if (self != impl_->self) return;
+  impl_->batch_handler = std::move(handler);
+}
+
 void ProcessFabric::announce() {
   NameClient ns(impl_->ns_host, impl_->ns_port);
+  if (shm_available() && !impl_->shm_inbox) {
+    try {
+      impl_->shm_inbox = std::make_unique<ShmInbox>(
+          impl_->shm_segment_name(impl_->self), impl_->self,
+          static_cast<uint32_t>(impl_->node_count), size_t{1} << 20);
+      impl_->shm_inbox->start(
+          [impl = impl_.get()](std::vector<NodeMessage>&& batch) {
+            impl->deliver_shm(std::move(batch));
+          });
+      // Published before the TCP endpoint: senders resolve the TCP key
+      // first (connection_to), so by the time they probe for "/shm" it is
+      // guaranteed to be visible — negotiation cannot race.
+      ns.publish(impl_->endpoint_key(impl_->self) + "/shm",
+                 impl_->shm_inbox->segment_name());
+    } catch (const Error& e) {
+      impl_->shm_inbox.reset();
+      DPS_WARN("kernel " << impl_->self
+                         << ": shm inbox unavailable, serving tcp only: "
+                         << e.what());
+    }
+  }
   ns.publish(impl_->endpoint_key(impl_->self),
              "127.0.0.1:" + std::to_string(impl_->listener.port()));
 }
@@ -183,6 +293,8 @@ void ProcessFabric::send(NodeId from, NodeId to, FrameKind kind,
                          std::vector<std::byte> payload) {
   DPS_CHECK(from == impl_->self, "send from a non-local node");
   DPS_CHECK(to != impl_->self, "local traffic must not reach the fabric");
+  // Establishing the TCP connection first also spawns the peer on demand
+  // and blocks until it announced, so the shm probe below is definitive.
   TcpConn& conn = impl_->connection_to(to);
   Frame f;
   f.kind = kind;
@@ -190,6 +302,13 @@ void ProcessFabric::send(NodeId from, NodeId to, FrameKind kind,
   f.payload = std::move(payload);
   impl_->messages.fetch_add(1, std::memory_order_relaxed);
   impl_->bytes.fetch_add(frame_wire_size(f), std::memory_order_relaxed);
+  if (ShmPeerTx* tx = impl_->shm_tx_for(to)) {
+    if (tx->send(kind, nullptr, 0, f.payload.data(), f.payload.size())) {
+      return;
+    }
+    // Ring closed under us (peer tearing down): fall back to the socket so
+    // the frame still gets a best-effort delivery attempt.
+  }
   Mutex* conn_mu;
   {
     MutexLock lock(impl_->mu);
@@ -244,6 +363,9 @@ void ProcessFabric::shutdown() {
   for (auto& r : receivers) {
     if (r.joinable()) r.join();
   }
+  // Stopping the inbox marks the segment closed, which unblocks any remote
+  // producer parked on a full ring, then unlinks the segment.
+  if (impl_->shm_inbox) impl_->shm_inbox->stop();
 }
 
 uint64_t ProcessFabric::bytes_sent() const {

@@ -49,6 +49,7 @@ class ProcessFabric : public Fabric {
   ~ProcessFabric() override;
 
   void attach(NodeId self, Handler handler) override;
+  void attach_batch(NodeId self, BatchHandler handler) override;
   void send(NodeId from, NodeId to, FrameKind kind,
             std::vector<std::byte> payload) override;
   void shutdown() override;

@@ -42,6 +42,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kMcastForward: return "mcast_forward";
     case EventKind::kMcastDeliver: return "mcast_deliver";
     case EventKind::kFlowWindow: return "flow_window";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kShmBatch: return "shm_batch";
   }
   return "unknown";
 }

@@ -82,6 +82,12 @@ enum class EventKind : uint16_t {
                        ///< b=delivered, c=header entries, d=body bytes)
   kFlowWindow = 33,    ///< adaptive window changed (a=flow context,
                        ///< b=new window, c=receiver depth, d=in_flight)
+
+  // Intra-node fast path: work stealing + shared-memory fabric.
+  kSteal = 34,     ///< idle worker stole queued work (a=collection,
+                   ///< b=victim index, c=thief index, d=envelopes)
+  kShmBatch = 35,  ///< shm inbox delivered one drained batch (a=frames,
+                   ///< b=ring bytes)
 };
 
 const char* to_string(EventKind kind) noexcept;

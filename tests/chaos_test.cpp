@@ -14,6 +14,7 @@
 #include "net/chaos_fabric.hpp"
 #include "net/framing.hpp"
 #include "net/inproc_transport.hpp"
+#include "net/shm_fabric.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -391,6 +392,49 @@ TEST(Chaos, TcpBatchedSendsDeliverExactlyOnceUnderSeededSweep) {
     ClusterConfig cfg = ClusterConfig::tcp(3);
     auto chaos =
         std::make_shared<ChaosFabric>(std::make_shared<TcpFabric>(3), plan);
+    cfg.external_fabric = chaos;
+    cfg.fault.reliable = true;
+    Cluster cluster(cfg);
+    Application app(cluster, "toupper");
+    auto graph = build_toupper_graph(app, 4);
+    ActorScope scope(cluster.domain(), "main");
+    auto result =
+        token_cast<StringToken>(graph->call(new StringToken(kPhrase)));
+    ASSERT_TRUE(result) << "round " << round;
+    EXPECT_EQ(std::string(result->str, static_cast<size_t>(result->len)),
+              kPhraseUpper)
+        << "round " << round;
+    dropped += chaos->frames_dropped();
+    duplicated += chaos->frames_duplicated();
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      suppressed += cluster.controller(n).duplicates_suppressed();
+    }
+  }
+  EXPECT_GT(dropped, 0u) << "the sweep must actually have exercised loss";
+  EXPECT_GT(duplicated, 0u) << "the sweep must have injected duplicates";
+  EXPECT_GT(suppressed, 0u)
+      << "injected duplicates must be suppressed, not re-dispatched";
+}
+
+// The same seeded sweep over the shared-memory fabric: drops force the
+// reliable layer to retransmit through the rings, duplicates must be
+// suppressed, and the result must stay byte-identical — the shm fast path
+// earns the same exactly-once guarantees as TCP.
+// Replay: DPS_TEST_SEED=<seed> ./dps_tests --gtest_filter=Chaos.ShmBatched*
+TEST(Chaos, ShmBatchedSendsDeliverExactlyOnceUnderSeededSweep) {
+  if (!shm_available()) GTEST_SKIP() << "POSIX shm unavailable or DPS_SHM=0";
+  const uint32_t seed = dps_testing::effective_seed(0x5a11);
+  SCOPED_TRACE(::testing::Message() << "seed " << seed);
+  uint64_t dropped = 0, duplicated = 0, suppressed = 0;
+  for (int round = 0; round < 3; ++round) {
+    FaultPlan plan;
+    plan.seed = seed + static_cast<uint64_t>(round) * 0x9e3779b9u;
+    plan.all.drop = 0.05 * round;           // 0%, 5%, 10%
+    plan.all.duplicate = 0.05;
+    plan.all.duplicate_every = 7;
+    ClusterConfig cfg = ClusterConfig::shm(3);
+    auto chaos =
+        std::make_shared<ChaosFabric>(std::make_shared<ShmFabric>(3), plan);
     cfg.external_fabric = chaos;
     cfg.fault.reliable = true;
     Cluster cluster(cfg);

@@ -96,5 +96,27 @@ TEST(Spmd, MultiprocessToUpperRoundTrip) {
       << output;
 }
 
+// The run above negotiates the shm fast path between the co-located kernels
+// (when the host allows it); this one pins the deployment to TCP via the
+// DPS_SHM=0 opt-out — the "/shm" name-server key is never published and the
+// per-peer negotiation must degrade to pure sockets with the same result.
+TEST(Spmd, MultiprocessToUpperFallsBackToTcpWhenShmDisabled) {
+  const std::string binary = example_binary("multiprocess_toupper");
+  if (::access(binary.c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "example binary not found at " << binary;
+  }
+  const std::string cmd =
+      "DPS_SHM=0 " + binary + " 3 multi process dps 2>/dev/null";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char line[512];
+  while (::fgets(line, sizeof(line), pipe) != nullptr) output += line;
+  const int status = ::pclose(pipe);
+  EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+  EXPECT_NE(output.find("output: MULTI PROCESS DPS"), std::string::npos)
+      << output;
+}
+
 }  // namespace
 }  // namespace dps

@@ -393,5 +393,34 @@ TEST(SimFabric, BurstAmortizesPerMessageCost) {
   EXPECT_GT(last, 0.001 + 99 * 0.0001 - 1e-9);
 }
 
+TEST(SimFabric, SharedMemoryModelOutpacesGigabitEthernet) {
+  // The shm preset models the intra-node fast path (net/shm_fabric.cpp):
+  // memcpy bandwidth and sub-microsecond handoff. A burst of small frames
+  // — where the wire fabric is per-message-cost-bound — must complete
+  // orders of magnitude sooner under it, so simulated co-location studies
+  // actually see the fast path they are asking about.
+  auto run = [](LinkModel link) {
+    SimDomain sim;
+    SimFabric fabric(2, sim, link);
+    std::mutex mu;
+    double last = -1;
+    fabric.attach(0, [](NodeMessage&&) {});
+    fabric.attach(1, [&](NodeMessage&&) {
+      std::lock_guard<std::mutex> lock(mu);
+      last = sim.now();
+    });
+    for (int i = 0; i < 100; ++i) {
+      fabric.send(0, 1, FrameKind::kEnvelope, std::vector<std::byte>(1000));
+    }
+    sim.charge(10.0);
+    return last;
+  };
+  const double gbe = run(LinkModel::gigabit_ethernet());
+  const double shm = run(LinkModel::shared_memory());
+  EXPECT_GT(shm, 0.0);
+  EXPECT_LT(shm * 20, gbe)
+      << "1 kB bursts must be >20x faster on the shm link model";
+}
+
 }  // namespace
 }  // namespace dps
