@@ -57,9 +57,15 @@ def main():
         help="fractional throughput drop that counts as a regression "
         "(default: %(default)s)",
     )
+    # shm/size=1000000 is advisory because a 1 MB token dwarfs the shm ring,
+    # forcing producer/consumer lockstep that is pure scheduler luck on a
+    # single-core host: back-to-back runs with identical binaries measured
+    # 269-377 MB/s (+-30%), so a 10% gate only flakes. The shm win itself is
+    # still gated, in-binary, by fig6_throughput --check-shm (>=2x over TCP
+    # loopback at 1 kB on multi-core hosts).
     ap.add_argument(
         "--advisory-prefixes",
-        default="dps/,sockets/",
+        default="dps/,sockets/,shm/size=1000000",
         help="comma-separated config prefixes whose regressions are "
         "reported but not fatal (wall-clock loopback noise; default: "
         "%(default)s)",

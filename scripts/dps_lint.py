@@ -7,22 +7,28 @@ sanitizers can express:
   1. token-identify   every SimpleToken/ComplexToken subclass carries
                       DPS_IDENTIFY(...) in the same file, so the wire
                       decoder can always find its factory.
-  2. trace-gating     every Trace::instance() touch outside src/obs/ sits
-                      inside an `#ifdef DPS_TRACE` region (or uses the
-                      DPS_TRACE_EVENT macro), so non-trace builds compile
-                      the flight recorder out entirely.
-  3. raw-primitives   src/ uses dps::Mutex / dps::MutexLock / dps::CondVar
+  2. raw-primitives   src/ uses dps::Mutex / dps::MutexLock / dps::CondVar
                       (the Clang-thread-safety-annotated wrappers in
                       util/thread_annotations.hpp) instead of the raw std::
                       types, and spawns std::thread only from the known
                       thread-owning translation units.
-  4. include-cpp      no `#include` of a .cpp file anywhere.
-  5. tsan-coverage    every gtest suite name in tests/ is matched by the
+  3. include-cpp      no `#include` of a .cpp file anywhere.
+  4. tsan-coverage    every gtest suite name in tests/ is matched by the
                       tsan testPreset filter in CMakePresets.json, or is
                       explicitly opted out below with a reason. This is the
                       regression guard for the hand-enumerated filter regex:
                       a new suite that nobody lists is a lint failure, not a
                       silent gap in sanitizer coverage.
+  5. live-allowlists  every RAW_SYNC_ALLOWLIST / THREAD_SPAWNER_ALLOWLIST
+                      entry still names an existing file that still uses
+                      the primitive it is exempted for. A dead entry is a
+                      finding: a future file reusing the path would inherit
+                      an exemption whose rationale no longer applies (same
+                      spirit as the dead-tsan-filter rule).
+
+Trace gating (formerly rule 2 here) moved to scripts/dps_verify.py, which
+verifies it against the file's real preprocessor conditional structure
+instead of a line regex.
 
 Exit status 0 = clean; 1 = findings (printed one per line).
 """
@@ -33,7 +39,7 @@ import os
 import re
 import sys
 
-# --- rule 3 allowlists ------------------------------------------------------
+# --- rule 2 allowlists ------------------------------------------------------
 
 # Files allowed to name raw std:: synchronization primitives.
 RAW_SYNC_ALLOWLIST = {
@@ -68,7 +74,7 @@ RAW_SYNC_PATTERN = re.compile(
 )
 RAW_THREAD_PATTERN = re.compile(r"std::(thread|jthread)\b")
 
-# --- rule 5 opt-outs --------------------------------------------------------
+# --- rule 4 opt-outs --------------------------------------------------------
 
 # Suites deliberately absent from the tsan filter. Every entry needs a
 # reason; an uncovered suite without one fails the lint. Keep this honest:
@@ -203,41 +209,7 @@ def check_token_identify(root, findings):
                     f"instantiate it from the wire")
 
 
-# --- rule 2: trace-gating ---------------------------------------------------
-
-TRACE_TOUCH = re.compile(r"\bTrace::instance\s*\(\)|\bobs::tracing_active\b")
-IFDEF_TRACE = re.compile(r"^\s*#\s*(?:ifdef\s+DPS_TRACE\b"
-                         r"|if\s+defined\s*\(\s*DPS_TRACE\s*\))")
-PP_IF = re.compile(r"^\s*#\s*if(?:def|ndef)?\b")
-PP_ELSE = re.compile(r"^\s*#\s*(?:else|elif)\b")
-PP_ENDIF = re.compile(r"^\s*#\s*endif\b")
-
-
-def check_trace_gating(root, findings):
-    for rel in iter_sources(root, ["src"]):
-        if rel.startswith("src/obs/"):
-            continue  # the recorder implementation itself
-        stack = []  # True = inside the taken #ifdef DPS_TRACE branch
-        for lineno, line in enumerate(
-                strip_comments(read(root, rel)).splitlines(), 1):
-            if IFDEF_TRACE.match(line):
-                stack.append(True)
-            elif PP_IF.match(line):
-                stack.append(False)
-            elif PP_ELSE.match(line):
-                if stack:
-                    stack[-1] = False
-            elif PP_ENDIF.match(line):
-                if stack:
-                    stack.pop()
-            elif TRACE_TOUCH.search(line) and not any(stack):
-                findings.append(
-                    f"{rel}:{lineno}: trace-gating: flight-recorder call "
-                    f"outside an #ifdef DPS_TRACE region (use the region or "
-                    f"DPS_TRACE_EVENT so non-trace builds compile it out)")
-
-
-# --- rule 3: raw-primitives -------------------------------------------------
+# --- rule 2: raw-primitives -------------------------------------------------
 
 def check_raw_primitives(root, findings):
     for rel in iter_sources(root, ["src"]):
@@ -261,7 +233,7 @@ def check_raw_primitives(root, findings):
                         f"THREAD_SPAWNER_ALLOWLIST with a rationale")
 
 
-# --- rule 4: include-cpp ----------------------------------------------------
+# --- rule 3: include-cpp ----------------------------------------------------
 
 INCLUDE_CPP = re.compile(r'^\s*#\s*include\s*[<"][^<">]*\.cpp[">]')
 
@@ -275,7 +247,7 @@ def check_include_cpp(root, findings):
                     f"add the file to the build instead")
 
 
-# --- rule 5: tsan-coverage --------------------------------------------------
+# --- rule 4: tsan-coverage --------------------------------------------------
 
 def tsan_filter_names(root, findings):
     with open(os.path.join(root, "CMakePresets.json"), encoding="utf-8") as f:
@@ -334,6 +306,35 @@ def check_tsan_coverage(root, findings):
             f"names a gtest suite that no longer exists; remove it")
 
 
+# --- rule 5: live-allowlists ------------------------------------------------
+
+def check_live_allowlists(root, findings):
+    src_files = set(iter_sources(root, ["src"]))
+    for rel in sorted(RAW_SYNC_ALLOWLIST):
+        if rel not in src_files:
+            findings.append(
+                f"scripts/dps_lint.py: live-allowlists: RAW_SYNC_ALLOWLIST "
+                f"entry '{rel}' names a file that no longer exists; remove "
+                f"it")
+        elif not RAW_SYNC_PATTERN.search(strip_comments(read(root, rel))):
+            findings.append(
+                f"scripts/dps_lint.py: live-allowlists: RAW_SYNC_ALLOWLIST "
+                f"entry '{rel}' no longer uses any raw std:: sync primitive; "
+                f"remove the exemption so it cannot be inherited silently")
+    for rel in sorted(THREAD_SPAWNER_ALLOWLIST):
+        if rel not in src_files:
+            findings.append(
+                f"scripts/dps_lint.py: live-allowlists: "
+                f"THREAD_SPAWNER_ALLOWLIST entry '{rel}' names a file that "
+                f"no longer exists; remove it")
+        elif not RAW_THREAD_PATTERN.search(strip_comments(read(root, rel))):
+            findings.append(
+                f"scripts/dps_lint.py: live-allowlists: "
+                f"THREAD_SPAWNER_ALLOWLIST entry '{rel}' no longer spawns "
+                f"std::thread/std::jthread; remove the exemption so it "
+                f"cannot be inherited silently")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=os.path.dirname(
@@ -343,10 +344,10 @@ def main():
 
     findings = []
     check_token_identify(root, findings)
-    check_trace_gating(root, findings)
     check_raw_primitives(root, findings)
     check_include_cpp(root, findings)
     check_tsan_coverage(root, findings)
+    check_live_allowlists(root, findings)
 
     if findings:
         for f in findings:

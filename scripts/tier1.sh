@@ -3,9 +3,11 @@
 # net/core subset rebuilt and re-run under ThreadSanitizer (the tsan test
 # preset selects that subset; see CMakePresets.json), the full suite under
 # AddressSanitizer+UBSan, the observability subset with the flight recorder
-# compiled in (DPS_TRACE=ON), the DPS-specific lint pass, and — when clang
-# is installed — the Clang Thread Safety Analysis build (-Werror) and a
-# warn-only clang-tidy sweep. docs/STATIC_ANALYSIS.md describes each stage.
+# compiled in (DPS_TRACE=ON), the DPS-specific lint pass, the dps_verify
+# AST-level protocol/lock-order stage, and — when clang is installed — the
+# Clang Thread Safety Analysis build (-Werror) and a clang-tidy sweep whose
+# WarningsAsErrors subset is fatal. docs/STATIC_ANALYSIS.md describes each
+# stage.
 #
 # Usage: scripts/tier1.sh            # everything
 #        DPS_SKIP_TSAN=1 scripts/tier1.sh    # skip the TSan stage
@@ -13,9 +15,13 @@
 #        DPS_SKIP_TRACE=1 scripts/tier1.sh   # skip the DPS_TRACE=ON stage
 #        DPS_SKIP_ANALYZE=1 scripts/tier1.sh # skip -Wthread-safety (clang)
 #        DPS_SKIP_TIDY=1 scripts/tier1.sh    # skip clang-tidy
+#        DPS_SKIP_VERIFY=1 scripts/tier1.sh  # skip the dps_verify AST stage
+#        DPS_VERIFY_REQUIRE_LIBCLANG=1       # SKIP (not run) verify-ast when
+#            the clang python bindings are missing, instead of running the
+#            analyzer's built-in fallback frontend
 #        DPS_BENCH_SMOKE=1 scripts/tier1.sh  # also run a reduced pass of
 #            every bench binary with --json, concatenate the records into
-#            BENCH_pr8.json (includes micro_serialization's zero-realloc
+#            BENCH_pr9.json (includes micro_serialization's zero-realloc
 #            assertion, micro_engine's flat-dispatch assertion, the
 #            table2_services service-mesh sweep + overload self-checks,
 #            fig15_lu's --check-scaleout gate — 8-node pipelined must beat
@@ -25,7 +31,7 @@
 #            adaptive-window gates: adaptive within 5% of the best static
 #            window at every message size), and flag fig15_lu /
 #            fig6_throughput throughput regressions >10% against the
-#            committed BENCH_pr7.json baseline
+#            committed BENCH_pr8.json baseline
 set -uo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -51,9 +57,33 @@ fi
 
 # --- dps_lint standalone (also a ctest above; run it visibly here) ----------
 if python3 scripts/dps_lint.py; then
-  pass "dps_lint (token registration, trace gating, raw primitives, tsan coverage)"
+  pass "dps_lint (token registration, raw primitives, tsan coverage, live allowlists)"
 else
   fail "dps_lint"
+fi
+
+# --- verify-ast: protocol & lock-order analysis (scripts/dps_verify.py) -----
+# Runs over the compile database from the `compile-commands` preset; the
+# fixture corpus is asserted first so a broken analyzer can never
+# green-light src/. With the clang python bindings installed the real
+# clang AST is used; otherwise the built-in fallback frontend runs (set
+# DPS_VERIFY_REQUIRE_LIBCLANG=1 to SKIP instead in that situation).
+if [ "${DPS_SKIP_VERIFY:-0}" = "1" ]; then
+  skip "verify-ast" "DPS_SKIP_VERIFY=1"
+elif [ "${DPS_VERIFY_REQUIRE_LIBCLANG:-0}" = "1" ] &&
+    ! python3 -c 'import clang.cindex' 2>/dev/null; then
+  skip "verify-ast" "clang python bindings not installed (DPS_VERIFY_REQUIRE_LIBCLANG=1)"
+else
+  cmake --preset compile-commands >/dev/null
+  if python3 scripts/dps_verify.py \
+        --check-fixtures tests/static_checks/verify_fixtures &&
+      python3 scripts/dps_verify.py \
+        --compile-commands build-cc/compile_commands.json \
+        --dot docs/lock_order.dot; then
+    pass "verify-ast (fixture corpus + lock-order/protocol/discard/trace-gate over src/)"
+  else
+    fail "verify-ast"
+  fi
 fi
 
 # --- shared-memory fabric (skipped where POSIX shm is unusable: no
@@ -106,21 +136,21 @@ else
   fail "analyze (-Wthread-safety)"
 fi
 
-# --- clang-tidy (warn-only: findings are printed, never fatal) --------------
+# --- clang-tidy (the WarningsAsErrors subset in .clang-tidy is fatal:
+# --- use-after-move / dangling-handle / mt-unsafe; the rest is advisory) ----
 if [ "${DPS_SKIP_TIDY:-0}" = "1" ]; then
   skip "clang-tidy" "DPS_SKIP_TIDY=1"
 elif ! command -v clang-tidy >/dev/null 2>&1; then
   skip "clang-tidy" "clang-tidy not installed"
 else
-  # Needs a compile database; the default preset build dir has one once
-  # CMAKE_EXPORT_COMPILE_COMMANDS is on (set here without reconfiguring the
-  # whole tree when already present).
-  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Needs a compile database; CMAKE_EXPORT_COMPILE_COMMANDS is on globally,
+  # so the default preset build dir always carries one.
+  cmake --preset default >/dev/null
   mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
   if clang-tidy -p build "${tidy_sources[@]}"; then
-    pass "clang-tidy (no findings)"
+    pass "clang-tidy (no fatal findings; remaining output is advisory)"
   else
-    pass "clang-tidy (ran; findings above are advisory, not fatal)"
+    fail "clang-tidy (WarningsAsErrors subset: bugprone-use-after-move, bugprone-dangling-handle, concurrency-mt-unsafe)"
   fi
 fi
 
@@ -136,7 +166,7 @@ if [ "${DPS_BENCH_SMOKE:-0}" != "1" ]; then
 fi
 
 # Bench smoke: tiny configurations of every harness, machine-readable
-# results concatenated into BENCH_pr8.json for cross-commit diffing.
+# results concatenated into BENCH_pr9.json for cross-commit diffing.
 # micro_serialization exits nonzero if an envelope encode reallocates,
 # micro_engine exits nonzero if merge matching scales with queue depth, the
 # table2_services sweep/overload pass exits nonzero if the service mesh
@@ -170,8 +200,8 @@ b=build/bench
   --benchmark_filter='BM_CallLatencySingleNode|BM_TokenThroughputSerialized/256|BM_DispatchMergeMatch'
 "$b/micro_serialization" --json "$smoke_dir/micro_serial.json" \
   --benchmark_filter='BM_SimpleTokenRoundTrip|BM_ComplexTokenRoundTrip/4096'
-cat "$smoke_dir"/*.json > BENCH_pr8.json
-echo "bench smoke: $(wc -l < BENCH_pr8.json) records -> BENCH_pr8.json"
+cat "$smoke_dir"/*.json > BENCH_pr9.json
+echo "bench smoke: $(wc -l < BENCH_pr9.json) records -> BENCH_pr9.json"
 # Guard the hot-path wins: any fig15_lu / fig6_throughput config more than
-# 10% below the PR-7 baseline fails the smoke stage.
-python3 scripts/bench_compare.py BENCH_pr7.json BENCH_pr8.json
+# 10% below the PR-8 baseline fails the smoke stage.
+python3 scripts/bench_compare.py BENCH_pr8.json BENCH_pr9.json

@@ -177,11 +177,15 @@ struct ProcessFabric::Impl {
     if (child == 0) {
       const pid_t grand = ::fork();
       if (grand != 0) ::_exit(0);
-      // Grandchild: become the follower.
+      // Grandchild: become the follower. setenv is mt-unsafe in general,
+      // but this freshly-forked process is single-threaded until execv —
+      // nothing can race the environment writes.
+      // NOLINTBEGIN(concurrency-mt-unsafe)
       ::setenv("DPS_NODE", std::to_string(node).c_str(), 1);
       ::setenv("DPS_NAMESERVER",
                (ns_host + ":" + std::to_string(ns_port)).c_str(), 1);
       ::setenv("DPS_RUN", run_id.c_str(), 1);
+      // NOLINTEND(concurrency-mt-unsafe)
       std::vector<char*> argv;
       argv.push_back(const_cast<char*>(exe.c_str()));
       for (auto& a : base_args) argv.push_back(const_cast<char*>(a.c_str()));

@@ -1,0 +1,41 @@
+// NEGATIVE-COMPILE CASE — must NOT build.
+//
+// postTokenMulticast() must enforce the same compile-time routing contract
+// as postToken(): the multicast payload type has to be in the operation's
+// declared output list, or successor selection by token type breaks for
+// every replica at once. Expected diagnostic:
+// "postTokenMulticast: type is not in this operation's output list".
+#include "core/operation.hpp"
+
+#include <vector>
+
+namespace {
+
+using namespace dps;
+
+class TokA : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokA);
+};
+
+class TokB : public SimpleToken {
+ public:
+  int v = 0;
+  DPS_IDENTIFY(TokB);
+};
+
+class WorkThread : public Thread {
+  DPS_IDENTIFY_THREAD(WorkThread);
+};
+
+class SneakyMulticast : public LeafOperation<WorkThread, TV1(TokA), TV1(TokA)> {
+ public:
+  void execute(TokA*) override {
+    // TokB is not in the output list TV1(TokA).
+    postTokenMulticast(new TokB(), std::vector<int>{0, 1});
+  }
+  DPS_IDENTIFY_OPERATION(SneakyMulticast);
+};
+
+}  // namespace

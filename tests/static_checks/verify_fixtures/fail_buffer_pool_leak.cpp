@@ -1,0 +1,29 @@
+// verify_fixtures: a BufferPool buffer dropped on an early return.
+//
+// encode_frame acquires a pooled buffer, but the validation early-return
+// neither releases it nor hands it off, so the pool's capacity shrinks by
+// one buffer per bad frame. The success path hands the buffer to
+// release() and must not be flagged.
+//
+// DPS-VERIFY-EXPECT: protocol[buffer-pool]
+// DPS-VERIFY-EXPECT: returns without releasing
+
+struct Buffer {
+  unsigned char* data();
+  unsigned long size();
+};
+
+struct BufferPool {
+  static BufferPool& instance();
+  Buffer acquire(unsigned long size_hint);
+  void release(Buffer buf);
+};
+
+bool encode_frame(unsigned long length) {
+  Buffer buf = BufferPool::instance().acquire(length);
+  if (length == 0) {
+    return false;  // BUG: buf is dropped — pool capacity leaks
+  }
+  BufferPool::instance().release(buf);
+  return true;
+}

@@ -1,0 +1,33 @@
+// verify_fixtures: a silently discarded Errc result.
+//
+// The service mesh reports backpressure through Errc return values in a
+// few non-throwing paths; dropping one on the floor means a shed call
+// looks like a successful one. dps_verify's discard check must flag the
+// bare statement-expression call; the `(void)` cast below is the
+// sanctioned explicit discard and must NOT be flagged.
+//
+// DPS-VERIFY-EXPECT: discard: result of probe_backlog()
+// DPS-VERIFY-EXPECT: silently dropped
+
+enum class Errc { kOk, kBackpressure };
+
+struct Mesh {
+  Errc probe_backlog();
+  void shed();
+  void step();
+  void tick();
+};
+
+Errc Mesh::probe_backlog() { return Errc::kOk; }
+
+void Mesh::step() {
+  probe_backlog();  // BUG: Errc dropped — backpressure goes unnoticed
+}
+
+void Mesh::tick() {
+  (void)probe_backlog();  // explicit discard: allowed
+  Errc e = probe_backlog();
+  if (e == Errc::kBackpressure) {
+    shed();
+  }
+}

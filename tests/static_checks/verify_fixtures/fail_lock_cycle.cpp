@@ -1,0 +1,35 @@
+// verify_fixtures: an A->B / B->A lock-order inversion.
+//
+// forward() acquires a_ then b_; backward() acquires b_ then a_. Run
+// concurrently they deadlock. dps_verify's acquisition graph must contain
+// both edges and report the strongly connected component as a cycle.
+//
+// DPS-VERIFY-EXPECT: lock-order
+// DPS-VERIFY-EXPECT: potential deadlock cycle
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+struct Engine {
+  Mutex a_;
+  Mutex b_;
+  void forward();
+  void backward();
+};
+
+void Engine::forward() {
+  MutexLock la(a_);
+  MutexLock lb(b_);  // a_ -> b_
+}
+
+void Engine::backward() {
+  MutexLock lb(b_);
+  MutexLock la(a_);  // BUG: b_ -> a_ inverts forward()'s order
+}

@@ -1,0 +1,36 @@
+// verify_fixtures: reduced reproduction of the PR 6 flow-window leak.
+//
+// The split path created a flow account sized to the tenant's window, but
+// the empty-fanout early return skipped finish_flow_account — so every
+// empty split shrank the tenant's window permanently ("a window that can
+// never refill"). dps_verify's path-sensitive protocol check must flag the
+// early-return path that drops the account.
+//
+// This corpus is analyzed, never compiled: each fixture is self-contained
+// (local stub declarations, no includes) and is asserted by ctest
+// Lint.DpsVerifyFixtures to produce exactly its expected diagnostics.
+//
+// DPS-VERIFY-EXPECT: protocol[flow-account]
+// DPS-VERIFY-EXPECT: returns without releasing
+// DPS-VERIFY-EXPECT: window can never refill
+
+using ContextId = unsigned long long;
+
+struct Controller {
+  ContextId new_context_id();
+  void create_flow_account(ContextId ctx, unsigned window);
+  void finish_flow_account(ContextId ctx);
+  void post(int item);
+};
+
+void run_split(Controller& controller, int fanout) {
+  ContextId ctx = controller.new_context_id();
+  controller.create_flow_account(ctx, 32);
+  if (fanout == 0) {
+    return;  // BUG: the account is never finished on this path
+  }
+  for (int i = 0; i < fanout; ++i) {
+    controller.post(i);
+  }
+  controller.finish_flow_account(ctx);
+}

@@ -1,0 +1,43 @@
+// verify_fixtures: reduced reproduction of the PR 7 skipped-release bug.
+//
+// The split loop calls flow_acquire for every fan-out token; when the
+// account is poisoned during shutdown, flow_acquire raises dps::Error —
+// and the original code had no handler, so the exception propagated out
+// of run() with the flow account still open. dps_verify must flag the
+// exception edge out of flow_acquire (and the send) while the member
+// handle split_ctx_ is live with no protective catch-all.
+//
+// DPS-VERIFY-EXPECT: protocol[flow-account]
+// DPS-VERIFY-EXPECT: may raise out of flow_acquire()
+// DPS-VERIFY-EXPECT: exception path drops the resource
+
+using ContextId = unsigned long long;
+
+struct Controller {
+  ContextId new_context_id();
+  unsigned tenant_window(unsigned tenant);
+  void create_flow_account(ContextId ctx, unsigned window);
+  void finish_flow_account(ContextId ctx);
+  void flow_acquire(ContextId ctx, unsigned min_window);
+  void send_now(int item);
+};
+
+struct ExecCtx {
+  Controller& controller_;
+  ContextId split_ctx_;
+  unsigned tenant_;
+  void run(int fanout);
+};
+
+void ExecCtx::run(int fanout) {
+  split_ctx_ = controller_.new_context_id();
+  controller_.create_flow_account(split_ctx_,
+                                  controller_.tenant_window(tenant_));
+  for (int i = 0; i < fanout; ++i) {
+    // BUG: a poisoned account makes flow_acquire raise; nothing catches,
+    // so the account above is never finished on that path.
+    controller_.flow_acquire(split_ctx_, 1);
+    controller_.send_now(i);
+  }
+  controller_.finish_flow_account(split_ctx_);
+}

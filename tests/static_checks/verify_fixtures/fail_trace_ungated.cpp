@@ -1,0 +1,26 @@
+// verify_fixtures: a flight-recorder touch that survives trace-off builds.
+//
+// The first record() call is not inside any #ifdef DPS_TRACE region, so it
+// is compiled into production builds; the second is properly gated and the
+// third sits under a condition the analyzer must evaluate (not pattern
+// match) as unreachable when DPS_TRACE is undefined. Exactly one finding.
+//
+// DPS-VERIFY-EXPECT: trace-gate
+// DPS-VERIFY-EXPECT: can survive preprocessing with DPS_TRACE undefined
+
+namespace obs {
+struct Trace {
+  static Trace& instance();
+  void record(int v);
+};
+}  // namespace obs
+
+void hot_path(int v) {
+  obs::Trace::instance().record(v);  // BUG: lives in trace-off builds
+#ifdef DPS_TRACE
+  obs::Trace::instance().record(v + 1);  // correctly gated
+#endif
+#if defined(DPS_TRACE) && !defined(NDEBUG)
+  obs::Trace::instance().record(v + 2);  // gated by a compound condition
+#endif
+}

@@ -1,0 +1,81 @@
+// verify_fixtures: the corrected protocol patterns — must produce ZERO
+// findings (asserted by the pass_* rule in dps_verify --check-fixtures).
+//
+// This is the shape the PR 6/PR 7 fixes actually shipped: every path out
+// of the creating function finishes the flow account — including the
+// exception edge out of a poisoned flow_acquire, which is covered by a
+// catch-all that releases before rethrowing — the early return releases
+// before leaving, lock order is consistent across both functions, and the
+// Errc result is consumed.
+
+using ContextId = unsigned long long;
+
+struct Controller {
+  ContextId new_context_id();
+  void create_flow_account(ContextId ctx, unsigned window);
+  void finish_flow_account(ContextId ctx);
+  void flow_acquire(ContextId ctx, unsigned min_window);
+  void send_now(int item);
+};
+
+void run_split(Controller& controller, int fanout) {
+  ContextId ctx = controller.new_context_id();
+  controller.create_flow_account(ctx, 32);
+  if (fanout == 0) {
+    controller.finish_flow_account(ctx);  // early exit still releases
+    return;
+  }
+  try {
+    for (int i = 0; i < fanout; ++i) {
+      controller.flow_acquire(ctx, 1);
+      controller.send_now(i);
+    }
+  } catch (...) {
+    controller.finish_flow_account(ctx);  // exception edge releases too
+    throw;
+  }
+  controller.finish_flow_account(ctx);
+}
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+struct Engine {
+  Mutex a_;
+  Mutex b_;
+  void forward();
+  void also_forward();
+};
+
+void Engine::forward() {
+  MutexLock la(a_);
+  MutexLock lb(b_);  // a_ -> b_
+}
+
+void Engine::also_forward() {
+  MutexLock la(a_);
+  MutexLock lb(b_);  // same order: no cycle
+}
+
+enum class Errc { kOk, kBackpressure };
+
+struct Mesh {
+  Errc probe_backlog();
+  void shed();
+  void step();
+};
+
+Errc Mesh::probe_backlog() { return Errc::kOk; }
+
+void Mesh::step() {
+  if (probe_backlog() == Errc::kBackpressure) {
+    shed();  // result consumed, not discarded
+  }
+}
