@@ -108,6 +108,8 @@ TSAN_OPT_OUT = {
     # under tsan on one core) without adding new concurrent structure.
     "Life": "app-level; engine concurrency covered by tsan'd core suites",
     "LifeApp": "app-level; engine concurrency covered by tsan'd core suites",
+    "LifeFast": "leaf-kernel bit-identity and backend-registry unit tests, "
+                "single-threaded",
     "Sweep/LifeGraphParam": "app-level parameterization of the Life suite",
     "Lu": "app-level; engine concurrency covered by tsan'd core suites",
     "LuApp": "app-level; engine concurrency covered by tsan'd core suites",
@@ -116,6 +118,8 @@ TSAN_OPT_OUT = {
     "MatMulApp": "app-level; engine concurrency covered by tsan'd core suites",
     "Sweep/MatMulParam": "app-level parameterization of the MatMul suite",
     "VideoApp": "app-level; engine concurrency covered by tsan'd core suites",
+    "StreamApp": "app-level; the flushTokens engine path it leans on is "
+                 "tsan'd via the StreamOp suite",
     "RingApp": "app-level; engine concurrency covered by tsan'd core suites",
     "Seeds/RandomPipeline": "randomized app graphs; engine covered by "
                             "tsan'd core suites",

@@ -122,6 +122,14 @@ struct ClusterConfig {
   /// context affinity, hash routing) must keep it off.
   bool work_stealing = false;
 
+  /// Leaf-compute backend for this process (compute/backend.hpp): the
+  /// cluster constructor forwards a non-empty name to
+  /// compute::set_default_backend(), overriding env DPS_LEAF. Kernel
+  /// families that don't register the name keep their own default (e.g.
+  /// "lut" for the Life stepper). Process-wide, like DPS_LEAF: the last
+  /// constructed cluster with a non-empty name wins.
+  std::string leaf_backend;
+
   static ClusterConfig inproc(int node_count);
   static ClusterConfig tcp(int node_count);
   static ClusterConfig simulated(

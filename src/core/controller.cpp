@@ -284,7 +284,15 @@ class Controller::ExecCtx : public detail::OpServices {
                   " posted no tokens; the downstream merge would never "
                   "complete");
       }
-      DPS_CHECK(held_.has_value(), "split finalization lost the held token");
+      if (!held_.has_value()) {
+        // Only reachable when user code flushTokens()'d its final post: the
+        // engine then has no token left to stamp the context total into.
+        controller_.finish_flow_account(split_ctx_);
+        raise(Errc::kState,
+              std::string(to_string(kind_)) +
+                  " flushed its last token; flushTokens() must be followed "
+                  "by at least one more postToken before execute returns");
+      }
       held_->frames.back().has_total = 1;
       held_->frames.back().total = posted_;
       Envelope last = std::move(*held_);
@@ -388,7 +396,8 @@ class Controller::ExecCtx : public detail::OpServices {
     if (splitish) {
       // Held-back-last-token protocol: delay each token by one post so the
       // final one can carry the context total while the rest pipeline out
-      // eagerly.
+      // eagerly. Latency-sensitive sources release the hold early with
+      // flushTokens().
       std::optional<Envelope> to_send;
       bool to_send_routed = false;
       if (held_.has_value()) {
@@ -401,6 +410,16 @@ class Controller::ExecCtx : public detail::OpServices {
     } else {
       send_now(std::move(out));
     }
+  }
+
+  /// Operation::flushTokens — ship the held-back last post immediately so a
+  /// paced source does not delay every token by one pacing interval. The
+  /// finalization above enforces the contract that another post follows.
+  void flush_posted() override {
+    if (kind_ != OpKind::kSplit && kind_ != OpKind::kStream) {
+      raise(Errc::kState, "flushTokens outside a split/stream operation");
+    }
+    flush_held();
   }
 
   void post_multicast(Ptr<Token> token, const std::vector<int>& threads) override {
@@ -438,13 +457,7 @@ class Controller::ExecCtx : public detail::OpServices {
 
     // FIFO with earlier posts: flush the previously held token before any
     // of the collective's envelopes leave.
-    if (held_.has_value()) {
-      Envelope prev = std::move(*held_);
-      held_.reset();
-      const bool routed = held_routed_;
-      held_routed_ = false;
-      send_now(std::move(prev), routed);
-    }
+    flush_held();
 
     // One envelope per destination shares the frame stack and the token
     // object; destinations receive it read-only. The last destination is
@@ -702,6 +715,17 @@ class Controller::ExecCtx : public detail::OpServices {
 
   /// `routed == true` skips the routing function: the destination thread
   /// was already chosen (multicast held-back last token).
+  /// Releases the held-back-last-token (no-op when nothing is held). Shared
+  /// by flushTokens and the multicast FIFO barrier.
+  void flush_held() {
+    if (!held_.has_value()) return;
+    Envelope prev = std::move(*held_);
+    held_.reset();
+    const bool routed = held_routed_;
+    held_routed_ = false;
+    send_now(std::move(prev), routed);
+  }
+
   void send_now(Envelope e, bool routed = false) {
     if (kind_ == OpKind::kSplit || kind_ == OpKind::kStream) {
       if (routed) {

@@ -52,6 +52,9 @@ class OpServices {
   /// collection (multicast collective). Split/stream only.
   virtual void post_multicast(Ptr<Token> token,
                               const std::vector<int>& threads) = 0;
+  /// Releases the held-back last posted token immediately (split/stream
+  /// only; see Operation::flushTokens below for the contract).
+  virtual void flush_posted() = 0;
   virtual Ptr<Token> wait_next() = 0;
   virtual Thread* user_thread() = 0;
   virtual ExecDomain& domain() = 0;
@@ -103,6 +106,10 @@ class Operation {
   Ptr<Token> waitForNextTokenErased() {
     DPS_CHECK(services_ != nullptr, "waitForNextToken outside an execution");
     return services_->wait_next();
+  }
+  void flushTokensErased() {
+    DPS_CHECK(services_ != nullptr, "flushTokens outside an execution");
+    services_->flush_posted();
   }
   Thread* threadErased() const { return services_->user_thread(); }
 
@@ -218,7 +225,25 @@ class LeafOperation
 /// Split operation: one input, any number of outputs.
 template <class ThreadT, class In, class Out>
 class SplitOperation
-    : public detail::TypedOperation<ThreadT, In, Out, OpKind::kSplit> {};
+    : public detail::TypedOperation<ThreadT, In, Out, OpKind::kSplit> {
+ public:
+  /// Releases the most recently posted token right now instead of letting
+  /// it pipeline one post behind.
+  ///
+  /// The engine normally holds back each posted token until the next post
+  /// (or until execute returns), because the LAST token of the context must
+  /// carry the total count that tells the downstream merge when it is done.
+  /// For throughput workloads the one-token delay is invisible, but a
+  /// paced source (sleepFor between posts) would otherwise see every token
+  /// delayed by a full pacing interval. Call flushTokens() after a post to
+  /// ship it immediately.
+  ///
+  /// Contract: at least one more postToken must follow before execute
+  /// returns — the engine needs a final un-flushed token to stamp the
+  /// context total into, and raises Errc::kState otherwise. Only call this
+  /// when you know the post was not the last one.
+  void flushTokens() { this->flushTokensErased(); }
+};
 
 /// Merge operation: collects every token of its context, posts one result.
 template <class ThreadT, class In, class Out>
@@ -238,6 +263,11 @@ class StreamOperation
     : public detail::TypedOperation<ThreadT, In, Out, OpKind::kStream> {
  public:
   Ptr<Token> waitForNextToken() { return this->waitForNextTokenErased(); }
+
+  /// Same semantics and contract as SplitOperation::flushTokens: ship the
+  /// held-back last post immediately; at least one more postToken must
+  /// follow before execute returns.
+  void flushTokens() { this->flushTokensErased(); }
 };
 
 namespace detail {

@@ -1,0 +1,161 @@
+#include "life/fast_step.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace dps::life {
+
+namespace {
+
+constexpr std::array<uint8_t, kRuleLutSize> build_rule_lut() {
+  std::array<uint8_t, kRuleLutSize> lut{};
+  for (int w = 0; w < kRuleLutSize; ++w) {
+    int live = 0;
+    for (int bit = 0; bit < kRuleLutBits; ++bit) live += (w >> bit) & 1;
+    const int alive = (w >> rule_lut_bit(0, 0)) & 1;
+    const int neighbours = live - alive;
+    const bool next = alive != 0 ? (neighbours == 2 || neighbours == 3)
+                                 : neighbours == 3;
+    lut[static_cast<size_t>(w)] = next ? 1 : 0;
+  }
+  return lut;
+}
+
+constexpr std::array<uint8_t, kRuleLutSize> kRuleLut = build_rule_lut();
+
+/// Steps rows [r0, r1) of `band` into the same rows of `out`. Rows outside
+/// the band come from `above`/`below`; nullptr means the dead world edge.
+void step_rows(const Band& band, const uint8_t* above, const uint8_t* below,
+               int r0, int r1, Band& out) {
+  const int rows = band.rows(), cols = band.cols();
+  if (r0 >= r1 || cols == 0) return;
+  const uint8_t* cells = band.cells().data();
+  uint8_t* dst = out.cells().data();
+  const uint8_t* lut = kRuleLut.data();
+
+  const auto row_ptr = [&](int r) -> const uint8_t* {
+    if (r < 0) return above;
+    if (r >= rows) return below;
+    return cells + static_cast<size_t>(r) * cols;
+  };
+
+  // Prime the column triples for row r0: bit 2 = row above, bit 1 = the
+  // row itself, bit 0 = row below.
+  std::vector<uint8_t> colbits(static_cast<size_t>(cols));
+  {
+    const uint8_t* top = row_ptr(r0 - 1);
+    const uint8_t* mid = row_ptr(r0);
+    const uint8_t* bot = row_ptr(r0 + 1);
+    for (int c = 0; c < cols; ++c) {
+      colbits[static_cast<size_t>(c)] = static_cast<uint8_t>(
+          ((top != nullptr ? top[c] : 0) << 2) |
+          ((mid != nullptr ? mid[c] : 0) << 1) |
+          (bot != nullptr ? bot[c] : 0));
+    }
+  }
+
+  for (int r = r0;;) {
+    uint8_t* drow = dst + static_cast<size_t>(r) * cols;
+    // Slide the 9-bit window of three column triples across the row. The
+    // left/right world edges are dead, so the window starts with an empty
+    // left triple and drains to empty on the right.
+    unsigned win = static_cast<unsigned>(colbits[0]) << 3;
+    if (cols > 1) win |= static_cast<unsigned>(colbits[1]) << 6;
+    int c = 0;
+    for (; c + 2 < cols; ++c) {  // branch-free: shift, or, load, store
+      drow[c] = lut[win];
+      win = (win >> 3) | (static_cast<unsigned>(colbits[c + 2]) << 6);
+    }
+    for (; c < cols; ++c) {  // last two columns: dead right edge slides in
+      drow[c] = lut[win];
+      win >>= 3;
+    }
+
+    if (++r >= r1) break;
+    // Advance the column triples one row down: drop the top bit, shift,
+    // or in the new bottom row (dead when past the band's below border).
+    const uint8_t* nxt = row_ptr(r + 1);
+    if (nxt != nullptr) {
+      for (int i = 0; i < cols; ++i) {
+        colbits[static_cast<size_t>(i)] = static_cast<uint8_t>(
+            ((colbits[static_cast<size_t>(i)] << 1) & 0x6) | nxt[i]);
+      }
+    } else {
+      for (int i = 0; i < cols; ++i) {
+        colbits[static_cast<size_t>(i)] =
+            static_cast<uint8_t>((colbits[static_cast<size_t>(i)] << 1) & 0x6);
+      }
+    }
+  }
+}
+
+void check_border(const std::vector<uint8_t>& border, int cols,
+                  const char* what) {
+  DPS_CHECK(border.empty() || static_cast<int>(border.size()) == cols, what);
+}
+
+}  // namespace
+
+const uint8_t* rule_lut() { return kRuleLut.data(); }
+
+Band lut_step_band(const Band& band, const std::vector<uint8_t>& above,
+                   const std::vector<uint8_t>& below) {
+  check_border(above, band.cols(), "lut_step_band: above width mismatch");
+  check_border(below, band.cols(), "lut_step_band: below width mismatch");
+  Band next(band.rows(), band.cols());
+  step_rows(band, above.empty() ? nullptr : above.data(),
+            below.empty() ? nullptr : below.data(), 0, band.rows(), next);
+  return next;
+}
+
+Band lut_step_interior(const Band& band) {
+  Band next = band;  // border rows keep old values until step_borders
+  step_rows(band, nullptr, nullptr, 1, band.rows() - 1, next);
+  return next;
+}
+
+void lut_step_borders(const Band& band, const std::vector<uint8_t>& above,
+                      const std::vector<uint8_t>& below, Band& out) {
+  DPS_CHECK(out.rows() == band.rows() && out.cols() == band.cols(),
+            "step_borders size mismatch");
+  check_border(above, band.cols(), "lut_step_borders: above width mismatch");
+  check_border(below, band.cols(), "lut_step_borders: below width mismatch");
+  const uint8_t* a = above.empty() ? nullptr : above.data();
+  const uint8_t* b = below.empty() ? nullptr : below.data();
+  const int last = band.rows() - 1;
+  step_rows(band, a, b, 0, 1, out);
+  if (last > 0) step_rows(band, a, b, last, last + 1, out);
+}
+
+const LifeKernel& active_life_kernel() {
+  static const bool registered = [] {
+    LifeBackends::register_backend(
+        "naive",
+        LifeKernel{&step_band_naive, &step_interior_naive, &step_borders_naive,
+                   /*id=*/0});
+    LifeBackends::register_backend(
+        "lut",
+        LifeKernel{&lut_step_band, &lut_step_interior, &lut_step_borders,
+                   /*id=*/1},
+        /*make_default=*/true);
+    return true;
+  }();
+  (void)registered;
+  return LifeBackends::active();
+}
+
+std::string active_life_kernel_name() {
+  active_life_kernel();  // ensure registration
+  return LifeBackends::active_name();
+}
+
+namespace {
+// Registers the kernels at static-init time too, so LifeBackends::select /
+// names() work before the first dispatch (the registry state itself is a
+// function-local static, so ordering is safe; this object always links
+// because world.o references the functions above).
+const bool kLifeBackendsRegistered = (active_life_kernel(), true);
+}  // namespace
+
+}  // namespace dps::life

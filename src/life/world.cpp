@@ -1,6 +1,11 @@
 #include "life/world.hpp"
 
+#include "life/fast_step.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#ifdef DPS_TRACE
+#include "obs/trace.hpp"
+#endif
 
 namespace dps::life {
 
@@ -65,8 +70,8 @@ uint64_t Band::population() const {
   return p;
 }
 
-Band step_band(const Band& band, const std::vector<uint8_t>& above,
-               const std::vector<uint8_t>& below) {
+Band step_band_naive(const Band& band, const std::vector<uint8_t>& above,
+                     const std::vector<uint8_t>& below) {
   Band next(band.rows(), band.cols());
   for (int r = 0; r < band.rows(); ++r) {
     for (int c = 0; c < band.cols(); ++c) {
@@ -76,7 +81,7 @@ Band step_band(const Band& band, const std::vector<uint8_t>& above,
   return next;
 }
 
-Band step_interior(const Band& band) {
+Band step_interior_naive(const Band& band) {
   Band next = band;  // border rows keep old values until step_borders
   for (int r = 1; r < band.rows() - 1; ++r) {
     for (int c = 0; c < band.cols(); ++c) {
@@ -86,8 +91,8 @@ Band step_interior(const Band& band) {
   return next;
 }
 
-void step_borders(const Band& band, const std::vector<uint8_t>& above,
-                  const std::vector<uint8_t>& below, Band& out) {
+void step_borders_naive(const Band& band, const std::vector<uint8_t>& above,
+                        const std::vector<uint8_t>& below, Band& out) {
   DPS_CHECK(out.rows() == band.rows() && out.cols() == band.cols(),
             "step_borders size mismatch");
   const int last = band.rows() - 1;
@@ -100,6 +105,71 @@ void step_borders(const Band& band, const std::vector<uint8_t>& above,
               rule(band.at(last, c), neighbours_of(band, above, below, last, c)));
     }
   }
+}
+
+namespace {
+
+/// Cells stepped through the backend seam — always on, so production
+/// deployments can watch leaf throughput without the flight recorder.
+obs::Counter& leaf_cells_counter() {
+  static obs::Counter& c = obs::Metrics::instance().counter("dps.leaf.cells");
+  return c;
+}
+
+/// Records one kLeafStep kernel interval when the flight recorder is
+/// compiled in and enabled (a=kernel id, b=rows, c=cols, d=ns).
+#ifdef DPS_TRACE
+struct LeafStepInterval {
+  const LifeKernel& kernel;
+  uint64_t rows, cols;
+  uint64_t t0 = 0;
+  LeafStepInterval(const LifeKernel& k, uint64_t r, uint64_t c)
+      : kernel(k), rows(r), cols(c) {
+    if (obs::tracing_active()) t0 = obs::trace_clock_ns();
+  }
+  ~LeafStepInterval() {
+    if (obs::tracing_active()) {
+      obs::Trace::instance().record(obs::EventKind::kLeafStep, 0, kernel.id,
+                                    rows, cols, obs::trace_clock_ns() - t0);
+    }
+  }
+};
+#define DPS_LEAF_INTERVAL(kernel, rows, cols) \
+  LeafStepInterval leaf_interval_((kernel), (rows), (cols))
+#else
+#define DPS_LEAF_INTERVAL(kernel, rows, cols) \
+  do {                                        \
+  } while (false)
+#endif
+
+}  // namespace
+
+Band step_band(const Band& band, const std::vector<uint8_t>& above,
+               const std::vector<uint8_t>& below) {
+  const LifeKernel& k = active_life_kernel();
+  leaf_cells_counter().inc(static_cast<uint64_t>(band.rows()) *
+                           static_cast<uint64_t>(band.cols()));
+  DPS_LEAF_INTERVAL(k, band.rows(), band.cols());
+  return k.step_band(band, above, below);
+}
+
+Band step_interior(const Band& band) {
+  const LifeKernel& k = active_life_kernel();
+  const int interior_rows = band.rows() > 2 ? band.rows() - 2 : 0;
+  leaf_cells_counter().inc(static_cast<uint64_t>(interior_rows) *
+                           static_cast<uint64_t>(band.cols()));
+  DPS_LEAF_INTERVAL(k, band.rows(), band.cols());
+  return k.step_interior(band);
+}
+
+void step_borders(const Band& band, const std::vector<uint8_t>& above,
+                  const std::vector<uint8_t>& below, Band& out) {
+  const LifeKernel& k = active_life_kernel();
+  const int border_rows = band.rows() > 1 ? 2 : band.rows();
+  leaf_cells_counter().inc(static_cast<uint64_t>(border_rows) *
+                           static_cast<uint64_t>(band.cols()));
+  DPS_LEAF_INTERVAL(k, band.rows(), band.cols());
+  k.step_borders(band, above, below, out);
 }
 
 std::vector<Band> split_world(const Band& world, int bands) {
@@ -136,7 +206,7 @@ Band join_bands(const std::vector<Band>& bands) {
 
 Band step_world(const Band& world, int iterations) {
   Band cur = world;
-  for (int i = 0; i < iterations; ++i) cur = step_band(cur, {}, {});
+  for (int i = 0; i < iterations; ++i) cur = step_band_naive(cur, {}, {});
   return cur;
 }
 

@@ -51,20 +51,35 @@ class Band {
 };
 
 /// Next state of the whole band given its neighbours' adjacent border rows
-/// (empty vectors mean a dead border — the world edge).
+/// (empty vectors mean a dead border — the world edge). Dispatches to the
+/// active leaf backend (life/fast_step.hpp; "lut" by default, selectable
+/// via ClusterConfig::leaf_backend / env DPS_LEAF) and counts the stepped
+/// cells on the always-on `dps.leaf.cells` metric.
 Band step_band(const Band& band, const std::vector<uint8_t>& above,
                const std::vector<uint8_t>& below);
 
 /// Next state of only the interior rows 1..rows-2 (no outside knowledge
 /// needed); rows 0 and rows-1 of the result are left as in `band` and must
 /// be overwritten by step_borders. This is the compute the improved graph
-/// (paper Fig. 8) overlaps with the border exchange.
+/// (paper Fig. 8) overlaps with the border exchange. Dispatches like
+/// step_band.
 Band step_interior(const Band& band);
 
 /// Computes the next state of the band's first and last row into `out`
 /// using the neighbours' borders; the counterpart of step_interior.
+/// Dispatches like step_band.
 void step_borders(const Band& band, const std::vector<uint8_t>& above,
                   const std::vector<uint8_t>& below, Band& out);
+
+/// The naive reference kernels: straight-line 9-cell window recount per
+/// cell. Every optimized backend must be bit-identical to these (the
+/// LifeFast property suite enforces it); step_world below is built on them
+/// so cross-backend comparisons always have an independent baseline.
+Band step_band_naive(const Band& band, const std::vector<uint8_t>& above,
+                     const std::vector<uint8_t>& below);
+Band step_interior_naive(const Band& band);
+void step_borders_naive(const Band& band, const std::vector<uint8_t>& above,
+                        const std::vector<uint8_t>& below, Band& out);
 
 /// Splits a world into `bands` horizontal bands (heights differ by <= 1).
 std::vector<Band> split_world(const Band& world, int bands);
@@ -72,7 +87,9 @@ std::vector<Band> split_world(const Band& world, int bands);
 /// Reassembles bands into one world.
 Band join_bands(const std::vector<Band>& bands);
 
-/// Sequential reference: steps a whole world `iterations` times.
+/// Sequential reference: steps a whole world `iterations` times. Always
+/// runs the naive kernel, independent of the active backend, so it stays a
+/// trustworthy oracle for end-to-end bit-identity checks.
 Band step_world(const Band& world, int iterations);
 
 /// Cell updates per full-world step — calibrates the simulated benchmarks.

@@ -44,6 +44,7 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kFlowWindow: return "flow_window";
     case EventKind::kSteal: return "steal";
     case EventKind::kShmBatch: return "shm_batch";
+    case EventKind::kLeafStep: return "leaf_step";
   }
   return "unknown";
 }

@@ -88,6 +88,10 @@ enum class EventKind : uint16_t {
                    ///< b=victim index, c=thief index, d=envelopes)
   kShmBatch = 35,  ///< shm inbox delivered one drained batch (a=frames,
                    ///< b=ring bytes)
+
+  // Leaf-compute backend seam (compute/backend.hpp).
+  kLeafStep = 36,  ///< one leaf kernel interval (a=kernel id, b=rows,
+                   ///< c=cols, d=duration ns)
 };
 
 const char* to_string(EventKind kind) noexcept;

@@ -192,7 +192,7 @@ std::vector<TaggedEvent> parse_chrome_trace(const std::string& json) {
 
 namespace {
 constexpr size_t kRecordBytes = sizeof(uint32_t) + sizeof(TraceEvent);  // 52
-constexpr uint16_t kMaxKind = static_cast<uint16_t>(EventKind::kShmBatch);
+constexpr uint16_t kMaxKind = static_cast<uint16_t>(EventKind::kLeafStep);
 }  // namespace
 
 void encode_trace(Writer& w, const std::vector<TaggedEvent>& events) {

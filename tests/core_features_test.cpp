@@ -3,6 +3,7 @@
 // load-balancing routes.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 
 #include "core/application.hpp"
@@ -152,6 +153,144 @@ TEST(StreamOp, CollectsAndReemitsPipelined) {
   }
   EXPECT_EQ(result->sum, expect);
   EXPECT_EQ(result->count, 50);
+}
+
+// --- flushTokens: eager release of the held-back last post -------------------
+
+// The engine holds each split/stream post back by one so the final token
+// can carry the context total. flushTokens() ships the held post
+// immediately; these tests pin down both the eager delivery and the
+// protocol contract around the final post.
+
+std::atomic<bool> g_flush_probe_seen{false};
+
+// Forwards its input unchanged; records when the probe token (index 0)
+// arrives so the split can observe delivery mid-execute.
+class MarkArrivalLeaf
+    : public LeafOperation<FWorkThread, TV1(NumToken), TV1(NumToken)> {
+ public:
+  void execute(NumToken* in) override {
+    if (in->index == 0) g_flush_probe_seen.store(true);
+    postToken(new NumToken(in->value, in->index));
+  }
+  DPS_IDENTIFY_OPERATION(MarkArrivalLeaf);
+};
+
+// Posts a probe token, flushes it, then waits until the downstream leaf
+// confirms arrival — deterministic proof that the flush shipped the token
+// while this execute is still running (held back, it could only leave with
+// the next post). Encodes the observation in the second token's value so a
+// broken flush fails the sum check instead of deadlocking.
+class FlushProbeSplit
+    : public SplitOperation<FMainThread, TV1(RangeToken), TV1(NumToken)> {
+ public:
+  void execute(RangeToken*) override {
+    postToken(new NumToken(10, 0));
+    flushTokens();
+    bool seen = false;
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (g_flush_probe_seen.load()) {
+        seen = true;
+        break;
+      }
+      sleepFor(0.001);
+    }
+    postToken(new NumToken(seen ? 100 : -1, 1));
+  }
+  DPS_IDENTIFY_OPERATION(FlushProbeSplit);
+};
+
+TEST(StreamOp, FlushTokensShipsHeldPostEagerly) {
+  g_flush_probe_seen.store(false);
+  Cluster cluster(ClusterConfig::inproc(2));
+  Application app(cluster, "flush-probe");
+  auto mains = app.thread_collection<FMainThread>("fp-m");
+  mains->map("node0");
+  auto workers = app.thread_collection<FWorkThread>("fp-w");
+  workers->map("node1");
+  FlowgraphBuilder b = FlowgraphNode<FlushProbeSplit, FMainRangeRoute>(mains) >>
+                       FlowgraphNode<MarkArrivalLeaf, FWorkNumRoute>(workers) >>
+                       FlowgraphNode<SumMerge, FMainNumRoute>(mains);
+  auto graph = app.build_graph(b, "flush-probe");
+  ActorScope scope(cluster.domain(), "main");
+  auto result = token_cast<SumToken>(graph->call(new RangeToken(0, 0)));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->count, 2);
+  EXPECT_EQ(result->sum, 110) << "probe token was not delivered during the "
+                                 "split's execute: flushTokens left it held";
+}
+
+// The canonical streaming idiom — flush the previous post before working
+// on the next token; the final post stays held so the engine can stamp the
+// context total into it.
+class EagerDoubleStream
+    : public StreamOperation<FMainThread, TV1(NumToken), TV1(NumToken)> {
+ public:
+  void execute(NumToken* first) override {
+    postToken(new NumToken(first->value * 2, first->index));
+    while (auto t = waitForNextToken()) {
+      flushTokens();
+      auto n = token_cast<NumToken>(t);
+      postToken(new NumToken(n->value * 2, n->index));
+    }
+  }
+  DPS_IDENTIFY_OPERATION(EagerDoubleStream);
+};
+
+TEST(StreamOp, StreamFlushBetweenPostsKeepsPipelineCorrect) {
+  Cluster cluster(ClusterConfig::inproc(3));
+  Application app(cluster, "eager-stream");
+  auto mains = app.thread_collection<FMainThread>("es-m");
+  mains->map("node0");
+  auto workers = app.thread_collection<FWorkThread>("es-w");
+  workers->map("node0 node1 node2");
+  FlowgraphBuilder b =
+      FlowgraphNode<RangeSplit, FMainRangeRoute>(mains) >>
+      FlowgraphNode<SquareLeaf, FWorkNumRoute>(workers) >>
+      FlowgraphNode<EagerDoubleStream, FMainNumRoute>(mains) >>
+      FlowgraphNode<SquareLeaf, FWorkNumRoute>(workers) >>
+      FlowgraphNode<SumMerge, FMainNumRoute>(mains);
+  auto graph = app.build_graph(b, "eager-stream");
+  ActorScope scope(cluster.domain(), "main");
+  auto result = token_cast<SumToken>(graph->call(new RangeToken(0, 50)));
+  ASSERT_TRUE(result);
+  int64_t expect = 0;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t sq = int64_t(i) * i;
+    expect += (2 * sq) * (2 * sq);
+  }
+  EXPECT_EQ(result->sum, expect);
+  EXPECT_EQ(result->count, 50);
+}
+
+// Flushing the FINAL post violates the contract: the engine has no token
+// left to stamp the context total into, and must diagnose that instead of
+// letting the merge hang forever.
+class FlushFinalSplit
+    : public SplitOperation<FMainThread, TV1(RangeToken), TV1(NumToken)> {
+ public:
+  void execute(RangeToken*) override {
+    postToken(new NumToken(1, 0));
+    flushTokens();  // contract violation: nothing is posted afterwards
+  }
+  DPS_IDENTIFY_OPERATION(FlushFinalSplit);
+};
+
+TEST(StreamOp, FlushAfterFinalPostDiagnosed) {
+  Cluster cluster(ClusterConfig::simulated(2));
+  Application app(cluster, "flush-final");
+  auto mains = app.thread_collection<FMainThread>("ff-m");
+  mains->map("node0");
+  auto workers = app.thread_collection<FWorkThread>("ff-w");
+  workers->map("node1");
+  FlowgraphBuilder b = FlowgraphNode<FlushFinalSplit, FMainRangeRoute>(mains) >>
+                       FlowgraphNode<SquareLeaf, FWorkNumRoute>(workers) >>
+                       FlowgraphNode<SumMerge, FMainNumRoute>(mains);
+  auto graph = app.build_graph(b, "flush-final");
+  ActorScope scope(cluster.domain(), "main");
+  auto handle = graph->call_async(new RangeToken(0, 0));
+  EXPECT_THROW((void)handle.wait(), Error)
+      << "flushing the final post must surface as a detectable failure";
 }
 
 // --- Nested split–merge ------------------------------------------------------
